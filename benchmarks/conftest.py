@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Unlike the unit tests, benchmarks share the run memoizer across files: most
+figures reuse the same baseline/PPA runs, and the whole suite would
+otherwise re-simulate them dozens of times.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Persist an ExperimentResult so EXPERIMENTS.md can cite it."""
+    def _record(result):
+        path = results_dir / f"{result.experiment_id}.txt"
+        path.write_text(result.to_text() + "\n")
+        return result
+    return _record

@@ -1,0 +1,49 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.experiments.ablations import (
+    run_ablation_async,
+    run_ablation_boundary,
+    run_ablation_coalescing,
+    run_ablation_integrity,
+)
+
+LENGTH = 8_000
+
+
+def test_ablation_async_writeback(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ablation_async(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    async_mean = result.rows[0][1]
+    sync_mean = result.rows[1][1]
+    assert sync_mean > async_mean + 0.02
+
+
+def test_ablation_coalescing(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ablation_coalescing(length=LENGTH),
+        rounds=1, iterations=1)
+    record_result(result)
+    with_mean = result.rows[0][1]
+    without_mean = result.rows[1][1]
+    assert without_mean > with_mean
+
+
+def test_ablation_boundary_threshold(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ablation_boundary(length=LENGTH),
+        rounds=1, iterations=1)
+    record_result(result)
+    by_threshold = {row[0]: row[1] for row in result.rows}
+    # Eager barriers (threshold 0) cost at least as much as the default.
+    assert by_threshold[0] >= by_threshold[24] - 0.02
+
+
+def test_ablation_store_integrity(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ablation_integrity(length=3_000, failure_points=20),
+        rounds=1, iterations=1)
+    record_result(result)
+    on_row, off_row = result.rows
+    assert on_row[1] == 0
+    assert off_row[1] > 0

@@ -1,0 +1,53 @@
+"""Extension experiments: the PSP landscape and the region-length law."""
+
+from repro.experiments.extensions import (
+    run_ext_inorder,
+    run_ext_psp,
+    run_ext_region_length,
+    run_ext_sbgate,
+)
+
+LENGTH = 8_000
+
+
+def test_ext_psp_landscape(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ext_psp(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    ppa = result.summary["gmean_ppa"]
+    ideal = result.summary["gmean_eadr"]
+    undo = result.summary["gmean_psp-undolog"]
+    redo = result.summary["gmean_psp-redolog"]
+    # Section 2.2's ordering: PPA < ideal PSP < software PSP.
+    assert ppa < ideal < undo
+    assert ppa < ideal < redo
+    assert ppa < 1.10
+
+
+def test_ext_sbgate_alternative(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ext_sbgate(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    # Section 6: gating retired stores in the SB throttles the pipeline.
+    assert result.summary["gmean_sbgate"] > \
+        result.summary["gmean_ppa"] + 0.5
+
+
+def test_ext_inorder_value_csq(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ext_inorder(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    # The in-order extension keeps persistence cheap too.
+    assert 1.0 <= result.summary["gmean"] < 1.20
+
+
+def test_ext_region_length_law(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_ext_region_length(length=LENGTH),
+        rounds=1, iterations=1)
+    record_result(result)
+    means = [row[1] for row in result.rows]
+    # Strictly improving with region length, converging toward ~1.
+    assert all(b <= a + 0.02 for a, b in zip(means, means[1:]))
+    assert means[0] > 1.5       # ReplayCache-length regions are painful
+    assert means[-1] < 1.06     # PPA-length regions are nearly free

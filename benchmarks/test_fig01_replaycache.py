@@ -1,0 +1,20 @@
+"""Figure 1: ReplayCache's slowdown on a server-class core.
+
+Paper: porting ReplayCache's compiler-formed store-integrity regions to a
+server-class core over a deep cache hierarchy costs ~5x on average.
+"""
+
+from repro.experiments.figures import run_fig1
+
+LENGTH = 10_000
+
+
+def test_fig01_replaycache_slowdown(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig1(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    mean = result.summary["gmean_slowdown"]
+    # Shape: a multi-x slowdown in the vicinity of the paper's 5x.
+    assert 3.0 < mean < 12.0
+    # Every single application suffers badly.
+    assert all(row[1] > 2.0 for row in result.rows)

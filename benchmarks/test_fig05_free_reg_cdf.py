@@ -1,0 +1,25 @@
+"""Figure 5: CDF of free integer/floating-point physical registers.
+
+Paper: on the baseline core, ≥138 integer and ≥110 floating-point
+registers are free for 75 % of CPU2006's execution cycles — the headroom
+PPA's store-integrity masking lives off.
+"""
+
+from repro.experiments.figures import run_fig5
+
+LENGTH = 10_000
+
+
+def test_fig05_free_register_cdf(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig5(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    by_suite = {row[0]: row for row in result.rows}
+    cpu2006 = by_suite["CPU2006"]
+    # Shape: ample free registers most of the time (our core keeps more
+    # definitions in flight than gem5, so the exact 138@75% point shifts;
+    # the headroom PPA exploits is still the common case).
+    assert cpu2006[1] > 0.5          # >=60 int free most cycles
+    assert cpu2006[4] > 0.5          # >=60 fp free most cycles
+    # The CDF is monotone in the threshold.
+    assert cpu2006[1] >= cpu2006[2] >= cpu2006[3]

@@ -1,0 +1,23 @@
+"""Figure 8: run-time overhead of PPA and Capri across all 41 apps.
+
+Paper: PPA incurs 2 % on average while Capri incurs 26 % (11x shorter
+regions); rb is among PPA's worst cases.
+"""
+
+from repro.experiments.figures import run_fig8
+
+LENGTH = 12_000
+
+
+def test_fig08_ppa_and_capri_overhead(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig8(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    ppa = result.summary["ppa_gmean"]
+    capri = result.summary["capri_gmean"]
+    # Shape: PPA single-digit-percent, Capri roughly an order worse.
+    assert 1.0 < ppa < 1.10
+    assert capri > ppa + 0.05
+    assert 1.10 < capri < 1.60
+    # PPA never catastrophically slows any app.
+    assert max(row[1] for row in result.rows) < 1.5

@@ -1,0 +1,22 @@
+"""Figure 11: stall cycles at region ends as a fraction of execution.
+
+Paper: 0.21 % on average; water-ns/water-sp stand out (6.1 %/8.1 %)
+because their regions are shorter and store-denser.
+"""
+
+from repro.experiments.figures import run_fig11
+
+LENGTH = 12_000
+
+
+def test_fig11_region_end_stalls(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig11(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    by_app = {row[0]: row[1] for row in result.rows}
+    # Shape: small on average...
+    assert result.summary["mean_stall_pct"] < 8.0
+    # ...with the water apps the clear outliers, as in the paper.
+    median = sorted(by_app.values())[len(by_app) // 2]
+    assert by_app["water-ns"] > 3 * median
+    assert by_app["water-sp"] > 3 * median

@@ -1,0 +1,23 @@
+"""Figure 13: average number of stores and other instructions per region.
+
+Paper: PPA's dynamic regions average 301 other + 18 store instructions —
+an order of magnitude longer than Capri's 29-instruction regions — with
+bzip2/libquantum on the short side due to heavy register usage.
+"""
+
+from repro.experiments.figures import run_fig13
+
+LENGTH = 12_000
+
+
+def test_fig13_region_composition(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig13(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    mean_total = (result.summary["mean_others"]
+                  + result.summary["mean_stores"])
+    # Shape: hundreds of instructions per region, far beyond Capri's 29.
+    assert mean_total > 200
+    assert result.summary["mean_stores"] < 45
+    assert result.summary["mean_others"] > \
+        5 * result.summary["mean_stores"]

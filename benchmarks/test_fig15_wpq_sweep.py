@@ -1,0 +1,18 @@
+"""Figure 15: sensitivity to the NVM write-pending-queue size.
+
+Paper: shrinking the WPQ from 16 to 8 raises PPA's overhead to ~8 %;
+growing it to 24 buys little beyond the default.
+"""
+
+from repro.experiments.figures import run_fig15
+
+LENGTH = 8_000
+
+
+def test_fig15_wpq_sweep(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig15(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    assert result.summary["gmean_8"] >= result.summary["gmean_16"] - 0.01
+    assert result.summary["gmean_16"] >= result.summary["gmean_24"] - 0.01
+    assert result.summary["gmean_16"] < 1.15

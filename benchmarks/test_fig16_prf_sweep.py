@@ -1,0 +1,23 @@
+"""Figure 16: sensitivity to the physical-register-file size.
+
+Paper: with an 80/80 PRF PPA still works but pays ~12 % (some apps ~30 %);
+beyond the 180/168 default the benefit saturates (Icelake's 280/224 buys
+almost nothing).
+"""
+
+from repro.experiments.figures import run_fig16
+
+LENGTH = 8_000
+
+
+def test_fig16_prf_sweep(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig16(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    small = result.summary["gmean_80_80"]
+    default = result.summary["gmean_180_168"]
+    icelake = result.summary["gmean_280_224"]
+    # Shape: the small PRF hurts; the default is near the knee.
+    assert small > default
+    assert small > 1.05
+    assert abs(icelake - default) < 0.05

@@ -1,0 +1,19 @@
+"""Figure 17: sensitivity to the CSQ size.
+
+Paper: the CSQ size has minimal performance impact from 10 to 50 entries
+(regions hold ~18 stores on average); 40 is chosen to make overflow rare.
+"""
+
+from repro.experiments.figures import run_fig17
+
+LENGTH = 8_000
+
+
+def test_fig17_csq_sweep(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig17(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    means = [row[1] for row in result.rows]
+    # Shape: a narrow band across the sweep, mildly favouring larger CSQs.
+    assert max(means) - min(means) < 0.08
+    assert result.summary["gmean_40"] <= result.summary["gmean_10"] + 0.01

@@ -1,0 +1,20 @@
+"""Figure 18: sensitivity to the PMEM write bandwidth.
+
+Paper: at 1 GB/s PPA pays ~7 %; at the empirical default of 2.3 GB/s and
+beyond the overhead settles around 2 %.
+"""
+
+from repro.experiments.figures import run_fig18
+
+LENGTH = 8_000
+
+
+def test_fig18_bandwidth_sweep(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig18(length=LENGTH), rounds=1, iterations=1)
+    record_result(result)
+    starved = result.summary["gmean_1.0"]
+    default = result.summary["gmean_2.3"]
+    ample = result.summary["gmean_6.0"]
+    assert starved > default >= ample - 0.01
+    assert default < 1.15

@@ -1,0 +1,24 @@
+"""Figure 19: sensitivity to the thread count on the multicore system.
+
+Paper: scaling the multithreaded apps from 8 to 64 threads (with the WPQ
+and shared L2 scaled along) keeps PPA between 2 % and 6 % mean overhead,
+drifting upward with synchronization and bandwidth contention.
+"""
+
+from repro.experiments.figures import run_fig19
+
+LENGTH = 2_500
+THREADS = (8, 16, 32, 64)
+
+
+def test_fig19_thread_sweep(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig19(threads=THREADS, length=LENGTH),
+        rounds=1, iterations=1)
+    record_result(result)
+    t8 = result.summary["gmean_t8"]
+    t64 = result.summary["gmean_t64"]
+    # Shape: modest at 8 threads, drifting upward toward 64.
+    assert 1.0 <= t8 < 1.10
+    assert t64 >= t8 - 0.01
+    assert t64 < 1.35

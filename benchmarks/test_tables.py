@@ -1,0 +1,59 @@
+"""Tables 1, 4, 5, 6 and the Section 7.13 checkpoint-budget analysis."""
+
+import pytest
+
+from repro.experiments.tables import (
+    run_sec713,
+    run_tab1,
+    run_tab4,
+    run_tab5,
+    run_tab6,
+)
+
+
+def test_tab01_clwb_matrix(benchmark, record_result):
+    result = benchmark.pedantic(run_tab1, rounds=1, iterations=1)
+    record_result(result)
+    ppa_row = next(r for r in result.rows if r[0] == "PPA")
+    clwb_row = next(r for r in result.rows if "CLWB" in r[0])
+    assert ppa_row[1:] == ["no", "no", "no", "yes"]
+    assert clwb_row[1:] == ["yes", "yes", "yes", "no"]
+
+
+def test_tab04_hw_cost(benchmark, record_result):
+    result = benchmark.pedantic(run_tab4, rounds=1, iterations=1)
+    record_result(result)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["64-bit LCPC"][1] == pytest.approx(12.20, rel=0.02)
+    assert by_name["384-bit MaskReg"][1] == pytest.approx(74.03, rel=0.02)
+    assert by_name["40-entry CSQ"][1] == pytest.approx(547.84, rel=0.02)
+    assert result.summary["core_area_fraction_pct"] == \
+        pytest.approx(0.005, rel=0.15)
+
+
+def test_tab05_energy(benchmark, record_result):
+    result = benchmark.pedantic(run_tab5, rounds=1, iterations=1)
+    record_result(result)
+    by_scheme = {row[0].split()[0]: row for row in result.rows}
+    assert by_scheme["PPA"][2] == pytest.approx(21.7, abs=0.1)
+    assert by_scheme["Capri"][2] == pytest.approx(600.0, rel=0.15)
+    assert by_scheme["LightPC"][2] == pytest.approx(189_000, rel=0.02)
+    assert by_scheme["PPA"][3] == pytest.approx(0.06, abs=0.005)
+
+
+def test_tab06_wsp_matrix(benchmark, record_result):
+    result = benchmark.pedantic(run_tab6, rounds=1, iterations=1)
+    record_result(result)
+    ppa_row = next(r for r in result.rows if r[0] == "PPA")
+    assert ppa_row[1:] == ["low", "low", "no", "yes", "yes", "yes"]
+    # No other scheme matches PPA across every column.
+    others = [r[1:] for r in result.rows if r[0] != "PPA"]
+    assert all(row != ppa_row[1:] for row in others)
+
+
+def test_sec713_ckpt_latency(benchmark, record_result):
+    result = benchmark.pedantic(run_sec713, rounds=1, iterations=1)
+    record_result(result)
+    assert result.summary["total_bytes"] == 1838.0
+    assert result.summary["total_us"] == pytest.approx(0.91, abs=0.02)
+    assert result.summary["energy_uj"] == pytest.approx(21.7, abs=0.1)

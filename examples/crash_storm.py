@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Crash storm: hammer one run with power failures at many instants.
+
+An energy-harvesting-style scenario (the lineage of the store-integrity
+idea): a WHISPER key-value workload is interrupted at dozens of random
+points; after each outage we recover and check both the recovered NVM image
+and that resuming after LCPC converges to the crash-free execution. The
+same storm is replayed with store integrity disabled to show *why* MaskReg
+exists.
+
+Run:  python examples/crash_storm.py [--failures N]
+"""
+
+import argparse
+import random
+
+from repro import PersistentProcessor, generate_trace, profile_by_name
+from repro.failure.consistency import verify_recovery, verify_resumption
+
+
+def storm(enforce: bool, failures: int, seed: int = 2023):
+    processor = PersistentProcessor(enforce_store_integrity=enforce)
+    trace = generate_trace(profile_by_name("tatp"), length=8_000, seed=7)
+    stats = processor.run(trace)
+    rng = random.Random(seed)
+    consistent = resumed = 0
+    window_sizes = []
+    for __ in range(failures):
+        fail_time = rng.uniform(0.0, stats.cycles)
+        window_sizes.append(
+            processor.injector.unpersisted_committed_stores(fail_time))
+        crash = processor.crash_at(fail_time)
+        try:
+            result = processor.recover(crash)
+        except KeyError:
+            continue  # the checkpoint itself was unable to cover a store
+        if verify_recovery(stats, result.nvm_image,
+                           crash.last_committed_seq):
+            consistent += 1
+        if verify_resumption(stats, result.nvm_image,
+                             crash.last_committed_seq):
+            resumed += 1
+    return stats, consistent, resumed, window_sizes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--failures", type=int, default=40)
+    args = parser.parse_args()
+
+    stats, consistent, resumed, windows = storm(True, args.failures)
+    print(f"workload: tatp (WHISPER), {stats.instructions} instructions, "
+          f"{len(stats.stores)} stores, {len(stats.regions)} regions")
+    print(f"\nwith store integrity (PPA):")
+    print(f"  {consistent}/{args.failures} recoveries consistent")
+    print(f"  {resumed}/{args.failures} resumptions converge")
+    print(f"  committed-but-unpersisted stores at failure: "
+          f"avg {sum(windows) / len(windows):.1f}, max {max(windows)}")
+    assert consistent == args.failures
+
+    __, consistent_off, __, __ = storm(False, args.failures)
+    print(f"\nwith store integrity DISABLED:")
+    print(f"  {consistent_off}/{args.failures} recoveries consistent")
+    print("  (replay reads physical registers that were reclaimed and "
+          "overwritten -> corrupted recovery)")
+    if consistent_off < args.failures:
+        print("\nconclusion: MaskReg's register preservation is what makes "
+              "store replay sound.")
+
+
+if __name__ == "__main__":
+    main()

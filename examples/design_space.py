@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Design-space exploration: size PPA for a hypothetical core.
+
+Sweeps the three dimensions an architect adopting PPA would care about —
+PRF size, CSQ depth, and PMEM write bandwidth — on a store-heavy workload,
+then prices each CSQ point with the CACTI-style cost model and the
+checkpoint-energy model (what capacitor must the board carry?).
+
+Run:  python examples/design_space.py
+"""
+
+from repro.config import skylake_default
+from repro.core.checkpoint import CheckpointPlan
+from repro.experiments.runner import slowdown
+from repro.hwcost.cacti import csq_cost
+
+APP = "water-ns"
+LENGTH = 10_000
+
+
+def main() -> None:
+    base = skylake_default()
+
+    print(f"workload: {APP} (store-dense SPLASH3 kernel)\n")
+
+    print("PRF sweep (int/fp entries -> PPA slowdown):")
+    for int_size, fp_size in ((80, 80), (120, 120), (180, 168),
+                              (280, 224)):
+        ratio = slowdown(APP, "ppa", config=base.with_prf(int_size, fp_size),
+                         length=LENGTH)
+        bar = "#" * round((ratio - 1) * 200)
+        print(f"  {int_size:3d}/{fp_size:<3d}  {ratio:6.3f}  {bar}")
+
+    print("\nCSQ sweep (entries -> slowdown, area, checkpoint budget):")
+    for entries in (10, 20, 40, 80):
+        config = base.with_csq(entries)
+        ratio = slowdown(APP, "ppa", config=config, length=LENGTH)
+        cost = csq_cost(entries)
+        plan = CheckpointPlan.for_config(config)
+        print(f"  {entries:3d} entries: {ratio:6.3f} slowdown, "
+              f"{cost.area_um2:7.1f} um^2, {plan.bytes_total:5d} B "
+              f"checkpoint, {plan.energy_uj:5.1f} uJ")
+
+    print("\nPMEM write-bandwidth sweep (GB/s -> slowdown):")
+    for gbs in (1.0, 2.3, 4.0, 6.0):
+        ratio = slowdown(APP, "ppa",
+                         config=base.with_write_bandwidth(gbs),
+                         length=LENGTH)
+        bar = "#" * round((ratio - 1) * 200)
+        print(f"  {gbs:4.1f} GB/s  {ratio:6.3f}  {bar}")
+
+    print("\ntakeaway (paper §§7.8-7.10): the default 180/168 PRF and "
+          "40-entry CSQ sit at the knee; bandwidth below ~2.3 GB/s is "
+          "what actually hurts.")
+
+
+if __name__ == "__main__":
+    main()

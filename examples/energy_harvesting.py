@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Intermittent computing: whole-system persistence under episodic power.
+
+Store integrity was invented for energy-harvesting systems (ReplayCache,
+Section 2.3/2.4), where power arrives in bursts. This example runs an
+XSBench-like kernel under shrinking on-windows and compares three recovery
+disciplines:
+
+* PPA: JIT checkpoint + CSQ replay + resume after the last commit,
+* region-restart: roll back to the start of the interrupted region,
+* restart: no persistence — start over every outage.
+
+Run:  python examples/energy_harvesting.py
+"""
+
+from repro import PersistentProcessor, generate_trace, profile_by_name
+from repro.ehs.intermittent import IntermittentScenario
+
+
+def main() -> None:
+    processor = PersistentProcessor()
+    trace = generate_trace(profile_by_name("xsbench"), length=6_000)
+    scenario = IntermittentScenario(processor, trace)
+    total = scenario.stats.cycles
+    print(f"workload: xsbench, {len(trace)} instructions, "
+          f"{total:.0f} cycles uninterrupted")
+    print(f"JIT checkpoint+restore budget: "
+          f"{scenario.recovery_overhead_cycles:.0f} cycles "
+          "(1838 B at 2.3 GB/s)\n")
+
+    header = (f"{'on-window':>12s} {'PPA':>22s} {'region-restart':>22s} "
+              f"{'restart':>22s}")
+    print(header)
+    print("-" * len(header))
+    for divisor in (2, 4, 8, 16):
+        window = total / divisor
+        cells = [f"{window:12.0f}"]
+        for discipline in ("ppa", "region-restart", "restart"):
+            outcome = scenario.run(window, discipline)
+            if outcome.completed:
+                cells.append(
+                    f"done in {outcome.outages:3d} outages "
+                    f"({outcome.progress_efficiency:4.0%} eff)")
+            else:
+                done = outcome.useful_cycles / total
+                cells.append(f"stuck at {done:5.1%} progress  ")
+        print(" ".join(cells))
+
+    print("\nPPA's precise resumption (LCPC + CSQ replay) turns every "
+          "powered cycle into forward progress; restarting loses "
+          "everything, and even region-granular rollback re-executes "
+          "work, exactly the gap the paper's store integrity closes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — a reproduction of *Persistent Processor Architecture* (MICRO'23).
+
+PPA provides whole-system persistence by enforcing *store integrity* in the
+out-of-order core: committed stores' physical registers are preserved until
+their region's writes are durable, a tiny capacitor JIT-checkpoints the CSQ/
+CRT/MaskReg/LCPC and the marked registers on power failure, and recovery
+replays the committed stores and resumes after the last committed
+instruction.
+
+Quickstart::
+
+    from repro import PersistentProcessor, generate_trace, profile_by_name
+
+    trace = generate_trace(profile_by_name("gcc"), length=20_000)
+    proc = PersistentProcessor()
+    stats = proc.run(trace)
+    crash = proc.crash_at(stats.cycles / 2)
+    result = proc.recover(crash)
+"""
+
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    DramCacheConfig,
+    MemoryConfig,
+    NvmConfig,
+    PpaConfig,
+    SystemConfig,
+    skylake_default,
+)
+from repro.core import (
+    CheckpointPlan,
+    CrashState,
+    JitCheckpointController,
+    PersistentProcessor,
+    recover,
+)
+from repro.isa import Instruction, Opcode, RegClass, Register, Trace
+from repro.persistence import make_policy, scheme_backend, scheme_names
+from repro.pipeline import CoreStats, OoOCore
+from repro.workloads import (
+    ALL_PROFILES,
+    WorkloadProfile,
+    generate_trace,
+    profile_by_name,
+    profiles_in_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PROFILES",
+    "CacheConfig",
+    "CheckpointPlan",
+    "CoreConfig",
+    "CoreStats",
+    "CrashState",
+    "DramCacheConfig",
+    "Instruction",
+    "JitCheckpointController",
+    "MemoryConfig",
+    "NvmConfig",
+    "OoOCore",
+    "Opcode",
+    "PersistentProcessor",
+    "PpaConfig",
+    "RegClass",
+    "Register",
+    "SystemConfig",
+    "Trace",
+    "WorkloadProfile",
+    "generate_trace",
+    "make_policy",
+    "profile_by_name",
+    "profiles_in_suite",
+    "recover",
+    "scheme_backend",
+    "scheme_names",
+    "skylake_default",
+    "__version__",
+]

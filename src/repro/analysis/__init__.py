@@ -1,0 +1,32 @@
+"""Result analysis: aggregate statistics and distribution helpers."""
+
+from repro.analysis.charts import bar_chart, series_chart
+from repro.analysis.regions import (
+    RegionLengthStats,
+    boundary_interval_cycles,
+    region_length_stats,
+)
+from repro.analysis.report import PAPER_EXPECTATIONS, grade, render_digest
+from repro.analysis.stats import gmean, overhead_pct, suite_means
+from repro.analysis.cdf import (
+    cdf_from_hist,
+    fraction_with_at_least,
+    merge_hists,
+)
+
+__all__ = [
+    "PAPER_EXPECTATIONS",
+    "RegionLengthStats",
+    "bar_chart",
+    "boundary_interval_cycles",
+    "cdf_from_hist",
+    "fraction_with_at_least",
+    "gmean",
+    "grade",
+    "merge_hists",
+    "region_length_stats",
+    "render_digest",
+    "series_chart",
+    "overhead_pct",
+    "suite_means",
+]

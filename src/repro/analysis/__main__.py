@@ -1,0 +1,65 @@
+"""Reproduction digest CLI.
+
+Reads the rendered experiment results under ``benchmarks/results/`` (as
+written by ``pytest benchmarks/ --benchmark-only``) and grades them against
+the paper's claims::
+
+    python -m repro.analysis [results_dir]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+from repro.analysis.report import grade, render_digest
+from repro.experiments.base import ExperimentResult
+
+_SUMMARY = re.compile(r"^summary: (.*)$", re.MULTILINE)
+
+
+def load_recorded_results(results_dir) -> dict[str, ExperimentResult]:
+    """Parse the summary lines of recorded experiment renderings."""
+    results: dict[str, ExperimentResult] = {}
+    directory = pathlib.Path(results_dir)
+    for path in sorted(directory.glob("*.txt")):
+        text = path.read_text()
+        match = _SUMMARY.search(text)
+        summary: dict[str, float] = {}
+        if match:
+            for pair in match.group(1).split(", "):
+                key, __, value = pair.partition("=")
+                try:
+                    summary[key] = float(value)
+                except ValueError:
+                    continue
+        experiment_id = path.stem
+        results[experiment_id] = ExperimentResult(
+            experiment_id=experiment_id, title=experiment_id,
+            columns=[], rows=[], summary=summary)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    default = pathlib.Path(__file__).resolve().parents[3].parent \
+        / "benchmarks" / "results"
+    candidates = [pathlib.Path(argv[0])] if argv else [
+        pathlib.Path("benchmarks/results"), default]
+    directory = next((c for c in candidates if c.is_dir()), None)
+    if directory is None:
+        print("no recorded results found; run "
+              "`pytest benchmarks/ --benchmark-only` first")
+        return 1
+    results = load_recorded_results(directory)
+    if not results:
+        print(f"no result files in {directory}")
+        return 1
+    lines = grade(results)
+    print(render_digest(lines))
+    return 0 if all(line.holds for line in lines) else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

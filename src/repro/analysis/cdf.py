@@ -1,0 +1,37 @@
+"""Weighted-histogram and CDF helpers (Figure 5)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+
+def merge_hists(hists: Iterable[Counter]) -> Counter:
+    """Sum weighted histograms from several runs."""
+    merged: Counter = Counter()
+    for hist in hists:
+        merged.update(hist)
+    return merged
+
+
+def cdf_from_hist(hist: Counter) -> list[tuple[int, float]]:
+    """Cumulative distribution (value, P[X <= value]) of a weighted hist."""
+    total = sum(hist.values())
+    if total <= 0:
+        return []
+    cdf = []
+    acc = 0.0
+    for value in sorted(hist):
+        acc += hist[value]
+        cdf.append((value, acc / total))
+    return cdf
+
+
+def fraction_with_at_least(hist: Counter, threshold: int) -> float:
+    """P[X >= threshold] — e.g. 'for 75 % of cycles, ≥138 registers free'."""
+    total = sum(hist.values())
+    if total <= 0:
+        return 0.0
+    above = sum(weight for value, weight in hist.items()
+                if value >= threshold)
+    return above / total

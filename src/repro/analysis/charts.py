@@ -1,0 +1,41 @@
+"""Terminal bar charts for experiment results.
+
+The experiments CLI renders each figure's rows as a horizontal ASCII bar
+chart so the paper's plots can be eyeballed without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+
+
+def bar_chart(result: ExperimentResult, value_column: int = 1,
+              width: int = 48, baseline: float | None = 1.0) -> str:
+    """Render one numeric column of a result as horizontal bars.
+
+    ``baseline`` anchors the bars (normalized slowdowns anchor at 1.0 so a
+    bar shows the *overhead*); pass ``None`` to anchor at zero.
+    """
+    numeric_rows = [
+        (str(row[0]), float(row[value_column]))
+        for row in result.rows
+        if isinstance(row[value_column], (int, float))
+    ]
+    if not numeric_rows:
+        return "(no numeric rows)"
+    anchor = baseline if baseline is not None else 0.0
+    spans = [max(0.0, value - anchor) for __, value in numeric_rows]
+    top = max(spans) or 1.0
+    label_width = max(len(label) for label, __ in numeric_rows)
+    lines = [f"{result.experiment_id}: {result.title}"]
+    for (label, value), span in zip(numeric_rows, spans):
+        bar = "#" * round(width * span / top)
+        lines.append(f"  {label:<{label_width}s} {value:8.3f} |{bar}")
+    if baseline is not None:
+        lines.append(f"  (bars show value - {baseline:g})")
+    return "\n".join(lines)
+
+
+def series_chart(result: ExperimentResult, width: int = 48) -> str:
+    """Render a sweep result (x, y) as bars keyed by the sweep value."""
+    return bar_chart(result, value_column=1, width=width, baseline=1.0)

@@ -1,0 +1,63 @@
+"""Region-population analysis (the data behind Figures 13 and 17)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pipeline.stats import CoreStats, RegionRecord
+
+
+@dataclass(frozen=True)
+class RegionLengthStats:
+    """Distribution summary of dynamic region lengths."""
+
+    count: int
+    mean_instrs: float
+    p50_instrs: float
+    p90_instrs: float
+    min_instrs: int
+    max_instrs: int
+    mean_stores: float
+    causes: dict[str, int]
+
+    @property
+    def store_fraction(self) -> float:
+        if self.mean_instrs <= 0:
+            return 0.0
+        return self.mean_stores / self.mean_instrs
+
+
+def _percentile(sorted_values: list[int], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                int(fraction * (len(sorted_values) - 1)))
+    return float(sorted_values[index])
+
+
+def region_length_stats(regions: list[RegionRecord]) -> RegionLengthStats:
+    """Summarize a run's region population."""
+    if not regions:
+        return RegionLengthStats(0, 0.0, 0.0, 0.0, 0, 0, 0.0, {})
+    lengths = sorted(r.instr_count for r in regions)
+    causes: dict[str, int] = {}
+    for region in regions:
+        causes[region.cause] = causes.get(region.cause, 0) + 1
+    return RegionLengthStats(
+        count=len(regions),
+        mean_instrs=sum(lengths) / len(lengths),
+        p50_instrs=_percentile(lengths, 0.5),
+        p90_instrs=_percentile(lengths, 0.9),
+        min_instrs=lengths[0],
+        max_instrs=lengths[-1],
+        mean_stores=sum(r.store_count for r in regions) / len(regions),
+        causes=causes,
+    )
+
+
+def boundary_interval_cycles(stats: CoreStats) -> float:
+    """Mean cycles between region boundaries — how often the persist
+    counter is consulted."""
+    if not stats.regions or stats.cycles <= 0:
+        return 0.0
+    return stats.cycles / len(stats.regions)

@@ -1,0 +1,94 @@
+"""Reproduction digest: measured results against the paper's claims.
+
+``build_digest`` runs (or accepts) experiment results and grades each
+against a structured expectation — the machine-checkable core of
+EXPERIMENTS.md. The same expectations drive ``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.base import ExperimentResult
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One checkable claim from the paper about one experiment."""
+
+    experiment_id: str
+    claim: str
+    # Receives the result's summary dict; True when the shape holds.
+    check: Callable[[dict], bool]
+
+
+PAPER_EXPECTATIONS: tuple[Expectation, ...] = (
+    Expectation("fig1", "ReplayCache costs multiples (paper ~5x)",
+                lambda s: s["gmean_slowdown"] > 3.0),
+    Expectation("fig8", "PPA within a few % (paper 2%)",
+                lambda s: s["ppa_gmean"] < 1.10),
+    Expectation("fig8", "Capri far costlier than PPA (paper 26% vs 2%)",
+                lambda s: s["capri_gmean"] > s["ppa_gmean"] + 0.05),
+    Expectation("fig9", "memory mode modestly slower than DRAM-only",
+                lambda s: 1.0 <= s["memory_mode_gmean"] < 1.5),
+    Expectation("fig10", "ideal PSP pays a large multiple (paper 1.39x)",
+                lambda s: s["psp_gmean"] > 1.2 > s["ppa_gmean"]),
+    Expectation("fig11", "region-end stalls small on average",
+                lambda s: s["mean_stall_pct"] < 8.0),
+    Expectation("fig13", "regions hold hundreds of instructions",
+                lambda s: s["mean_others"] + s["mean_stores"] > 200),
+    Expectation("fig14", "deeper hierarchy stays cheap (paper ~1%)",
+                lambda s: s["gmean"] < 1.10),
+    Expectation("fig15", "small WPQ hurts (paper 8% at 8 entries)",
+                lambda s: s["gmean_8"] >= s["gmean_16"] - 0.01),
+    Expectation("fig16", "80/80 PRF hurts, default is the knee",
+                lambda s: s["gmean_80_80"] > s["gmean_180_168"]),
+    Expectation("fig17", "CSQ size has minimal impact",
+                lambda s: max(s.values()) - min(s.values()) < 0.08),
+    Expectation("fig18", "low write bandwidth hurts (paper 7% at 1GB/s)",
+                lambda s: s["gmean_1.0"] > s["gmean_2.3"]),
+    Expectation("fig19", "thread scaling drifts 2%..6% (paper)",
+                lambda s: 1.0 <= s["gmean_t8"] <= s["gmean_t64"] + 0.01
+                and s["gmean_t64"] < 1.35),
+    Expectation("tab4", "PPA adds ~0.005% core area",
+                lambda s: s["core_area_fraction_pct"] < 0.01),
+    Expectation("sec713", "1838 B checkpoint in ~0.91us / 21.7uJ",
+                lambda s: s["total_bytes"] == 1838.0
+                and abs(s["total_us"] - 0.91) < 0.02),
+)
+
+
+@dataclass
+class DigestLine:
+    experiment_id: str
+    claim: str
+    holds: bool
+
+
+def grade(results: dict[str, ExperimentResult]) -> list[DigestLine]:
+    """Grade available results against every applicable expectation."""
+    lines = []
+    for expectation in PAPER_EXPECTATIONS:
+        result = results.get(expectation.experiment_id)
+        if result is None:
+            continue
+        try:
+            holds = expectation.check(result.summary)
+        except KeyError:
+            holds = False
+        lines.append(DigestLine(expectation.experiment_id,
+                                expectation.claim, holds))
+    return lines
+
+
+def render_digest(lines: list[DigestLine]) -> str:
+    """Human-readable digest table."""
+    out = ["reproduction digest (claim -> holds?)", "-" * 60]
+    for line in lines:
+        mark = "OK " if line.holds else "FAIL"
+        out.append(f"[{mark}] {line.experiment_id:8s} {line.claim}")
+    passed = sum(1 for line in lines if line.holds)
+    out.append("-" * 60)
+    out.append(f"{passed}/{len(lines)} claims hold")
+    return "\n".join(out)

@@ -1,0 +1,35 @@
+"""Aggregate statistics used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+
+def gmean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for normalized slowdowns)."""
+    values = list(values)
+    if not values:
+        raise ValueError("gmean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("gmean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def overhead_pct(slowdown: float) -> float:
+    """A normalized slowdown expressed as percent overhead."""
+    return 100.0 * (slowdown - 1.0)
+
+
+def suite_means(per_app: Mapping[str, float],
+                suites: Mapping[str, str]) -> dict[str, float]:
+    """Geometric mean per benchmark suite.
+
+    ``per_app`` maps application name to slowdown; ``suites`` maps
+    application name to its suite.
+    """
+    grouped: dict[str, list[float]] = defaultdict(list)
+    for app, value in per_app.items():
+        grouped[suites[app]].append(value)
+    return {suite: gmean(values) for suite, values in grouped.items()}

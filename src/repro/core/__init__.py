@@ -1,0 +1,39 @@
+"""PPA's contribution: store-integrity structures, checkpointing, recovery."""
+
+from repro.core.csq import CommittedStoreQueue
+from repro.core.iobuffer import BatteryBackedIoBuffer
+from repro.core.region import RegionTracker
+from repro.core.checkpoint import (
+    CheckpointImage,
+    CheckpointPlan,
+    ControllerState,
+    JitCheckpointController,
+    structure_sizes,
+)
+from repro.core.recovery import (
+    RecoveryBudget,
+    RecoveryResult,
+    recover,
+    recovery_budget,
+)
+from repro.core.storage import deserialize, serialize
+from repro.core.processor import CrashState, PersistentProcessor
+
+__all__ = [
+    "BatteryBackedIoBuffer",
+    "CheckpointImage",
+    "CheckpointPlan",
+    "CommittedStoreQueue",
+    "ControllerState",
+    "CrashState",
+    "JitCheckpointController",
+    "PersistentProcessor",
+    "RecoveryBudget",
+    "RecoveryResult",
+    "RegionTracker",
+    "deserialize",
+    "recover",
+    "recovery_budget",
+    "serialize",
+    "structure_sizes",
+]

@@ -1,0 +1,54 @@
+"""The Committed Store Queue (CSQ), Section 4.4.
+
+A circular FIFO of ``(source physical register index, destination physical
+address)`` pairs, one per committed store of the current region. The CSQ is
+JIT-checkpointed on power failure so the stores can be replayed, and it is
+cleared at every region boundary once the region's stores are durable.
+
+A full CSQ acts as an implicit region boundary (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.pipeline.stats import StoreRecord
+
+
+class CommittedStoreQueue:
+    """Bounded FIFO of committed-store records for the current region."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("CSQ needs at least one entry")
+        self.entries = entries
+        self._fifo: deque[StoreRecord] = deque()
+        self.total_pushed = 0
+        self.overflow_boundaries = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._fifo) >= self.entries
+
+    def push(self, record: StoreRecord) -> None:
+        """Insert at the rear; the caller must drain on overflow first."""
+        if self.is_full:
+            raise OverflowError("CSQ full; a region boundary was required")
+        self._fifo.append(record)
+        self.total_pushed += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._fifo))
+
+    def clear(self) -> list[StoreRecord]:
+        """Region boundary: empty the queue, returning the drained entries
+        in FIFO (program) order."""
+        drained = list(self._fifo)
+        self._fifo.clear()
+        return drained
+
+    def snapshot(self) -> list[StoreRecord]:
+        """Front-to-rear contents, as a JIT checkpoint would save them."""
+        return list(self._fifo)

@@ -1,0 +1,99 @@
+"""Power-failure recovery protocol (Section 4.6).
+
+In the wake of a power failure PPA:
+
+1. restores MaskReg, CRT, LCPC, CSQ, and the checkpointed registers,
+2. replays the CSQ stores front-to-rear, writing each store's register
+   value to its destination address in NVM (idempotent, so stores that had
+   already persisted are harmless),
+3. rebuilds the RAT from the restored CRT, and
+4. resumes execution at the instruction after LCPC.
+
+The functions here operate on the functional NVM image produced by the
+failure injector and return enough state for the consistency checker to
+compare against a crash-free reference execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.core.checkpoint import CheckpointImage, ENTRY_BYTES, PREG_BYTES
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of running the recovery protocol once."""
+
+    nvm_image: dict[int, int]
+    resume_pc: int
+    restored_rat_int: list[int]
+    restored_rat_fp: list[int]
+    replayed: int = 0
+    replay_log: list[tuple[int, int]] = field(default_factory=list)
+
+
+def recover(image: CheckpointImage,
+            nvm_image: dict[int, int]) -> RecoveryResult:
+    """Apply the recovery protocol to a post-failure NVM image.
+
+    ``nvm_image`` is mutated in place (it *is* the NVM) and also returned.
+    """
+    replay_log: list[tuple[int, int]] = []
+    for record in image.csq:
+        key = (record.data_cls, record.data_preg)
+        if key not in image.preg_values:
+            raise KeyError(
+                f"CSQ names physical register {key} but the checkpoint did "
+                "not save it — store integrity was violated")
+        value = image.preg_values[key]
+        nvm_image[record.addr] = value
+        replay_log.append((record.addr, value))
+    return RecoveryResult(
+        nvm_image=nvm_image,
+        resume_pc=image.lcpc + 1,
+        restored_rat_int=list(image.crt_int),
+        restored_rat_fp=list(image.crt_fp),
+        replayed=len(replay_log),
+        replay_log=replay_log,
+    )
+
+
+@dataclass(frozen=True)
+class RecoveryBudget:
+    """Wake-up latency of the recovery protocol (the mirror image of the
+    Section 7.13 checkpoint budget)."""
+
+    restore_bytes: int
+    restore_ns: float       # reload the checkpointed structures from NVM
+    replay_writes: int
+    replay_ns: float        # re-execute the CSQ stores into NVM
+    total_us: float
+
+
+def recovery_budget(image: CheckpointImage,
+                    config: SystemConfig) -> RecoveryBudget:
+    """Time to restore state and replay the CSQ after power returns.
+
+    Restore streams the checkpointed bytes back at the NVM read bandwidth;
+    replay issues one line write per CSQ entry at the write bandwidth plus
+    one media write latency to drain.
+    """
+    nvm = config.memory.nvm
+    arch_regs = config.core.int_arch_regs + config.core.fp_arch_regs
+    restore_bytes = (len(image.csq) * ENTRY_BYTES
+                     + len(image.preg_values) * PREG_BYTES
+                     + arch_regs * 2            # CRT, packed
+                     + ENTRY_BYTES)             # LCPC
+    restore_ns = restore_bytes / nvm.read_bandwidth_gbs
+    replay_writes = len(image.csq)
+    replay_ns = (replay_writes * 64 / nvm.write_bandwidth_gbs
+                 + (nvm.write_latency_ns if replay_writes else 0.0))
+    return RecoveryBudget(
+        restore_bytes=restore_bytes,
+        restore_ns=restore_ns,
+        replay_writes=replay_writes,
+        replay_ns=replay_ns,
+        total_us=(restore_ns + replay_ns) / 1e3,
+    )

@@ -1,0 +1,59 @@
+"""Region (epoch) accounting shared by PPA and the compiler-based schemes.
+
+A region is the unit of persistence: all of its stores must be durable
+before the next region's instructions may commit past the boundary. The
+tracker records, per region, its instruction/store population and the stall
+spent waiting for the persist counter — the raw material of Figures 11, 13,
+and 17.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.stats import RegionRecord
+
+
+class RegionTracker:
+    """Builds the list of :class:`RegionRecord` for one core run."""
+
+    def __init__(self, records_out: list[RegionRecord]) -> None:
+        self._out = records_out
+        self.region_id = 0
+        self.start_seq = 0
+        self.store_count = 0
+        # Drain (close) time of every region, indexed by region id; used by
+        # the failure injector to reconstruct the CSQ at an arbitrary cycle.
+        self.close_times: list[float] = []
+
+    def note_store(self) -> None:
+        self.store_count += 1
+
+    def close(self, end_seq: int, boundary_time: float, drain_time: float,
+              cause: str) -> RegionRecord:
+        """Finish the current region and open the next one.
+
+        ``boundary_time`` is when the boundary was reached; ``drain_time``
+        is when the persist counter hit zero (``>= boundary_time``).
+        """
+        if drain_time < boundary_time:
+            raise ValueError("drain cannot precede the boundary")
+        record = RegionRecord(
+            region_id=self.region_id,
+            start_seq=self.start_seq,
+            end_seq=end_seq,
+            store_count=self.store_count,
+            boundary_time=boundary_time,
+            drain_wait=drain_time - boundary_time,
+            cause=cause,
+        )
+        self._out.append(record)
+        self.close_times.append(drain_time)
+        self.region_id += 1
+        self.start_seq = end_seq
+        self.store_count = 0
+        return record
+
+    def close_time_of(self, region_id: int) -> float:
+        """Drain time of a closed region; +inf for the still-open one."""
+        if region_id < len(self.close_times):
+            return self.close_times[region_id]
+        return float("inf")

@@ -1,0 +1,201 @@
+"""Binary serialization of the JIT checkpoint — the NVM storage layout.
+
+Section 4.5: the controller streams PPA's five structures over the
+non-temporal path at an 8-byte granularity into a designated checkpoint
+area in NVM. This module implements that layout concretely so the
+checkpoint really is a flat byte image whose size matches the paper's
+budget (1838 B worst case for the default configuration):
+
+========== ======================= =======================================
+offset      field                   encoding
+========== ======================= =======================================
+0           header                  magic, version, counts (one 8 B word
+                                    packed: 16-bit magic, 8-bit version,
+                                    16-bit CSQ length, 16-bit arch regs,
+                                    8-bit flags)
+8           LCPC                    8 B little-endian
+16          CSQ entries             n × 8 B (16-bit class+index, 48-bit
+                                    physical address)
+...         CRT                     (int+fp) entries × 9 bits, packed
+...         MaskReg                 PRF bits banked to 64-bit words
+...         PRF values              one 16 B slot per saved register,
+                                    ordered by (class, index)
+========== ======================= =======================================
+
+The variable-length regions are padded to 8 B so the FSM's one-word-per-
+cycle walk lines up. ``serialize``/``deserialize`` round-trip exactly, and
+the worst-case size equals :func:`repro.core.checkpoint.structure_sizes`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.config import SystemConfig
+from repro.core.checkpoint import CheckpointImage, ENTRY_BYTES, PREG_BYTES
+from repro.pipeline.stats import StoreRecord
+
+MAGIC = 0x99A1          # "PPA1"
+VERSION = 1
+_ADDR_MASK = (1 << 48) - 1
+
+
+def _pad8(blob: bytearray) -> None:
+    while len(blob) % ENTRY_BYTES:
+        blob.append(0)
+
+
+def _pack_crt(crt_int: list[int], crt_fp: list[int]) -> bytes:
+    """CRT entries as a packed 9-bit-per-entry bitstream (Section 7.13)."""
+    bits = 0
+    count = 0
+    for preg in crt_int + crt_fp:
+        if not 0 <= preg < 512:
+            raise ValueError(f"CRT entry {preg} exceeds 9 bits")
+        bits |= preg << (9 * count)
+        count += 1
+    return bits.to_bytes((9 * count + 7) // 8, "little")
+
+
+def _unpack_crt(blob: bytes, int_count: int, fp_count: int
+                ) -> tuple[list[int], list[int]]:
+    bits = int.from_bytes(blob, "little")
+    entries = []
+    for index in range(int_count + fp_count):
+        entries.append((bits >> (9 * index)) & 0x1FF)
+    return entries[:int_count], entries[int_count:]
+
+
+def _pack_mask(masked_int: frozenset[int], masked_fp: frozenset[int],
+               int_size: int, prf_bits: int) -> bytes:
+    bits = 0
+    for preg in masked_int:
+        if not 0 <= preg < int_size:
+            raise ValueError(f"int preg {preg} outside the {int_size}-entry "
+                             "integer PRF")
+        bits |= 1 << preg
+    for preg in masked_fp:
+        if not 0 <= preg < prf_bits - int_size:
+            raise ValueError(f"fp preg {preg} outside the "
+                             f"{prf_bits - int_size}-entry FP PRF")
+        bits |= 1 << (int_size + preg)
+    banked_bits = ((prf_bits + 63) // 64) * 64
+    return bits.to_bytes(banked_bits // 8, "little")
+
+
+def _unpack_mask(blob: bytes, int_size: int
+                 ) -> tuple[frozenset[int], frozenset[int]]:
+    bits = int.from_bytes(blob, "little")
+    masked_int, masked_fp = set(), set()
+    index = 0
+    while bits >> index:
+        if (bits >> index) & 1:
+            if index < int_size:
+                masked_int.add(index)
+            else:
+                masked_fp.add(index - int_size)
+        index += 1
+    return frozenset(masked_int), frozenset(masked_fp)
+
+
+def serialize(image: CheckpointImage, config: SystemConfig) -> bytes:
+    """Encode a checkpoint image as its flat NVM byte layout."""
+    core = config.core
+    blob = bytearray()
+    arch_regs = core.int_arch_regs + core.fp_arch_regs
+    flags = 0
+    blob += struct.pack("<HBHHB", MAGIC, VERSION, len(image.csq),
+                        arch_regs, flags)
+    _pad8(blob)
+    blob += struct.pack("<Q", image.lcpc & ((1 << 64) - 1))
+    for record in image.csq:
+        key = (record.data_cls << 15) | (record.data_preg & 0x1FF)
+        word = (key << 48) | (record.addr & _ADDR_MASK)
+        blob += struct.pack("<Q", word)
+    crt = _pack_crt(image.crt_int, image.crt_fp)
+    blob += crt
+    _pad8(blob)
+    blob += _pack_mask(image.masked_int, image.masked_fp,
+                       core.int_prf_size,
+                       core.int_prf_size + core.fp_prf_size)
+    _pad8(blob)
+    for (cls, preg) in sorted(image.preg_values):
+        value = image.preg_values[(cls, preg)]
+        blob += struct.pack("<QQ", value & ((1 << 64) - 1),
+                            (cls << 16) | preg)
+    _pad8(blob)
+    return bytes(blob)
+
+
+def deserialize(blob: bytes, config: SystemConfig) -> CheckpointImage:
+    """Decode a checkpoint image from its NVM byte layout."""
+    core = config.core
+    magic, version, csq_len, arch_regs, __ = struct.unpack_from(
+        "<HBHHB", blob, 0)
+    if magic != MAGIC:
+        raise ValueError(f"bad checkpoint magic {magic:#x}")
+    if version != VERSION:
+        raise ValueError(f"unsupported checkpoint version {version}")
+    if arch_regs != core.int_arch_regs + core.fp_arch_regs:
+        raise ValueError("checkpoint was taken on a different core config")
+    offset = ENTRY_BYTES
+    (lcpc,) = struct.unpack_from("<Q", blob, offset)
+    offset += ENTRY_BYTES
+
+    csq: list[StoreRecord] = []
+    for __ in range(csq_len):
+        (word,) = struct.unpack_from("<Q", blob, offset)
+        offset += ENTRY_BYTES
+        key = word >> 48
+        csq.append(StoreRecord(
+            seq=-1, pc=0, addr=word & _ADDR_MASK,
+            line_addr=(word & _ADDR_MASK) & ~0x3F, value=0,
+            data_preg=key & 0x1FF, data_cls=key >> 15,
+            commit_time=0.0, region_id=-1))
+
+    crt_bytes = (9 * arch_regs + 7) // 8
+    crt_int, crt_fp = _unpack_crt(
+        blob[offset:offset + crt_bytes], core.int_arch_regs,
+        core.fp_arch_regs)
+    offset += crt_bytes
+    offset += (-offset) % ENTRY_BYTES
+
+    prf_bits = core.int_prf_size + core.fp_prf_size
+    mask_bytes = (((prf_bits + 63) // 64) * 64) // 8
+    masked_int, masked_fp = _unpack_mask(
+        blob[offset:offset + mask_bytes], core.int_prf_size)
+    offset += mask_bytes
+    offset += (-offset) % ENTRY_BYTES
+
+    preg_values: dict[tuple[int, int], int] = {}
+    while offset + PREG_BYTES <= len(blob):
+        value, key = struct.unpack_from("<QQ", blob, offset)
+        offset += PREG_BYTES
+        if key == 0 and value == 0 and not (len(blob) - offset):
+            break
+        preg_values[(key >> 16, key & 0xFFFF)] = value
+
+    return CheckpointImage(
+        fail_time=0.0, lcpc=lcpc, csq=csq,
+        crt_int=crt_int, crt_fp=crt_fp,
+        masked_int=masked_int, masked_fp=masked_fp,
+        preg_values=preg_values,
+    )
+
+
+def worst_case_size(config: SystemConfig) -> int:
+    """Upper bound of the serialized layout: header + the paper's five
+    structures at their configured maxima."""
+    core = config.core
+    arch_regs = core.int_arch_regs + core.fp_arch_regs
+    prf_bits = core.int_prf_size + core.fp_prf_size
+    crt_bytes = (9 * arch_regs + 7) // 8
+    crt_padded = crt_bytes + (-crt_bytes) % ENTRY_BYTES
+    mask_bytes = (((prf_bits + 63) // 64) * 64) // 8
+    regs = config.ppa.csq_entries + arch_regs
+    return (ENTRY_BYTES                      # header
+            + ENTRY_BYTES                    # LCPC
+            + config.ppa.csq_entries * ENTRY_BYTES
+            + crt_padded
+            + mask_bytes
+            + regs * PREG_BYTES)

@@ -1,0 +1,13 @@
+"""Energy-harvesting / intermittent-computing scenarios (Section 2.3).
+
+Store integrity was born in energy-harvesting systems, where power arrives
+in bursts and whole-system persistence is the norm. This package replays a
+PPA run under episodic power to measure forward progress.
+"""
+
+from repro.ehs.intermittent import (
+    IntermittentOutcome,
+    IntermittentScenario,
+)
+
+__all__ = ["IntermittentOutcome", "IntermittentScenario"]

@@ -1,0 +1,67 @@
+"""Experiment descriptors: paper expectation vs. measured reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    # Column names followed by one list per row.
+    columns: list[str]
+    rows: list[list[Any]]
+    summary: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form of the result."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "summary": dict(self.summary),
+            "notes": self.notes,
+        }
+
+    def to_text(self) -> str:
+        """Render an ASCII table of the result."""
+        widths = [len(c) for c in self.columns]
+        rendered_rows = []
+        for row in self.rows:
+            rendered = [
+                f"{v:.3f}" if isinstance(v, float) else str(v) for v in row]
+            rendered_rows.append(rendered)
+            widths = [max(w, len(c)) for w, c in zip(widths, rendered)]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for rendered in rendered_rows:
+            lines.append(
+                "  ".join(c.ljust(w) for c, w in zip(rendered, widths)))
+        if self.summary:
+            parts = ", ".join(
+                f"{k}={v:.4f}" for k, v in sorted(self.summary.items()))
+            lines.append(f"summary: {parts}")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible figure or table from the paper."""
+
+    experiment_id: str        # e.g. "fig8"
+    title: str
+    paper_claim: str          # what the paper reports
+    run: Callable[..., ExperimentResult]
+
+    def __call__(self, **kwargs) -> ExperimentResult:
+        return self.run(**kwargs)

@@ -1,0 +1,172 @@
+"""Extension experiments beyond the paper's evaluation section.
+
+* ``ext-psp`` — the full persistence landscape on one chart: PPA against
+  the *ideal* PSP bound of Figure 10 (eADR/BBB) **and** against software
+  PSP (undo/redo logging transactions, Section 2.2's argument).
+* ``ext-region-length`` — sweep the compiler-formed region length of a
+  Capri-style scheme from ReplayCache's 12 toward PPA's dynamic lengths:
+  region length is the first-order determinant of WSP cost, which is the
+  paper's central quantitative claim.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import gmean
+from repro.config import skylake_default
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.runner import run_app
+from repro.memory.hierarchy import MemorySystem
+from repro.persistence.capri import CapriPolicy
+from repro.pipeline.core import OoOCore
+from repro.workloads.profiles import profile_by_name
+from repro.workloads.synthetic import TraceGenerator
+
+PSP_APPS = ("gcc", "mcf", "rb", "lulesh", "tatp")
+SWEEP_APPS = ("gcc", "rb", "water-ns")
+
+
+def run_ext_psp(apps=PSP_APPS, length: int = 8_000) -> ExperimentResult:
+    schemes = ("ppa", "eadr", "psp-undolog", "psp-redolog")
+    rows = []
+    per_scheme: dict[str, list[float]] = {s: [] for s in schemes}
+    for app in apps:
+        base = run_app(app, "baseline", length=length)
+        row = [app]
+        for scheme in schemes:
+            ratio = run_app(app, scheme, length=length).cycles / base.cycles
+            per_scheme[scheme].append(ratio)
+            row.append(ratio)
+        rows.append(row)
+    summary = {f"gmean_{s}": gmean(per_scheme[s]) for s in schemes}
+    return ExperimentResult(
+        experiment_id="ext-psp",
+        title="PPA vs ideal PSP vs software PSP (undo/redo logging)",
+        columns=["app", "ppa", "eadr (ideal)", "undo-log", "redo-log"],
+        rows=rows,
+        summary=summary,
+        notes="Section 2.2: software persistence barriers make PSP far "
+              "slower than even the ideal eADR bound; PPA keeps the DRAM "
+              "cache and pays low single digits",
+    )
+
+
+def run_ext_region_length(apps=SWEEP_APPS, length: int = 8_000,
+                          region_lengths=(12, 29, 60, 120, 300)
+                          ) -> ExperimentResult:
+    """Capri-style scheme with increasingly long compiler regions."""
+    config = skylake_default()
+    rows = []
+    summary = {}
+    for mean_length in region_lengths:
+        ratios = []
+        for app in apps:
+            base = run_app(app, "baseline", length=length)
+            profile = profile_by_name(app)
+            generator = TraceGenerator(profile, seed=0)
+            memory = MemorySystem(config.memory)
+            from repro.experiments.runner import _declare_steady_state
+            _declare_steady_state(memory, generator)
+            memory.prewarm_extents(generator.region_extents())
+            trace = generator.generate(length)
+            core = OoOCore(config,
+                           CapriPolicy(mean_region_length=mean_length),
+                           memory=memory, track_values=False)
+            stats = core.run(trace)
+            ratios.append(stats.cycles / base.cycles)
+        mean = gmean(ratios)
+        rows.append([mean_length, mean])
+        summary[f"gmean_len{mean_length}"] = mean
+    return ExperimentResult(
+        experiment_id="ext-region-length",
+        title="Compiler-region length vs WSP overhead (Capri-style)",
+        columns=["mean_region_length", "gmean_slowdown"],
+        rows=rows,
+        summary=summary,
+        notes="longer regions amortize the per-boundary seal; PPA's "
+              "dynamic regions (hundreds of instructions) sit past the "
+              "knee — the paper's 11x-shorter-regions explanation for "
+              "Capri's 26%",
+    )
+
+
+def run_ext_sbgate(apps=SWEEP_APPS, length: int = 8_000
+                   ) -> ExperimentResult:
+    """Section 6's rejected alternative: gate stores in the store buffer
+    until durable instead of preserving their registers."""
+    rows = []
+    gate_ratios, ppa_ratios = [], []
+    for app in apps:
+        base = run_app(app, "baseline", length=length)
+        gate = run_app(app, "sb-gate", length=length)
+        ppa = run_app(app, "ppa", length=length)
+        rows.append([app, ppa.cycles / base.cycles,
+                     gate.cycles / base.cycles])
+        ppa_ratios.append(ppa.cycles / base.cycles)
+        gate_ratios.append(gate.cycles / base.cycles)
+    return ExperimentResult(
+        experiment_id="ext-sbgate",
+        title="Store-buffer gating vs PPA's register preservation",
+        columns=["app", "ppa", "sb-gate"],
+        rows=rows,
+        summary={"gmean_ppa": gmean(ppa_ratios),
+                 "gmean_sbgate": gmean(gate_ratios)},
+        notes="Section 6: the SB is small and CAM-expensive; holding "
+              "retired stores there until durability throttles the "
+              "pipeline — PPA's PRF-based preservation avoids it",
+    )
+
+
+def run_ext_inorder(apps=("gcc", "rb", "xsbench"),
+                    length: int = 6_000) -> ExperimentResult:
+    """Section 6's in-order extension: value-CSQ persistence overhead on a
+    simple in-order core (no MaskReg, values ride in the CSQ)."""
+    from repro.inorder.core import InOrderCore
+
+    config = skylake_default()
+    rows = []
+    ratios = []
+    for app in apps:
+        profile = profile_by_name(app)
+
+        def run(persistent: bool) -> float:
+            generator = TraceGenerator(profile, seed=0)
+            memory = MemorySystem(config.memory)
+            from repro.experiments.runner import _declare_steady_state
+            _declare_steady_state(memory, generator)
+            memory.prewarm_extents(generator.region_extents())
+            trace = generator.generate(length)
+            core = InOrderCore(config, memory=memory,
+                               persistent=persistent)
+            return core.run(trace).cycles
+
+        ratio = run(True) / run(False)
+        rows.append([app, ratio])
+        ratios.append(ratio)
+    return ExperimentResult(
+        experiment_id="ext-inorder",
+        title="Value-CSQ persistence on an in-order core",
+        columns=["app", "slowdown"],
+        rows=rows,
+        summary={"gmean": gmean(ratios)},
+        notes="Section 6: the design extends to in-order cores by storing "
+              "data values in the CSQ (wider entries, no MaskReg); the "
+              "overhead stays small because the same asynchronous "
+              "persistence applies",
+    )
+
+
+for _experiment in (
+    Experiment("ext-inorder", "In-order value-CSQ extension",
+               "small overhead on in-order cores", run_ext_inorder),
+    Experiment("ext-psp", "Software vs ideal PSP vs PPA",
+               "software PSP is far slower than the ideal bound",
+               run_ext_psp),
+    Experiment("ext-region-length", "Region-length sweep",
+               "overhead falls as compiler regions lengthen",
+               run_ext_region_length),
+    Experiment("ext-sbgate", "Store-buffer gating alternative",
+               "gating stores in the SB is far costlier than PPA",
+               run_ext_sbgate),
+):
+    register(_experiment)

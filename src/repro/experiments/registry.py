@@ -1,0 +1,46 @@
+"""Registry mapping experiment ids (fig8, tab4, ...) to runnable experiments.
+
+Experiment modules register themselves at import; importing this module
+pulls them all in.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (one per id)."""
+    if experiment.experiment_id in _REGISTRY:
+        raise ValueError(f"duplicate experiment {experiment.experiment_id}")
+    _REGISTRY[experiment.experiment_id] = experiment
+    return experiment
+
+
+def _load_all() -> None:
+    # Imported for their registration side effects.
+    from repro.experiments import (  # noqa: F401
+        ablations,
+        extensions,
+        figures,
+        tables,
+    )
+
+
+def all_experiments() -> dict[str, Experiment]:
+    """Every registered experiment, keyed by id."""
+    _load_all()
+    return dict(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look one experiment up by id (e.g. ``"fig8"``)."""
+    _load_all()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(_REGISTRY)}") from None

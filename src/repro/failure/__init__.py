@@ -1,0 +1,17 @@
+"""Power-failure injection and crash-consistency verification."""
+
+from repro.failure.injector import PowerFailureInjector
+from repro.failure.consistency import (
+    ConsistencyReport,
+    reference_image,
+    verify_recovery,
+    verify_resumption,
+)
+
+__all__ = [
+    "ConsistencyReport",
+    "PowerFailureInjector",
+    "reference_image",
+    "verify_recovery",
+    "verify_resumption",
+]

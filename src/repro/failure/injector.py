@@ -1,0 +1,80 @@
+"""Power-failure injection against a finished PPA run.
+
+The timing model records, for every persist operation, when it became
+durable (WPQ admission — the ADR persistence domain), and for every store,
+its commit time and region. That is enough to reconstruct, for an arbitrary
+failure cycle ``T``:
+
+* the NVM image — every persist op durable by ``T``, applied in durability
+  order with its functional line payload;
+* the CSQ — the committed stores of the region still open at ``T``
+  (a region's CSQ is only cleared once its persist counter reaches zero);
+* the last committed instruction (LCPC) — via the per-instruction commit
+  times.
+
+Injection is therefore exact replay-from-logs rather than re-simulation,
+which lets property-based tests probe thousands of failure points cheaply.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.memory.writebuffer import PersistOp
+from repro.pipeline.stats import CoreStats, StoreRecord
+
+
+class PowerFailureInjector:
+    """Reconstructs crash-time machine state from a run's logs."""
+
+    def __init__(self, stats: CoreStats, persist_log: list[PersistOp]) -> None:
+        self.stats = stats
+        self.persist_log = sorted(
+            (op for op in persist_log if op.submitted),
+            key=lambda op: op.durable_at)
+        self._region_close = {
+            r.region_id: r.boundary_time + r.drain_wait
+            for r in stats.regions
+        }
+
+    def nvm_image_at(self, fail_time: float) -> dict[int, int]:
+        """Persistence-domain contents at the moment of power loss.
+
+        A write is durable if its covering line op was admitted to the WPQ
+        by ``fail_time`` and the write itself had merged by then (a younger
+        store can merge into an already-admitted entry and become durable
+        immediately). Writes apply in durability order.
+        """
+        durable: list[tuple[float, int, int, int]] = []
+        order = 0
+        for op in self.persist_log:
+            if op.durable_at > fail_time:
+                break
+            for durable_time, addr, value in op.writes:
+                if durable_time <= fail_time:
+                    durable.append((durable_time, order, addr, value))
+                    order += 1
+        durable.sort()
+        image: dict[int, int] = {}
+        for __, __, addr, value in durable:
+            image[addr] = value
+        return image
+
+    def csq_at(self, fail_time: float) -> list[StoreRecord]:
+        """The CSQ contents (front to rear) at the moment of power loss."""
+        return [
+            s for s in self.stats.stores
+            if s.commit_time <= fail_time
+            and self._region_close.get(s.region_id, float("inf")) > fail_time
+        ]
+
+    def last_committed_seq(self, fail_time: float) -> int:
+        """Index of the last committed instruction, or -1 if none."""
+        return bisect_right(self.stats.commit_times, fail_time) - 1
+
+    def unpersisted_committed_stores(self, fail_time: float) -> int:
+        """Committed stores whose data had not reached the persistence
+        domain at ``fail_time`` — the crash-inconsistency window."""
+        return sum(
+            1 for s in self.stats.stores
+            if s.commit_time <= fail_time and s.durable_at > fail_time)

@@ -1,0 +1,39 @@
+"""Hardware cost and energy models (Sections 7.12 and 7.13)."""
+
+from repro.hwcost.cacti import (
+    CORE_AREA_MM2,
+    StructureCost,
+    csq_cost,
+    lcpc_cost,
+    maskreg_cost,
+    ppa_area_fraction,
+    register_structure_cost,
+)
+from repro.hwcost.energy import (
+    EnergyBudget,
+    capri_energy,
+    flush_energy_uj,
+    li_thin_volume_mm3,
+    lightpc_energy,
+    ppa_energy,
+    supercap_volume_mm3,
+    wsp_energy_table,
+)
+
+__all__ = [
+    "CORE_AREA_MM2",
+    "EnergyBudget",
+    "StructureCost",
+    "capri_energy",
+    "csq_cost",
+    "flush_energy_uj",
+    "lcpc_cost",
+    "li_thin_volume_mm3",
+    "lightpc_energy",
+    "maskreg_cost",
+    "ppa_area_fraction",
+    "ppa_energy",
+    "register_structure_cost",
+    "supercap_volume_mm3",
+    "wsp_energy_table",
+]

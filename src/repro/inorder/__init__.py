@@ -1,0 +1,14 @@
+"""In-order core support (Section 6, "In-Order Cores and ROB-Style
+Register Renaming")."""
+
+from repro.inorder.core import InOrderCore, InOrderStats
+from repro.inorder.value_csq import ValueCsq, ValueCsqEntry
+from repro.inorder.processor import InOrderPersistentProcessor
+
+__all__ = [
+    "InOrderCore",
+    "InOrderPersistentProcessor",
+    "InOrderStats",
+    "ValueCsq",
+    "ValueCsqEntry",
+]

@@ -1,0 +1,184 @@
+"""A simple in-order core model with value-CSQ whole-system persistence.
+
+The pipeline issues at most ``width`` instructions per cycle, strictly in
+order: an instruction stalls at issue until its sources are ready, and
+everything younger stalls behind it. Memory operations use the same
+hierarchy models as the out-of-order core.
+
+Persistence follows Section 6's in-order recipe: every committed store's
+(address, value) enters the :class:`ValueCsq` and its line is persisted
+asynchronously through the write buffer; a full CSQ or a SYNC is a region
+boundary that waits for the persist counter; no MaskReg or register
+preservation is needed because the CSQ carries the data itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.isa.instructions import Opcode, RegClass
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.writebuffer import WriteBuffer
+from repro.pipeline.resources import BandwidthLimiter
+from repro.pipeline.stats import RegionRecord
+from repro.inorder.value_csq import ValueCsq, ValueCsqEntry
+
+_SYNC_LATENCY = 20
+_VALUE_MASK = (1 << 64) - 1
+
+
+@dataclass
+class InOrderStats:
+    """Outcome of one in-order run."""
+
+    name: str = ""
+    instructions: int = 0
+    cycles: float = 0.0
+    regions: list[RegionRecord] = field(default_factory=list)
+    entries: list[ValueCsqEntry] = field(default_factory=list)
+    commit_times: list[float] = field(default_factory=list)
+    nvm_line_writes: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def region_end_stall_cycles(self) -> float:
+        return sum(r.drain_wait for r in self.regions)
+
+
+class InOrderCore:
+    """Scalar/in-order timing model with value-CSQ persistence."""
+
+    def __init__(self, config: SystemConfig,
+                 memory: MemorySystem | None = None,
+                 persistent: bool = True) -> None:
+        self.config = config
+        self.mem = memory if memory is not None else MemorySystem(
+            config.memory)
+        self.wb = WriteBuffer(config.ppa.writebuffer_entries, self.mem.nvm,
+                              coalescing=config.ppa.persist_coalescing)
+        self.csq = ValueCsq(config.ppa.csq_entries)
+        self.persistent = persistent
+        self.issue_bw = BandwidthLimiter(config.core.width, "issue")
+        core = config.core
+        self._latency = {
+            Opcode.INT_ALU: core.lat_int_alu,
+            Opcode.INT_MUL: core.lat_int_mul,
+            Opcode.INT_DIV: core.lat_int_div,
+            Opcode.FP_ALU: core.lat_fp_alu,
+            Opcode.FP_MUL: core.lat_fp_mul,
+            Opcode.FP_DIV: core.lat_fp_div,
+            Opcode.BRANCH: core.lat_branch,
+            Opcode.CMP: core.lat_int_alu,
+        }
+        # Architectural register ready-times and values (no renaming).
+        self._ready = {
+            RegClass.INT: [0.0] * core.int_arch_regs,
+            RegClass.FP: [0.0] * core.fp_arch_regs,
+        }
+        self._values = {
+            RegClass.INT: [0] * core.int_arch_regs,
+            RegClass.FP: [0] * core.fp_arch_regs,
+        }
+        self._functional_mem: dict[int, int] = {}
+        self._region_start = 0
+        self._region_stores = 0
+        self._region_id = 0
+
+    def _value_of(self, reg) -> int:
+        return self._values[reg.cls][reg.index]
+
+    def _close_region(self, end_seq: int, boundary: float, cause: str,
+                      stats: InOrderStats) -> float:
+        drain = self.wb.region_drain_time(boundary)
+        self.wb.reset_region()
+        self.csq.clear()
+        stats.regions.append(RegionRecord(
+            region_id=self._region_id, start_seq=self._region_start,
+            end_seq=end_seq, store_count=self._region_stores,
+            boundary_time=boundary, drain_wait=drain - boundary,
+            cause=cause))
+        self._region_id += 1
+        self._region_start = end_seq
+        self._region_stores = 0
+        return drain
+
+    def run(self, trace: Trace) -> InOrderStats:
+        """Execute the trace in order; returns statistics + store log."""
+        stats = InOrderStats(name=trace.name)
+        time = 0.0
+        last_commit = 0.0
+        penalty = self.config.core.branch_mispredict_penalty
+        for seq, instr in enumerate(trace):
+            ready = time
+            for src in instr.srcs:
+                ready = max(ready, self._ready[src.cls][src.index])
+            issue = self.issue_bw.take(ready)
+
+            opcode = instr.opcode
+            if opcode is Opcode.LOAD:
+                result = self.mem.load(instr.line_addr, issue)
+                complete = issue + 1 + result.latency
+                value = self._functional_mem.get(instr.addr, 0)
+            elif opcode is Opcode.STORE:
+                complete = issue + 1
+                value = self._value_of(instr.data_reg)
+            elif opcode is Opcode.SYNC:
+                complete = issue + _SYNC_LATENCY
+                value = 0
+            else:
+                complete = issue + self._latency[opcode]
+                value = 0
+                if instr.dest is not None:
+                    acc = (instr.pc * 0x9E3779B97F4A7C15) & _VALUE_MASK
+                    for src in instr.srcs:
+                        acc = (acc ^ self._value_of(src)) \
+                            * 0x100000001B3 & _VALUE_MASK
+                    value = acc
+
+            if instr.dest is not None:
+                self._ready[instr.dest.cls][instr.dest.index] = complete
+                self._values[instr.dest.cls][instr.dest.index] = value
+
+            # In-order retirement: commits never reorder.
+            commit = max(complete + 1.0, last_commit)
+            if opcode is Opcode.STORE and self.persistent:
+                if self.csq.is_full:
+                    commit = max(commit, self._close_region(
+                        seq, commit, "csq", stats) )
+                assert instr.addr is not None
+                entry = ValueCsqEntry(seq=seq, addr=instr.addr,
+                                      value=value, commit_time=commit)
+                self.csq.push(entry)
+                stats.entries.append(entry)
+                self._region_stores += 1
+                merge = self.mem.store_merge(instr.line_addr, commit)
+                self.wb.persist_store(instr.line_addr, merge,
+                                      addr=instr.addr, value=value)
+            elif opcode is Opcode.STORE:
+                assert instr.addr is not None
+                self.mem.store_merge(instr.line_addr, commit)
+            if opcode is Opcode.STORE:
+                self._functional_mem[instr.addr] = value
+            elif opcode is Opcode.SYNC and self.persistent:
+                commit = max(commit, self._close_region(
+                    seq + 1, commit, "sync", stats))
+
+            if instr.mispredicted:
+                time = max(time, complete + penalty)
+            else:
+                time = max(time, issue)
+            last_commit = commit
+            stats.commit_times.append(commit)
+
+        end_time = stats.commit_times[-1] if stats.commit_times else 0.0
+        if self.persistent:
+            self._close_region(len(trace), end_time, "end", stats)
+        stats.instructions = len(trace)
+        stats.cycles = end_time
+        stats.nvm_line_writes = self.mem.nvm.stats.line_writes
+        return stats

@@ -1,0 +1,116 @@
+"""Crash/recovery life cycle for the in-order value-CSQ variant.
+
+Recovery is even simpler than on the out-of-order core: the checkpointed
+CSQ already contains the data values, so power-up replays (address, value)
+pairs directly and resumes after the last committed instruction — no
+register restore is involved (Section 6).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig, skylake_default
+from repro.inorder.core import InOrderCore, InOrderStats
+from repro.inorder.value_csq import ValueCsqEntry
+from repro.isa.trace import Trace
+
+
+@dataclass
+class InOrderCrashState:
+    """What survives a power failure on the in-order core."""
+
+    fail_time: float
+    nvm_image: dict[int, int]
+    csq: list[ValueCsqEntry]
+    last_committed_seq: int
+    resume_pc: int
+
+
+@dataclass
+class InOrderRecovery:
+    nvm_image: dict[int, int]
+    replayed: int = 0
+    replay_log: list[tuple[int, int]] = field(default_factory=list)
+
+
+class InOrderPersistentProcessor:
+    """An in-order core with value-CSQ whole-system persistence."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config if config is not None else skylake_default()
+        self.core = InOrderCore(self.config, persistent=True)
+        self.stats: InOrderStats | None = None
+        self._trace: Trace | None = None
+        self._region_close: dict[int, float] = {}
+
+    def run(self, trace: Trace) -> InOrderStats:
+        self._trace = trace
+        self.stats = self.core.run(trace)
+        self._region_close = {
+            r.region_id: r.boundary_time + r.drain_wait
+            for r in self.stats.regions
+        }
+        return self.stats
+
+    def _require_run(self) -> InOrderStats:
+        if self.stats is None:
+            raise RuntimeError("run a trace before injecting failures")
+        return self.stats
+
+    def nvm_image_at(self, fail_time: float) -> dict[int, int]:
+        """Persistence-domain contents at ``fail_time`` (same rules as the
+        out-of-order injector: admitted line ops, merged writes)."""
+        durable: list[tuple[float, int, int, int]] = []
+        order = 0
+        for op in sorted(self.core.wb.log, key=lambda o: o.durable_at):
+            if op.durable_at > fail_time:
+                break
+            for durable_time, addr, value in op.writes:
+                if durable_time <= fail_time:
+                    durable.append((durable_time, order, addr, value))
+                    order += 1
+        durable.sort()
+        image: dict[int, int] = {}
+        for __, __, addr, value in durable:
+            image[addr] = value
+        return image
+
+    def _csq_at(self, fail_time: float) -> list[ValueCsqEntry]:
+        stats = self._require_run()
+        entries = []
+        region_index = 0
+        closes = [r.boundary_time + r.drain_wait for r in stats.regions]
+        ends = [r.end_seq for r in stats.regions]
+        for entry in stats.entries:
+            while region_index < len(ends) and entry.seq >= ends[region_index]:
+                region_index += 1
+            close = closes[region_index] if region_index < len(closes) \
+                else float("inf")
+            if entry.commit_time <= fail_time < close:
+                entries.append(entry)
+        return entries
+
+    def crash_at(self, fail_time: float) -> InOrderCrashState:
+        stats = self._require_run()
+        assert self._trace is not None
+        last_seq = bisect_right(stats.commit_times, fail_time) - 1
+        resume_pc = self._trace[last_seq].pc + 1 if last_seq >= 0 else 0
+        return InOrderCrashState(
+            fail_time=fail_time,
+            nvm_image=self.nvm_image_at(fail_time),
+            csq=self._csq_at(fail_time),
+            last_committed_seq=last_seq,
+            resume_pc=resume_pc,
+        )
+
+    @staticmethod
+    def recover(crash: InOrderCrashState) -> InOrderRecovery:
+        """Replay the value CSQ front-to-rear onto the surviving image."""
+        log = []
+        for entry in crash.csq:
+            crash.nvm_image[entry.addr] = entry.value
+            log.append((entry.addr, entry.value))
+        return InOrderRecovery(nvm_image=crash.nvm_image,
+                               replayed=len(log), replay_log=log)

@@ -1,0 +1,26 @@
+"""Instruction-set abstractions: opcodes, registers, and traces."""
+
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    RegClass,
+    Register,
+    int_reg,
+    fp_reg,
+)
+from repro.isa.encoding import dump_trace, dumps_trace, load_trace
+from repro.isa.trace import Trace, TraceStats
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "RegClass",
+    "Register",
+    "Trace",
+    "TraceStats",
+    "dump_trace",
+    "dumps_trace",
+    "load_trace",
+    "int_reg",
+    "fp_reg",
+]

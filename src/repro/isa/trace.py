@@ -1,0 +1,72 @@
+"""Trace containers and summary statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.isa.instructions import Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate characteristics of a trace."""
+
+    length: int
+    opcode_counts: dict[Opcode, int]
+    distinct_lines: int
+    store_fraction: float
+    load_fraction: float
+    def_fraction: float
+
+    @classmethod
+    def measure(cls, instructions: list[Instruction]) -> "TraceStats":
+        counts: Counter[Opcode] = Counter(i.opcode for i in instructions)
+        n = len(instructions)
+        lines = {i.line_addr for i in instructions if i.opcode.is_mem}
+        defs = sum(1 for i in instructions if i.dest is not None)
+        return cls(
+            length=n,
+            opcode_counts=dict(counts),
+            distinct_lines=len(lines),
+            store_fraction=counts.get(Opcode.STORE, 0) / n if n else 0.0,
+            load_fraction=counts.get(Opcode.LOAD, 0) / n if n else 0.0,
+            def_fraction=defs / n if n else 0.0,
+        )
+
+
+class Trace:
+    """A dynamic instruction stream fed to the core model.
+
+    Traces are immutable after construction; the simulator never mutates the
+    instruction objects apart from the rename-stage scratch field.
+    """
+
+    def __init__(self, instructions: Iterable[Instruction],
+                 name: str = "anonymous") -> None:
+        self.name = name
+        self._instructions: list[Instruction] = list(instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    @property
+    def instructions(self) -> list[Instruction]:
+        return self._instructions
+
+    def stats(self) -> TraceStats:
+        return TraceStats.measure(self._instructions)
+
+    def stores(self) -> list[Instruction]:
+        """All store instructions, in program order."""
+        return [i for i in self._instructions if i.opcode is Opcode.STORE]
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, {len(self)} instructions)"

@@ -1,0 +1,18 @@
+"""Memory system substrates: SRAM caches, DRAM cache, write buffer, NVM."""
+
+from repro.memory.cache import Cache, DirectMappedDramCache
+from repro.memory.nvm import MultiControllerNvm, NvmModel, NvmStats
+from repro.memory.writebuffer import PersistOp, WriteBuffer
+from repro.memory.hierarchy import AccessResult, MemorySystem
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "DirectMappedDramCache",
+    "MemorySystem",
+    "MultiControllerNvm",
+    "NvmModel",
+    "NvmStats",
+    "PersistOp",
+    "WriteBuffer",
+]

@@ -1,0 +1,147 @@
+"""The L1D write buffer driving PPA's asynchronous store persistence.
+
+When a committed store merges into the L1 data cache, the L1D controller
+immediately launches an asynchronous writeback of the dirty line toward NVM
+(Section 4.3); a counter of outstanding persists tells the core whether a
+region boundary must stall.
+
+Durability follows the ADR model: a line is durable once admitted to the
+memory controller's write-pending queue (the persistence domain); the slow
+media write behind it only occupies WPQ slots and bandwidth. Persist
+coalescing merges a younger same-line store into the older write while that
+write is still anywhere in the WB/WPQ (i.e. its media write has not
+finished) — a store merged into an already-admitted entry is durable the
+moment it merges. This matches the paper's description ("a younger store
+being persisted is merged with the old unpersisted one of the same
+address") and is what keeps PPA's NVM write traffic near one line write per
+region-unique line.
+
+Each op carries a timestamped functional payload — the (durable-time,
+address, value) writes it covers, where a write merged into an already-
+admitted entry is durable once it has traversed the persist path — so the
+failure injector can reconstruct exactly which values were durable at an
+arbitrary power-cut cycle, and the region counter waits for the last
+*store's* durability, not merely the last op admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.nvm import NvmModel
+
+
+@dataclass(slots=True)
+class PersistOp:
+    """One asynchronous line writeback from L1D toward NVM."""
+
+    line_addr: int
+    created: float
+    durable_at: float                 # WPQ admission (persistence domain)
+    done_at: float                    # media write completion
+    writes: list[tuple[float, int, int]] = field(default_factory=list)
+
+    def add_write(self, time: float, addr: int, value: int) -> None:
+        self.writes.append((time, addr, value))
+
+    @property
+    def submitted(self) -> bool:
+        return True
+
+
+class WriteBuffer:
+    """Asynchronous persist path with WPQ-lifetime coalescing."""
+
+    def __init__(self, entries: int, nvm: NvmModel,
+                 residence_cycles: int = 0, coalescing: bool = True,
+                 path_latency: int | None = None) -> None:
+        if entries <= 0:
+            raise ValueError("write buffer needs at least one entry")
+        self.entries = entries
+        self.nvm = nvm
+        self.coalescing = coalescing
+        self.path_latency = (nvm.cfg.persist_path_latency
+                             if path_latency is None else path_latency)
+        # Live op per line: coalescing candidates until their media write
+        # completes.
+        self._live: dict[int, PersistOp] = {}
+        # Ops of the current region (for the persist counter).
+        self._region_ops: list[PersistOp] = []
+        # Durability of the region's latest store (a coalesced store can
+        # become durable after its covering op was admitted).
+        self._region_store_durable = 0.0
+        self.last_store_durable = 0.0
+        self.ops_issued = 0
+        self.ops_coalesced = 0
+        self.stores_seen = 0
+        self.log: list[PersistOp] = []
+
+    def persist_store(self, line_addr: int, time: float,
+                      addr: int | None = None,
+                      value: int | None = None) -> PersistOp:
+        """Launch (or merge into) the asynchronous persist of one committed
+        store's line; returns the covering op."""
+        self.stores_seen += 1
+        op = self._live.get(line_addr) if self.coalescing else None
+        if op is not None and op.done_at > time:
+            self.ops_coalesced += 1
+        else:
+            ticket = self.nvm.write_line(time + self.path_latency,
+                                         line_addr)
+            op = PersistOp(
+                line_addr=line_addr,
+                created=time,
+                durable_at=ticket.accepted_at,
+                done_at=ticket.done_at,
+            )
+            self._live[line_addr] = op
+            self._region_ops.append(op)
+            self.ops_issued += 1
+            self.log.append(op)
+        durable = self.store_durable_at(op, time)
+        self.last_store_durable = durable
+        self._region_store_durable = max(self._region_store_durable,
+                                         durable)
+        if addr is not None:
+            op.add_write(durable, addr, value if value is not None else 0)
+        if op not in self._region_ops:
+            # A store of the new region merged into a previous region's
+            # still-draining line write; track it for this region's counter.
+            self._region_ops.append(op)
+        return op
+
+    def store_durable_at(self, op: PersistOp, merge_time: float) -> float:
+        """When a store merged at ``merge_time`` into ``op`` is durable:
+        the op's WPQ admission, or — for a store coalescing into an
+        already-admitted entry — once its data traverses the persist path."""
+        return max(op.durable_at, merge_time + self.path_latency)
+
+    # ------------------------------------------------------------------
+    # Region-boundary protocol
+    # ------------------------------------------------------------------
+
+    def region_drain_time(self, boundary_time: float) -> float:
+        """The cycle at which every persist of the region is in the
+        persistence domain (the counter reaching zero) — covering both op
+        admissions and late-coalesced store arrivals."""
+        drained = max(boundary_time, self._region_store_durable)
+        for op in self._region_ops:
+            drained = max(drained, op.durable_at)
+        return drained
+
+    def reset_region(self) -> None:
+        """Start accounting a new region (counter cleared)."""
+        self._region_ops = []
+        self._region_store_durable = 0.0
+
+    def outstanding(self, now: float) -> int:
+        """Region persist ops not yet durable at ``now``."""
+        return sum(1 for op in self._region_ops if op.durable_at > now)
+
+    @property
+    def total_nvm_writes(self) -> int:
+        return self.ops_issued
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._region_ops)

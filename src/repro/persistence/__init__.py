@@ -1,0 +1,31 @@
+"""Persistence schemes: PPA, the baseline, and the paper's comparators."""
+
+from repro.persistence.base import PersistencePolicy, SchemeTraits
+from repro.persistence.baseline import NoPersistencePolicy
+from repro.persistence.ppa import PpaPolicy
+from repro.persistence.replaycache import ReplayCachePolicy
+from repro.persistence.capri import CapriPolicy
+from repro.persistence.sbgate import SbGatePolicy
+from repro.persistence.swlog import RedoLogPolicy, UndoLogPolicy
+from repro.persistence.catalog import (
+    SCHEME_TRAITS,
+    make_policy,
+    scheme_backend,
+    scheme_names,
+)
+
+__all__ = [
+    "CapriPolicy",
+    "NoPersistencePolicy",
+    "PersistencePolicy",
+    "PpaPolicy",
+    "RedoLogPolicy",
+    "SbGatePolicy",
+    "ReplayCachePolicy",
+    "SCHEME_TRAITS",
+    "SchemeTraits",
+    "UndoLogPolicy",
+    "make_policy",
+    "scheme_backend",
+    "scheme_names",
+]

@@ -1,0 +1,16 @@
+"""The paper's baseline: original binaries on PMEM's memory mode.
+
+No persistence, no crash consistency — committed stores live in the volatile
+cache hierarchy and reach NVM only via dirty DRAM-cache evictions. Rename
+stalls caused by PRF exhaustion simply wait for commit-time reclamation.
+"""
+
+from __future__ import annotations
+
+from repro.persistence.base import PersistencePolicy
+
+
+class NoPersistencePolicy(PersistencePolicy):
+    """Conventional out-of-order core behaviour."""
+
+    name = "baseline"

@@ -1,0 +1,100 @@
+"""Registry of persistence schemes and their qualitative traits.
+
+``make_policy``/``scheme_backend`` are how experiments construct a run for a
+named scheme; ``SCHEME_TRAITS`` carries the qualitative attributes behind
+the paper's Table 1 (PPA vs clwb) and Table 6 (WSP comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.persistence.base import PersistencePolicy, SchemeTraits
+from repro.persistence.baseline import NoPersistencePolicy
+from repro.persistence.capri import CapriPolicy
+from repro.persistence.ppa import PpaPolicy
+from repro.persistence.replaycache import ReplayCachePolicy
+from repro.persistence.sbgate import SbGatePolicy
+from repro.persistence.swlog import RedoLogPolicy, UndoLogPolicy
+
+_POLICIES: dict[str, Callable[[], PersistencePolicy]] = {
+    "baseline": NoPersistencePolicy,
+    "ppa": PpaPolicy,
+    "replaycache": ReplayCachePolicy,
+    "capri": CapriPolicy,
+    "eadr": NoPersistencePolicy,      # ideal PSP: persistence is free,
+    "dram-only": NoPersistencePolicy,  # but the platform changes (backend)
+    "psp-undolog": UndoLogPolicy,     # software PSP, Section 2.2
+    "psp-redolog": RedoLogPolicy,
+    "sb-gate": SbGatePolicy,  # Section 6's rejected alternative
+}
+
+_BACKENDS: dict[str, str] = {
+    "baseline": "pmem-memory-mode",
+    "ppa": "pmem-memory-mode",
+    "replaycache": "pmem-memory-mode",
+    "capri": "pmem-memory-mode",
+    "eadr": "pmem-app-direct",
+    "dram-only": "dram-only",
+    "psp-undolog": "pmem-app-direct",
+    "psp-redolog": "pmem-app-direct",
+    "sb-gate": "pmem-memory-mode",
+}
+
+SCHEME_TRAITS: dict[str, SchemeTraits] = {
+    "ppa": SchemeTraits(
+        name="PPA", whole_system=True, hardware_complexity="low",
+        energy_requirement="low", needs_recompilation=False,
+        transparent=True, enables_dram_cache=True, enables_multi_mc=True,
+        occupies_store_queue=False, tracks_single_stores=False,
+        needs_snooping=False, reaches_nvm=True),
+    "clwb": SchemeTraits(
+        name="CLWB in x86", whole_system=False, hardware_complexity="none",
+        energy_requirement="low", needs_recompilation=True,
+        transparent=False, enables_dram_cache=False, enables_multi_mc=True,
+        occupies_store_queue=True, tracks_single_stores=True,
+        needs_snooping=True, reaches_nvm=False),
+    "wsp-ups": SchemeTraits(
+        name="WSP (Narayanan)", whole_system=True,
+        hardware_complexity="extremely-high",
+        energy_requirement="extremely-high", needs_recompilation=False,
+        transparent=True, enables_dram_cache=True, enables_multi_mc=True,
+        occupies_store_queue=False, tracks_single_stores=False,
+        needs_snooping=False, reaches_nvm=True),
+    "capri": SchemeTraits(
+        name="Capri", whole_system=True, hardware_complexity="high",
+        energy_requirement="high", needs_recompilation=True,
+        transparent=True, enables_dram_cache=True, enables_multi_mc=False,
+        occupies_store_queue=False, tracks_single_stores=True,
+        needs_snooping=False, reaches_nvm=True),
+    "replaycache": SchemeTraits(
+        name="ReplayCache", whole_system=True, hardware_complexity="low",
+        energy_requirement="low", needs_recompilation=True,
+        transparent=True, enables_dram_cache=False, enables_multi_mc=True,
+        occupies_store_queue=True, tracks_single_stores=True,
+        needs_snooping=True, reaches_nvm=True),
+}
+
+
+def scheme_names() -> list[str]:
+    """Every runnable scheme name."""
+    return sorted(_POLICIES)
+
+
+def make_policy(scheme: str) -> PersistencePolicy:
+    """Instantiate the persistence policy for a named scheme."""
+    try:
+        factory = _POLICIES[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; options: {scheme_names()}") from None
+    return factory()
+
+
+def scheme_backend(scheme: str) -> str:
+    """The memory backend a named scheme runs on."""
+    try:
+        return _BACKENDS[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; options: {scheme_names()}") from None

@@ -1,0 +1,16 @@
+"""Out-of-order core model: renaming, resources, and the scoreboard loop."""
+
+from repro.pipeline.core import OoOCore
+from repro.pipeline.regfile import RenamedRegisterFile
+from repro.pipeline.resources import BandwidthLimiter, ResourceWindow
+from repro.pipeline.stats import CoreStats, RegionRecord, StoreRecord
+
+__all__ = [
+    "BandwidthLimiter",
+    "CoreStats",
+    "OoOCore",
+    "RegionRecord",
+    "RenamedRegisterFile",
+    "ResourceWindow",
+    "StoreRecord",
+]

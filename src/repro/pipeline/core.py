@@ -1,0 +1,239 @@
+"""The trace-driven out-of-order core model.
+
+This is a scoreboard-style timing model: instructions are processed in
+program order once, and every pipeline constraint is expressed as an
+earliest-cycle bound — rename bandwidth, ROB/LQ/SQ occupancy, physical
+register availability, dataflow readiness, memory latency, and in-order
+commit bandwidth. The result is an O(n) simulation that still exhibits the
+phenomena PPA's evaluation is about: PRF exhaustion, store-buffer pressure,
+asynchronous persist traffic, and region-boundary stalls.
+
+Functional execution runs alongside timing: physical registers carry
+timestamped values and stores log their payloads, giving the failure
+injector (:mod:`repro.failure`) ground truth for crash-consistency checks.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.isa.instructions import Instruction, Opcode, RegClass
+from repro.isa.trace import Trace
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.nvm import NvmModel
+from repro.memory.writebuffer import WriteBuffer
+from repro.pipeline.regfile import RenamedRegisterFile
+from repro.pipeline.resources import BandwidthLimiter, ResourceWindow
+from repro.pipeline.stats import CoreStats, StoreRecord
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from repro.persistence.base import PersistencePolicy
+
+_SYNC_LATENCY = 20
+_VALUE_MASK = (1 << 64) - 1
+
+
+def def_value(pc: int, src_values: tuple[int, ...]) -> int:
+    """Deterministic functional value for a register definition."""
+    acc = (pc * 0x9E3779B97F4A7C15) & _VALUE_MASK
+    for value in src_values:
+        acc = (acc ^ value) * 0x100000001B3 & _VALUE_MASK
+    return acc
+
+
+class OoOCore:
+    """One simulated core running one trace under one persistence policy."""
+
+    def __init__(self, config: SystemConfig, policy: "PersistencePolicy",
+                 memory: MemorySystem | None = None,
+                 nvm: NvmModel | None = None,
+                 track_values: bool = True) -> None:
+        self.config = config
+        self.policy = policy
+        self.mem = memory if memory is not None else MemorySystem(
+            config.memory, nvm=nvm)
+        self.nvm = self.mem.nvm
+        core = config.core
+        self.rf: dict[RegClass, RenamedRegisterFile] = {
+            RegClass.INT: RenamedRegisterFile(
+                core.int_prf_size, core.int_arch_regs, "int",
+                track_values=track_values),
+            RegClass.FP: RenamedRegisterFile(
+                core.fp_prf_size, core.fp_arch_regs, "fp",
+                track_values=track_values),
+        }
+        self.wb = WriteBuffer(
+            config.ppa.writebuffer_entries, self.nvm,
+            residence_cycles=config.ppa.wb_residence_cycles,
+            coalescing=config.ppa.persist_coalescing)
+        self.rob = ResourceWindow(core.rob_size, "rob")
+        self.lq = ResourceWindow(core.lq_size, "lq")
+        self.sq = ResourceWindow(core.sq_size, "sq")
+        self.rename_bw = BandwidthLimiter(core.width, "rename")
+        self.commit_bw = BandwidthLimiter(core.width, "commit")
+        self.track_values = track_values
+        self._functional_mem: dict[int, int] = {}
+        self.last_commit_time = 0.0
+        self.lcpc = 0
+        self.stats = CoreStats(scheme=policy.name)
+        self._latency = {
+            Opcode.INT_ALU: core.lat_int_alu,
+            Opcode.INT_MUL: core.lat_int_mul,
+            Opcode.INT_DIV: core.lat_int_div,
+            Opcode.FP_ALU: core.lat_fp_alu,
+            Opcode.FP_MUL: core.lat_fp_mul,
+            Opcode.FP_DIV: core.lat_fp_div,
+            Opcode.BRANCH: core.lat_branch,
+            Opcode.CMP: core.lat_int_alu,
+        }
+        policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _src_pregs(self, instr: Instruction) -> list[tuple[RegClass, int]]:
+        return [(s.cls, self.rf[s.cls].rat[s.index]) for s in instr.srcs]
+
+    def _sample_free_regs(self, time: float, weight: float) -> None:
+        if weight <= 0:
+            return
+        stats = self.stats
+        stats.free_reg_hist_int[self.rf[RegClass.INT].free_count(time)] += weight
+        stats.free_reg_hist_fp[self.rf[RegClass.FP].free_count(time)] += weight
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace) -> CoreStats:
+        """Simulate the whole trace; returns the collected statistics."""
+        policy = self.policy
+        stats = self.stats
+        stats.name = trace.name
+        fetch_ready = 0.0
+        last_sample_time = 0.0
+        penalty = self.config.core.branch_mispredict_penalty
+
+        for seq, instr in enumerate(trace):
+            # ---------------- rename stage ----------------
+            t = self.rob.earliest_allocate(fetch_ready)
+            if instr.opcode is Opcode.LOAD:
+                t = self.lq.earliest_allocate(t)
+            elif instr.opcode is Opcode.STORE:
+                t = self.sq.earliest_allocate(t)
+            t = policy.pre_rename(seq, instr, t)
+
+            preg = -1
+            if instr.dest is not None:
+                rf = self.rf[instr.dest.cls]
+                while rf.free_count(t) == 0:
+                    resume = policy.rename_blocked(instr.dest.cls, t, seq)
+                    stats.rename_oor_stall_cycles += max(0.0, resume - t)
+                    t = max(t, resume)
+
+            rename_time = self.rename_bw.take(t)
+            self._sample_free_regs(rename_time,
+                                   rename_time - last_sample_time)
+            last_sample_time = rename_time
+
+            src_pregs = self._src_pregs(instr)
+            if instr.dest is not None:
+                preg = self.rf[instr.dest.cls].allocate(
+                    instr.dest.index, rename_time)
+                instr._phys_dest = preg
+
+            # ---------------- execute ----------------
+            ready = rename_time + 1.0
+            for cls, src in src_pregs:
+                ready = max(ready, self.rf[cls].ready_time(src))
+
+            opcode = instr.opcode
+            if opcode is Opcode.LOAD:
+                issue = ready + self.config.core.lat_agen
+                result = self.mem.load(instr.line_addr, issue)
+                complete = issue + result.latency
+                stats.load_level_counts[result.level] += 1
+            elif opcode is Opcode.STORE:
+                complete = ready + self.config.core.lat_agen
+                # Read-for-ownership prefetch: fetch the line now so it is
+                # (usually) resident by commit time.
+                rfo_done = self.mem.store_rfo(instr.line_addr, complete)
+            elif opcode is Opcode.SYNC:
+                complete = ready + _SYNC_LATENCY
+            else:
+                complete = ready + self._latency[opcode]
+
+            value = 0
+            if self.track_values:
+                src_values = tuple(
+                    self.rf[cls].value_at(src, complete)
+                    for cls, src in src_pregs)
+                if opcode is Opcode.LOAD:
+                    value = self._functional_mem.get(instr.addr, 0)
+                elif opcode is Opcode.STORE:
+                    value = src_values[0]
+                else:
+                    value = def_value(instr.pc, src_values)
+
+            if instr.dest is not None:
+                rf = self.rf[instr.dest.cls]
+                rf.set_ready(preg, complete)
+                if self.track_values:
+                    rf.write_value(preg, complete, value)
+
+            # ---------------- commit ----------------
+            tentative = max(complete + 1.0, self.last_commit_time)
+            tentative = policy.adjust_commit(seq, tentative)
+            if opcode is Opcode.STORE:
+                tentative = policy.store_commit_time(instr, seq, tentative)
+            elif opcode is Opcode.SYNC:
+                tentative = policy.sync_commit_time(tentative, seq)
+            commit = self.commit_bw.take(tentative)
+            self.last_commit_time = commit
+            self.lcpc = instr.pc
+            stats.commit_times.append(commit)
+            self.rob.allocate(commit)
+
+            if instr.dest is not None:
+                self.rf[instr.dest.cls].commit_def(
+                    instr.dest.index, preg, commit)
+
+            if opcode is Opcode.LOAD:
+                self.lq.allocate(commit)
+            elif opcode is Opcode.STORE:
+                merge_time = self.mem.store_merge(
+                    instr.line_addr, max(commit, rfo_done))
+                self.sq.allocate(
+                    policy.store_queue_release(instr, seq, merge_time))
+                if self.track_values:
+                    assert instr.addr is not None
+                    self._functional_mem[instr.addr] = value
+                data_cls, data_preg = src_pregs[0]
+                record = StoreRecord(
+                    seq=seq,
+                    pc=instr.pc,
+                    addr=instr.addr if instr.addr is not None else 0,
+                    line_addr=instr.line_addr,
+                    value=value,
+                    data_preg=data_preg,
+                    data_cls=int(data_cls),
+                    commit_time=commit,
+                    region_id=-1,
+                )
+                stats.stores.append(record)
+                policy.store_committed(record, merge_time)
+
+            if instr.mispredicted:
+                fetch_ready = max(fetch_ready, complete + penalty)
+
+        stats.instructions = len(trace)
+        policy.finish(self.last_commit_time)
+        stats.cycles = self.last_commit_time
+        stats.nvm_line_writes = self.nvm.stats.line_writes
+        stats.nvm_reads = self.nvm.stats.reads
+        stats.persist_ops = self.wb.ops_issued
+        stats.persist_coalesced = self.wb.ops_coalesced
+        stats.extra["l2_miss_rate"] = self.mem.l2_miss_rate()
+        stats.extra["eviction_writebacks"] = self.mem.eviction_writebacks
+        return stats

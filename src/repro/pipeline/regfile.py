@@ -1,0 +1,162 @@
+"""A renamed register file: unified PRF, RAT, CRT, and free list.
+
+One instance exists per register class (integer / floating-point), matching
+the paper's split 180/168-entry Skylake PRF. The free list is time-aware:
+registers reclaimed at commit become available only once simulated time
+passes the commit cycle.
+
+PPA's store-integrity hook lives here too: a *masked* physical register
+(MaskReg bit set) is never reclaimed when its architectural register is
+redefined; it parks in a deferred list until the region ends
+(Sections 3.3/4.2).
+
+When ``track_values`` is on, every physical register keeps a timestamped
+value history so the failure injector can ask "what did preg p hold at cycle
+t?" — the ground truth for store replay and for demonstrating why store
+integrity is necessary.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+
+
+class RenamedRegisterFile:
+    """Rename state for one register class."""
+
+    def __init__(self, size: int, arch_regs: int, name: str = "int",
+                 track_values: bool = False) -> None:
+        if size < arch_regs + 1:
+            raise ValueError(
+                f"{name} PRF of {size} cannot rename {arch_regs} "
+                "architectural registers")
+        self.size = size
+        self.arch_regs = arch_regs
+        self.name = name
+        self.rat: list[int] = list(range(arch_regs))
+        self.crt: list[int] = list(range(arch_regs))
+        self._free_now: list[int] = list(range(arch_regs, size))
+        self._scheduled: list[tuple[float, int]] = []   # min-heap
+        self._ready: dict[int, float] = {}
+        self.masked: set[int] = set()
+        self._deferred: list[int] = []
+        self.track_values = track_values
+        if track_values:
+            self._value_times: list[list[float]] = [[] for _ in range(size)]
+            self._value_hist: list[list[int]] = [[] for _ in range(size)]
+            for preg in range(arch_regs):
+                self._value_times[preg].append(float("-inf"))
+                self._value_hist[preg].append(0)
+
+    # ------------------------------------------------------------------
+    # Free-list management
+    # ------------------------------------------------------------------
+
+    def catch_up(self, now: float) -> None:
+        """Apply every scheduled reclamation at or before ``now``."""
+        heap = self._scheduled
+        while heap and heap[0][0] <= now:
+            __, preg = heapq.heappop(heap)
+            self._free_now.append(preg)
+
+    def free_count(self, now: float) -> int:
+        self.catch_up(now)
+        return len(self._free_now)
+
+    def next_free_time(self) -> float | None:
+        """When the next scheduled reclamation lands, if any."""
+        return self._scheduled[0][0] if self._scheduled else None
+
+    def allocate(self, arch: int, now: float) -> int:
+        """Rename ``arch`` onto a fresh physical register."""
+        self.catch_up(now)
+        if not self._free_now:
+            raise RuntimeError(f"{self.name} PRF exhausted at cycle {now}")
+        preg = self._free_now.pop()
+        self.rat[arch] = preg
+        return preg
+
+    # ------------------------------------------------------------------
+    # Commit-time reclamation with store-integrity masking
+    # ------------------------------------------------------------------
+
+    def commit_def(self, arch: int, preg: int, commit_time: float) -> None:
+        """Retire a register-defining instruction: update the CRT and
+        reclaim the superseded physical register — unless it is masked, in
+        which case it is deferred to the region boundary."""
+        old = self.crt[arch]
+        self.crt[arch] = preg
+        if old in self.masked:
+            self._deferred.append(old)
+        else:
+            heapq.heappush(self._scheduled, (commit_time, old))
+
+    def mask(self, preg: int) -> None:
+        """Set the MaskReg bit: the register holds a committed store's data."""
+        self.masked.add(preg)
+
+    def end_region(self, time: float) -> int:
+        """Region boundary: clear MaskReg and reclaim deferred registers.
+
+        Returns how many registers were reclaimed.
+        """
+        reclaimed = len(self._deferred)
+        for preg in self._deferred:
+            heapq.heappush(self._scheduled, (time, preg))
+        self._deferred = []
+        self.masked.clear()
+        return reclaimed
+
+    @property
+    def deferred_count(self) -> int:
+        return len(self._deferred)
+
+    # ------------------------------------------------------------------
+    # Dataflow readiness and functional values
+    # ------------------------------------------------------------------
+
+    def ready_time(self, preg: int) -> float:
+        return self._ready.get(preg, 0.0)
+
+    def set_ready(self, preg: int, time: float) -> None:
+        self._ready[preg] = time
+
+    def write_value(self, preg: int, time: float, value: int) -> None:
+        """Record a definition's value (functional mode only)."""
+        if not self.track_values:
+            raise RuntimeError("value tracking is disabled")
+        self._value_times[preg].append(time)
+        self._value_hist[preg].append(value)
+
+    def value_at(self, preg: int, time: float) -> int:
+        """The value preg held at ``time`` — what a JIT checkpoint would save."""
+        if not self.track_values:
+            raise RuntimeError("value tracking is disabled")
+        times = self._value_times[preg]
+        index = bisect_right(times, time) - 1
+        if index < 0:
+            return 0
+        return self._value_hist[preg][index]
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Every physical register is in exactly one place."""
+        free = set(self._free_now)
+        scheduled = {preg for __, preg in self._scheduled}
+        deferred = set(self._deferred)
+        rat = set(self.rat)
+        if len(self.rat) != self.arch_regs:
+            raise AssertionError("RAT size drifted")
+        overlap = free & rat
+        if overlap:
+            raise AssertionError(f"free registers mapped in RAT: {overlap}")
+        if free & scheduled:
+            raise AssertionError("register both free and scheduled")
+        if free & deferred or scheduled & deferred:
+            raise AssertionError("deferred register double-booked")
+        if len(free) != len(self._free_now):
+            raise AssertionError("duplicate entries in free list")

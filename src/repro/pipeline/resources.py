@@ -1,0 +1,67 @@
+"""Occupancy models for pipeline resources (ROB, LQ, SQ, stage bandwidth)."""
+
+from __future__ import annotations
+
+
+class ResourceWindow:
+    """A FIFO-allocated structure of fixed size (ROB, load/store queues).
+
+    Entry ``k`` reuses the slot of entry ``k - size``, so the earliest time
+    entry ``k`` can allocate is the release time of that predecessor. This is
+    exact for structures allocated and released in program order.
+    """
+
+    def __init__(self, size: int, name: str = "resource") -> None:
+        if size <= 0:
+            raise ValueError(f"{name} needs at least one entry")
+        self.size = size
+        self.name = name
+        self._release: list[float] = [0.0] * size
+        self._count = 0
+        self.full_stall_cycles = 0.0
+
+    def earliest_allocate(self, time: float) -> float:
+        """Earliest cycle at or after ``time`` with a slot available."""
+        slot_free = self._release[self._count % self.size]
+        if slot_free > time:
+            self.full_stall_cycles += slot_free - time
+            return slot_free
+        return time
+
+    def allocate(self, release_time: float) -> int:
+        """Claim the next slot, to be released at ``release_time``."""
+        index = self._count % self.size
+        self._release[index] = release_time
+        self._count += 1
+        return index
+
+    @property
+    def allocated(self) -> int:
+        return self._count
+
+
+class BandwidthLimiter:
+    """At most ``width`` events per cycle, in order (rename/commit stages)."""
+
+    def __init__(self, width: int, name: str = "stage") -> None:
+        if width <= 0:
+            raise ValueError(f"{name} width must be positive")
+        self.width = width
+        self.name = name
+        self._cycle = -1.0
+        self._used = 0
+
+    def take(self, time: float) -> float:
+        """Claim a slot at or after ``time``; returns the slot's cycle."""
+        cycle = float(int(time))
+        if time > cycle:
+            cycle += 1.0
+        if cycle < self._cycle:
+            cycle = self._cycle
+        if cycle == self._cycle and self._used >= self.width:
+            cycle += 1.0
+        if cycle > self._cycle:
+            self._cycle = cycle
+            self._used = 0
+        self._used += 1
+        return cycle

@@ -1,0 +1,137 @@
+"""Statistics collected by a core run.
+
+Everything the paper's figures need comes out of one :class:`CoreStats`:
+cycle counts, region records (Figs 11/13/17), rename-stall accounting
+(Fig 12), a free-register histogram (Fig 5), persist traffic, and the
+functional store log consumed by the failure injector.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(slots=True)
+class StoreRecord:
+    """One committed store, as the CSQ and the failure injector see it."""
+
+    seq: int                 # dynamic instruction index
+    pc: int
+    addr: int
+    line_addr: int
+    value: int               # the data the store should make durable
+    data_preg: int           # physical register index holding the data
+    data_cls: int            # register class of the data register
+    commit_time: float
+    region_id: int
+    durable_at: float = float("inf")
+
+
+@dataclass(slots=True)
+class RegionRecord:
+    """One dynamic region (epoch) formed by PPA or a compiler scheme."""
+
+    region_id: int
+    start_seq: int
+    end_seq: int             # exclusive
+    store_count: int
+    boundary_time: float     # when the boundary was reached
+    drain_wait: float        # extra cycles waiting for the persist counter
+    cause: str               # "prf" | "csq" | "sync" | "compiler" | "end"
+
+    @property
+    def instr_count(self) -> int:
+        return self.end_seq - self.start_seq
+
+    @property
+    def other_count(self) -> int:
+        return self.instr_count - self.store_count
+
+
+@dataclass
+class CoreStats:
+    """Aggregate outcome of simulating one trace on one core."""
+
+    name: str = ""
+    scheme: str = ""
+    instructions: int = 0
+    cycles: float = 0.0
+    rename_oor_stall_cycles: float = 0.0   # out-of-register stalls (Fig 12)
+    regions: list[RegionRecord] = field(default_factory=list)
+    stores: list[StoreRecord] = field(default_factory=list)
+    free_reg_hist_int: Counter = field(default_factory=Counter)
+    free_reg_hist_fp: Counter = field(default_factory=Counter)
+    commit_times: list[float] = field(default_factory=list)
+    nvm_line_writes: int = 0
+    nvm_reads: int = 0
+    persist_ops: int = 0
+    persist_coalesced: int = 0
+    load_level_counts: Counter = field(default_factory=Counter)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def region_end_stall_cycles(self) -> float:
+        return sum(r.drain_wait for r in self.regions)
+
+    @property
+    def region_end_stall_fraction(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.region_end_stall_cycles / self.cycles
+
+    @property
+    def mean_region_instrs(self) -> float:
+        if not self.regions:
+            return 0.0
+        return sum(r.instr_count for r in self.regions) / len(self.regions)
+
+    @property
+    def mean_region_stores(self) -> float:
+        if not self.regions:
+            return 0.0
+        return sum(r.store_count for r in self.regions) / len(self.regions)
+
+    @property
+    def mean_region_others(self) -> float:
+        return self.mean_region_instrs - self.mean_region_stores
+
+    def to_summary_dict(self) -> dict[str, Any]:
+        """A JSON-serializable digest of the run (no per-event logs)."""
+        return {
+            "name": self.name,
+            "scheme": self.scheme,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "regions": len(self.regions),
+            "mean_region_instrs": self.mean_region_instrs,
+            "mean_region_stores": self.mean_region_stores,
+            "region_end_stall_fraction": self.region_end_stall_fraction,
+            "rename_oor_stall_cycles": self.rename_oor_stall_cycles,
+            "stores": len(self.stores),
+            "nvm_line_writes": self.nvm_line_writes,
+            "nvm_reads": self.nvm_reads,
+            "persist_ops": self.persist_ops,
+            "persist_coalesced": self.persist_coalesced,
+            "load_levels": dict(self.load_level_counts),
+            "extra": dict(self.extra),
+        }
+
+    def free_reg_cdf(self, fp: bool = False) -> list[tuple[int, float]]:
+        """Cumulative distribution of free registers over time (Fig 5)."""
+        hist = self.free_reg_hist_fp if fp else self.free_reg_hist_int
+        total = sum(hist.values())
+        if not total:
+            return []
+        cdf = []
+        acc = 0.0
+        for count in sorted(hist):
+            acc += hist[count]
+            cdf.append((count, acc / total))
+        return cdf

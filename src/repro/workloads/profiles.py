@@ -1,0 +1,331 @@
+"""Workload profiles for the paper's 41 applications.
+
+The authors run real binaries under gem5; without their testbed we model
+each application as a parameterized statistical workload whose instruction
+mix, register behaviour, and memory locality are calibrated to the
+characteristics the paper states or implies:
+
+* bzip2 and libquantum have heavy register usage → short PPA regions
+  (Section 7.5); hmmer, lbm, lu-cg, tpcc need many live registers
+  (Section 7.8).
+* lbm and pc stream with poor locality → many DRAM-cache misses (Fig 9).
+* rb (red-black tree) has high locality (4 % L2 miss) and little baseline
+  write traffic, making PPA's extra writes visible (Sections 7.1/7.2).
+* water-ns / water-sp have store-dense, shorter regions → the largest
+  region-end stall fractions (Section 7.3).
+* WHISPER and Mini-apps footprints follow Table 3.
+
+A profile's address space is three locality classes: a *hot* set sized for
+the L1/L2, a *warm* set sized to be LLC/DRAM-cache resident, and a *stream*
+that defeats caching. The memory-intensive apps of Figure 10 are exactly
+the ones with meaningful stream weight.
+
+Every profile is deterministic given a seed; nothing here depends on
+wall-clock time or global randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SUITES = ("CPU2006", "CPU2017", "SPLASH3", "STAMP", "WHISPER", "Mini-apps")
+
+
+@dataclass(frozen=True)
+class MemRegion:
+    """One locality class of a workload's address space."""
+
+    name: str
+    size_bytes: int
+    load_weight: float
+    store_weight: float
+    seq_prob: float          # probability the next access continues a run
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical description of one application."""
+
+    name: str
+    suite: str
+    # Instruction mix (fractions of the dynamic stream; the remainder after
+    # loads/stores/branches is compute, split by fp_frac/mul/div).
+    load_frac: float = 0.25
+    store_frac: float = 0.07
+    branch_frac: float = 0.15
+    fp_frac: float = 0.0          # fraction of compute ops that are FP
+    mul_frac: float = 0.08        # fraction of compute ops that multiply
+    div_frac: float = 0.01
+    # Fraction of compute ops that are compares/tests writing only flags —
+    # they consume no physical register (the paper observes only ~30 % of
+    # ROB instructions define new registers).
+    cmp_frac: float = 0.45
+    # Memory locality classes; weights are relative.
+    regions: tuple[MemRegion, ...] = (
+        MemRegion("stack", 2 << 10, 4.8, 20.0, 0.7),
+        MemRegion("hot", 32 << 10, 8.0, 8.0, 0.5),
+        MemRegion("warm", 2 << 20, 3.0, 2.0, 0.5),
+        MemRegion("stream", 64 << 20, 0.3, 0.2, 0.95),
+    )
+    # Control flow.
+    mispredict_rate: float = 0.01
+    # Dataflow: sources are drawn from the last `dep_window` definitions.
+    dep_window: int = 8
+    # Register behaviour: how many integer/fp architectural registers the
+    # code actively cycles through (higher = faster redefinition of stored
+    # registers = faster masked-register accumulation = shorter regions).
+    int_workset: int = 12
+    fp_workset: int = 16
+    # Probability a store's data register is redefined soon after the store
+    # (drives MaskReg deferrals; "register-hungry" codes sit near 1.0).
+    store_reg_turnover: float = 0.6
+    # Multithreading (SPLASH3/STAMP/WHISPER run 8 threads by default).
+    threads: int = 1
+    sync_interval: int = 0        # instructions between sync primitives
+
+    def __post_init__(self) -> None:
+        total = self.load_frac + self.store_frac + self.branch_frac
+        if not 0.0 < total < 1.0:
+            raise ValueError(f"{self.name}: mix fractions sum to {total}")
+        if self.suite not in SUITES:
+            raise ValueError(f"{self.name}: unknown suite {self.suite}")
+
+    @property
+    def footprint_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.regions)
+
+
+def _regions(hot_kb: float, warm_mb: float, stream_mb: float,
+             hot_w: tuple[float, float], warm_w: tuple[float, float],
+             stream_w: tuple[float, float],
+             stream_seq: float = 0.95) -> tuple[MemRegion, ...]:
+    """Compact constructor for the common locality layout.
+
+    Besides the three profile-specific classes there is always a small
+    *stack*: a few cache lines written over and over (frames, spills,
+    locals). Real write streams are dominated by it, and it is what makes
+    persist coalescing effective.
+    """
+    return (
+        MemRegion("stack", 2 << 10, hot_w[0] * 0.6, hot_w[1] * 2.5, 0.7),
+        MemRegion("hot", int(hot_kb * 1024), hot_w[0], hot_w[1], 0.5),
+        MemRegion("warm", int(warm_mb * (1 << 20)), warm_w[0], warm_w[1],
+                  0.5),
+        MemRegion("stream", int(stream_mb * (1 << 20)), stream_w[0],
+                  stream_w[1], stream_seq),
+    )
+
+# Cache-friendly layout: almost everything in the hot/warm sets.
+_FRIENDLY = _regions(48, 2, 64, (8, 8), (3, 2), (0.25, 0.15))
+
+
+def _p(**kwargs) -> WorkloadProfile:
+    return WorkloadProfile(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# SPEC CPU2006 (14 apps)
+# ---------------------------------------------------------------------------
+
+_CPU2006 = [
+    _p(name="perlbench", suite="CPU2006", load_frac=0.26, store_frac=0.05,
+       branch_frac=0.20, mispredict_rate=0.02, int_workset=12,
+       regions=_FRIENDLY),
+    _p(name="bzip2", suite="CPU2006", load_frac=0.28, store_frac=0.06,
+       branch_frac=0.15, int_workset=15, store_reg_turnover=0.95,
+       dep_window=4,
+       regions=_regions(64, 4, 64, (7, 7), (3, 2), (0.5, 0.3))),
+    _p(name="gcc", suite="CPU2006", load_frac=0.26, store_frac=0.055,
+       branch_frac=0.21, mispredict_rate=0.025, int_workset=13,
+       regions=_regions(64, 4, 96, (7, 8), (3, 2), (0.5, 0.3))),
+    _p(name="mcf", suite="CPU2006", load_frac=0.33, store_frac=0.035,
+       branch_frac=0.19, mispredict_rate=0.03, dep_window=3,
+       regions=_regions(16, 48, 512, (3, 4), (4, 2), (3, 0.5), 0.3)),
+    _p(name="milc", suite="CPU2006", load_frac=0.30, store_frac=0.05,
+       branch_frac=0.03, fp_frac=0.85, fp_workset=24,
+       regions=_regions(32, 16, 320, (4, 5), (3, 2), (3, 1.5))),
+    _p(name="namd", suite="CPU2006", load_frac=0.25, store_frac=0.035,
+       branch_frac=0.08, fp_frac=0.80, fp_workset=20,
+       regions=_FRIENDLY),
+    _p(name="gobmk", suite="CPU2006", load_frac=0.24, store_frac=0.05,
+       branch_frac=0.20, mispredict_rate=0.035, int_workset=13,
+       regions=_FRIENDLY),
+    _p(name="hmmer", suite="CPU2006", load_frac=0.30, store_frac=0.05,
+       branch_frac=0.08, int_workset=15, store_reg_turnover=0.9,
+       dep_window=5, regions=_FRIENDLY),
+    _p(name="sjeng", suite="CPU2006", load_frac=0.22, store_frac=0.04,
+       branch_frac=0.21, mispredict_rate=0.04, int_workset=12,
+       regions=_FRIENDLY),
+    _p(name="libquantum", suite="CPU2006", load_frac=0.26, store_frac=0.05,
+       branch_frac=0.25, int_workset=15, store_reg_turnover=0.95,
+       dep_window=3,
+       regions=_regions(16, 2, 256, (1, 2), (1, 1), (6, 3), 0.98)),
+    _p(name="lbm", suite="CPU2006", load_frac=0.30, store_frac=0.07,
+       branch_frac=0.02, store_reg_turnover=0.4, fp_frac=0.75,
+       regions=_regions(16, 4, 400, (1, 1), (1, 1), (6, 6), 0.97)),
+    _p(name="sphinx3", suite="CPU2006", load_frac=0.30, store_frac=0.03,
+       branch_frac=0.11, fp_frac=0.6,
+       regions=_regions(32, 8, 128, (5, 6), (3, 2), (1.5, 0.5))),
+    _p(name="soplex", suite="CPU2006", load_frac=0.29, store_frac=0.035,
+       branch_frac=0.16, fp_frac=0.5, mispredict_rate=0.02,
+       regions=_regions(32, 24, 192, (4, 5), (3, 2), (2, 0.5), 0.6)),
+    _p(name="h264ref", suite="CPU2006", load_frac=0.35, store_frac=0.05,
+       branch_frac=0.08, mul_frac=0.2, int_workset=14,
+       regions=_FRIENDLY),
+]
+
+# ---------------------------------------------------------------------------
+# SPEC CPU2017 (8 apps, rate workloads)
+# ---------------------------------------------------------------------------
+
+_CPU2017 = [
+    _p(name="perlbench_r", suite="CPU2017", load_frac=0.26, store_frac=0.05,
+       branch_frac=0.20, mispredict_rate=0.02, int_workset=12,
+       regions=_FRIENDLY),
+    _p(name="gcc_r", suite="CPU2017", load_frac=0.27, store_frac=0.055,
+       branch_frac=0.21, mispredict_rate=0.025, int_workset=13,
+       regions=_regions(64, 6, 128, (7, 8), (3, 2), (0.5, 0.3))),
+    _p(name="mcf_r", suite="CPU2017", load_frac=0.34, store_frac=0.035,
+       branch_frac=0.19, mispredict_rate=0.03, dep_window=3,
+       regions=_regions(16, 48, 448, (3, 4), (4, 2), (3, 0.5), 0.3)),
+    _p(name="omnetpp_r", suite="CPU2017", load_frac=0.30, store_frac=0.055,
+       branch_frac=0.19, mispredict_rate=0.02,
+       regions=_regions(32, 24, 160, (4, 5), (3, 2), (2, 0.8), 0.4)),
+    _p(name="xalancbmk_r", suite="CPU2017", load_frac=0.31, store_frac=0.04,
+       branch_frac=0.23, mispredict_rate=0.015,
+       regions=_regions(48, 8, 96, (6, 7), (3, 2), (1, 0.3))),
+    _p(name="x264_r", suite="CPU2017", load_frac=0.28, store_frac=0.045,
+       branch_frac=0.07, fp_frac=0.3, mul_frac=0.2,
+       regions=_FRIENDLY),
+    _p(name="deepsjeng_r", suite="CPU2017", load_frac=0.23, store_frac=0.04,
+       branch_frac=0.21, mispredict_rate=0.04, int_workset=12,
+       regions=_FRIENDLY),
+    _p(name="nab_r", suite="CPU2017", load_frac=0.27, store_frac=0.035,
+       branch_frac=0.10, fp_frac=0.75, fp_workset=20,
+       regions=_FRIENDLY),
+]
+
+# ---------------------------------------------------------------------------
+# SPLASH3 (6 apps, 8 threads)
+# ---------------------------------------------------------------------------
+
+_SPLASH3 = [
+    _p(name="barnes", suite="SPLASH3", load_frac=0.29, store_frac=0.04,
+       branch_frac=0.12, fp_frac=0.6, threads=8, sync_interval=2500,
+       regions=_regions(32, 12, 64, (5, 6), (3, 2), (1, 0.4))),
+    _p(name="fmm", suite="SPLASH3", load_frac=0.28, store_frac=0.035,
+       branch_frac=0.10, fp_frac=0.7, threads=8, sync_interval=3000,
+       regions=_regions(32, 8, 64, (5, 6), (3, 2), (1, 0.4))),
+    _p(name="ocean", suite="SPLASH3", load_frac=0.32, store_frac=0.055,
+       branch_frac=0.06, fp_frac=0.7, threads=8, sync_interval=1500,
+       regions=_regions(16, 12, 224, (2, 2), (2, 2), (4, 3), 0.96)),
+    _p(name="radiosity", suite="SPLASH3", load_frac=0.27, store_frac=0.045,
+       branch_frac=0.16, fp_frac=0.4, threads=8, sync_interval=2000,
+       regions=_FRIENDLY),
+    _p(name="water-ns", suite="SPLASH3", load_frac=0.28, store_frac=0.07,
+       branch_frac=0.06, fp_frac=0.7, fp_workset=26, threads=8,
+       sync_interval=900, store_reg_turnover=0.9,
+       regions=_regions(24, 4, 48, (5, 3), (3, 3), (1, 1.5), 0.85)),
+    _p(name="water-sp", suite="SPLASH3", load_frac=0.28, store_frac=0.08,
+       branch_frac=0.06, fp_frac=0.7, fp_workset=26, threads=8,
+       sync_interval=800, store_reg_turnover=0.9,
+       regions=_regions(24, 4, 48, (5, 3), (3, 3), (1, 1.5), 0.85)),
+]
+
+# ---------------------------------------------------------------------------
+# STAMP (4 apps, 8 threads)
+# ---------------------------------------------------------------------------
+
+_STAMP = [
+    _p(name="genome", suite="STAMP", load_frac=0.29, store_frac=0.04,
+       branch_frac=0.17, threads=8, sync_interval=1800,
+       regions=_regions(32, 24, 96, (5, 6), (3, 2), (1.5, 0.5), 0.5)),
+    _p(name="intruder", suite="STAMP", load_frac=0.30, store_frac=0.05,
+       branch_frac=0.19, mispredict_rate=0.025, threads=8,
+       sync_interval=1200,
+       regions=_regions(32, 16, 96, (5, 6), (3, 2), (1.5, 0.5), 0.5)),
+    _p(name="kmeans", suite="STAMP", load_frac=0.31, store_frac=0.04,
+       branch_frac=0.08, fp_frac=0.6, threads=8, sync_interval=2200,
+       regions=_regions(16, 8, 192, (2, 3), (2, 2), (4, 1.5), 0.95)),
+    _p(name="vacation", suite="STAMP", load_frac=0.31, store_frac=0.045,
+       branch_frac=0.18, threads=8, sync_interval=1500,
+       regions=_regions(32, 32, 96, (5, 6), (3, 2), (1.5, 0.5), 0.4)),
+]
+
+# ---------------------------------------------------------------------------
+# WHISPER (7 apps, Table 3 footprints, 8 threads)
+# ---------------------------------------------------------------------------
+
+_WHISPER = [
+    _p(name="pc", suite="WHISPER", load_frac=0.31, store_frac=0.065,
+       branch_frac=0.15, threads=8, sync_interval=1000,
+       regions=_regions(16, 8, 196, (1, 1), (1, 1), (5, 5), 0.25)),
+    _p(name="rb", suite="WHISPER", load_frac=0.30, store_frac=0.065,
+       branch_frac=0.18, threads=8, sync_interval=900,
+       store_reg_turnover=0.85,
+       regions=_regions(96, 6, 160, (8, 8), (3, 3), (0.2, 0.2), 0.3)),
+    _p(name="sps", suite="WHISPER", load_frac=0.30, store_frac=0.065,
+       branch_frac=0.12, threads=8, sync_interval=1100,
+       regions=_regions(16, 8, 264, (1, 1), (1, 1), (5, 5), 0.2)),
+    _p(name="tatp", suite="WHISPER", load_frac=0.29, store_frac=0.05,
+       branch_frac=0.17, threads=8, sync_interval=1200,
+       regions=_regions(48, 24, 224, (5, 6), (3, 2), (2, 1), 0.4)),
+    _p(name="tpcc", suite="WHISPER", load_frac=0.30, store_frac=0.055,
+       branch_frac=0.17, int_workset=15, store_reg_turnover=0.85,
+       threads=8, sync_interval=1000,
+       regions=_regions(48, 16, 72, (5, 6), (3, 3), (2, 1), 0.4)),
+    _p(name="r20w80", suite="WHISPER", load_frac=0.24, store_frac=0.07,
+       branch_frac=0.16, threads=8, sync_interval=950,
+       regions=_regions(64, 24, 128, (5, 7), (3, 3), (2, 1), 0.5)),
+    _p(name="r50w50", suite="WHISPER", load_frac=0.30, store_frac=0.045,
+       branch_frac=0.16, threads=8, sync_interval=1100,
+       regions=_regions(64, 24, 128, (6, 7), (3, 2), (2, 0.7), 0.5)),
+]
+
+# ---------------------------------------------------------------------------
+# DOE Mini-apps (2 apps, Table 3)
+# ---------------------------------------------------------------------------
+
+_MINIAPPS = [
+    _p(name="lulesh", suite="Mini-apps", load_frac=0.30, store_frac=0.05,
+       branch_frac=0.07, store_reg_turnover=0.4, fp_frac=0.8, fp_workset=24,
+       regions=_regions(32, 24, 448, (3, 4), (3, 3), (3, 2), 0.93)),
+    _p(name="xsbench", suite="Mini-apps", load_frac=0.36, store_frac=0.02,
+       branch_frac=0.12, fp_frac=0.4, dep_window=3,
+       regions=_regions(16, 8, 209, (1, 2), (1, 1), (6, 1), 0.15)),
+]
+
+ALL_PROFILES: tuple[WorkloadProfile, ...] = tuple(
+    _CPU2006 + _CPU2017 + _SPLASH3 + _STAMP + _WHISPER + _MINIAPPS)
+
+_BY_NAME = {p.name: p for p in ALL_PROFILES}
+
+if len(_BY_NAME) != len(ALL_PROFILES):
+    raise RuntimeError("duplicate workload profile names")
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    """Look up one application profile."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}") from None
+
+
+def profiles_in_suite(suite: str) -> list[WorkloadProfile]:
+    """All profiles of one benchmark suite."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r}; options: {SUITES}")
+    return [p for p in ALL_PROFILES if p.suite == suite]
+
+
+def memory_intensive_profiles() -> list[WorkloadProfile]:
+    """The high-L2-miss subset the paper compares against ideal PSP
+    (Figure 10): applications with substantial stream weight."""
+    chosen = []
+    for profile in ALL_PROFILES:
+        stream = next(r for r in profile.regions if r.name == "stream")
+        total = sum(r.load_weight for r in profile.regions)
+        if stream.load_weight / total >= 0.25:
+            chosen.append(profile)
+    return chosen

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import skylake_default
+from repro.experiments.runner import clear_cache
+from repro.isa.instructions import Instruction, Opcode, fp_reg, int_reg
+from repro.isa.trace import Trace
+from repro.workloads.profiles import profile_by_name
+from repro.workloads.synthetic import TraceGenerator
+
+
+@pytest.fixture
+def config():
+    return skylake_default()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_cache():
+    """Keep memoized experiment runs from leaking between tests."""
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture
+def gcc_profile():
+    return profile_by_name("gcc")
+
+
+@pytest.fixture
+def small_trace(gcc_profile):
+    """A short but realistic trace."""
+    return TraceGenerator(gcc_profile, seed=7).generate(2_000)
+
+
+def make_alu(pc: int, dest: int, srcs=(1, 2)) -> Instruction:
+    return Instruction(pc=pc, opcode=Opcode.INT_ALU, dest=int_reg(dest),
+                       srcs=tuple(int_reg(s) for s in srcs))
+
+
+def make_store(pc: int, data: int, addr: int) -> Instruction:
+    return Instruction(pc=pc, opcode=Opcode.STORE,
+                       srcs=(int_reg(data), int_reg(0)), addr=addr)
+
+
+def make_load(pc: int, dest: int, addr: int) -> Instruction:
+    return Instruction(pc=pc, opcode=Opcode.LOAD, dest=int_reg(dest),
+                       srcs=(int_reg(0),), addr=addr)
+
+
+def make_fp(pc: int, dest: int, srcs=(1, 2)) -> Instruction:
+    return Instruction(pc=pc, opcode=Opcode.FP_ALU, dest=fp_reg(dest),
+                       srcs=tuple(fp_reg(s) for s in srcs))
+
+
+def tiny_trace(instructions) -> Trace:
+    return Trace(instructions, name="tiny")
+
+
+@pytest.fixture
+def builders():
+    """Instruction-builder helpers as one object."""
+    class Builders:
+        alu = staticmethod(make_alu)
+        store = staticmethod(make_store)
+        load = staticmethod(make_load)
+        fp = staticmethod(make_fp)
+        trace = staticmethod(tiny_trace)
+    return Builders

@@ -1,0 +1,66 @@
+"""Aggregate-statistics helpers."""
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis.cdf import (
+    cdf_from_hist,
+    fraction_with_at_least,
+    merge_hists,
+)
+from repro.analysis.stats import gmean, overhead_pct, suite_means
+
+
+class TestGmean:
+    def test_identity(self):
+        assert gmean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_classic_example(self):
+        assert gmean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            gmean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            gmean([1.0, 0.0])
+
+    def test_overhead_pct(self):
+        assert overhead_pct(1.02) == pytest.approx(2.0)
+        assert overhead_pct(1.0) == 0.0
+
+
+class TestSuiteMeans:
+    def test_groups_by_suite(self):
+        per_app = {"a": 1.0, "b": 4.0, "c": 2.0}
+        suites = {"a": "S1", "b": "S1", "c": "S2"}
+        means = suite_means(per_app, suites)
+        assert means["S1"] == pytest.approx(2.0)
+        assert means["S2"] == pytest.approx(2.0)
+
+
+class TestCdf:
+    def test_merge_hists(self):
+        merged = merge_hists([Counter({1: 2.0}), Counter({1: 1.0, 2: 3.0})])
+        assert merged == Counter({1: 3.0, 2: 3.0})
+
+    def test_cdf_is_monotone_and_ends_at_one(self):
+        hist = Counter({10: 1.0, 20: 3.0, 30: 1.0})
+        cdf = cdf_from_hist(hist)
+        values = [p for __, p in cdf]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_cdf_of_empty_hist(self):
+        assert cdf_from_hist(Counter()) == []
+
+    def test_fraction_with_at_least(self):
+        hist = Counter({100: 1.0, 150: 3.0})
+        assert fraction_with_at_least(hist, 138) == pytest.approx(0.75)
+        assert fraction_with_at_least(hist, 50) == 1.0
+        assert fraction_with_at_least(hist, 200) == 0.0
+
+    def test_fraction_of_empty_hist(self):
+        assert fraction_with_at_least(Counter(), 1) == 0.0

@@ -1,0 +1,141 @@
+"""Configuration defaults (Table 2) and derived quantities."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    DramCacheConfig,
+    NvmConfig,
+    SystemConfig,
+    ns_to_cycles,
+    skylake_default,
+)
+
+
+class TestDefaults:
+    def test_core_matches_table2(self, config):
+        core = config.core
+        assert core.width == 4
+        assert core.clock_ghz == 2.0
+        assert core.rob_size == 224
+        assert core.iq_size == 97
+        assert core.sq_size == 56
+        assert core.lq_size == 72
+        assert core.int_prf_size == 180
+        assert core.fp_prf_size == 168
+
+    def test_unified_prf_size(self, config):
+        assert config.core.prf_size == 348
+
+    def test_arch_regs_are_x86_64(self, config):
+        assert config.core.int_arch_regs == 16
+        assert config.core.fp_arch_regs == 32
+
+    def test_caches_match_table2(self, config):
+        mem = config.memory
+        assert mem.l1i.size_bytes == 32 << 10
+        assert mem.l1d.size_bytes == 64 << 10
+        assert mem.l1d.assoc == 8
+        assert mem.l1d.hit_latency == 4
+        assert mem.l2.size_bytes == 16 << 20
+        assert mem.l2.assoc == 16
+        assert mem.l2.hit_latency == 44
+        assert mem.l3 is None
+
+    def test_dram_cache_is_4gb_direct_mapped(self, config):
+        dram = config.memory.dram_cache
+        assert dram.size_bytes == 4 << 30
+        assert dram.num_sets == (4 << 30) // 64
+
+    def test_nvm_matches_table2(self, config):
+        nvm = config.memory.nvm
+        assert nvm.read_latency_ns == 175.0
+        assert nvm.write_latency_ns == 90.0
+        assert nvm.wpq_entries == 16
+        assert nvm.write_bandwidth_gbs == 2.3
+
+    def test_csq_default_is_40(self, config):
+        assert config.ppa.csq_entries == 40
+
+    def test_eight_cores(self, config):
+        assert config.num_cores == 8
+
+
+class TestDerived:
+    def test_ns_to_cycles_rounds(self):
+        assert ns_to_cycles(175.0, 2.0) == 350
+        assert ns_to_cycles(90.0, 2.0) == 180
+        assert ns_to_cycles(0.1, 2.0) == 1  # floor of one cycle
+
+    def test_nvm_latencies_in_cycles(self, config):
+        assert config.memory.nvm.read_latency == 350
+        assert config.memory.nvm.write_latency == 180
+
+    def test_write_port_occupancy(self, config):
+        # 64 B at 2.3 GB/s is ~27.8 ns, i.e. ~55.6 cycles at 2 GHz.
+        assert config.memory.nvm.cycles_per_line == pytest.approx(55.65, 0.01)
+
+    def test_cache_num_sets(self):
+        cfg = CacheConfig(64 << 10, 8, 4)
+        assert cfg.num_sets == 128
+
+    def test_free_regs_after_arch_map(self, config):
+        assert config.core.free_regs_after_arch_map(fp=False) == 164
+        assert config.core.free_regs_after_arch_map(fp=True) == 136
+
+
+class TestVariants:
+    def test_with_prf(self, config):
+        small = config.with_prf(80, 80)
+        assert small.core.int_prf_size == 80
+        assert small.core.fp_prf_size == 80
+        assert config.core.int_prf_size == 180  # original untouched
+
+    def test_with_csq(self, config):
+        assert config.with_csq(10).ppa.csq_entries == 10
+
+    def test_with_wpq(self, config):
+        assert config.with_wpq(8).memory.nvm.wpq_entries == 8
+
+    def test_with_write_bandwidth(self, config):
+        swept = config.with_write_bandwidth(1.0)
+        assert swept.memory.nvm.write_bandwidth_gbs == 1.0
+        assert swept.memory.nvm.cycles_per_line == pytest.approx(128.0)
+
+    def test_with_backend(self, config):
+        assert config.with_backend("dram-only").memory.backend == "dram-only"
+
+    def test_with_backend_rejects_unknown(self, config):
+        with pytest.raises(ValueError):
+            config.with_backend("floppy-disk")
+
+    def test_with_l3_deepens_hierarchy(self, config):
+        deep = config.with_l3()
+        assert deep.memory.l3 is not None
+        assert deep.memory.l3.size_bytes == 16 << 20
+        assert deep.memory.l3.hit_latency == 44
+        assert deep.memory.l2.size_bytes == 1 << 20
+        assert deep.memory.l2.hit_latency == 14
+
+    def test_configs_are_frozen(self, config):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.core.width = 8
+
+    def test_configs_are_hashable(self, config):
+        # The run memoizer keys on the config.
+        assert hash(config) == hash(skylake_default())
+
+
+class TestValidation:
+    def test_read_bandwidth_occupancy(self):
+        nvm = NvmConfig()
+        assert nvm.read_cycles_per_line < nvm.cycles_per_line
+
+    def test_dram_cache_line_granularity(self):
+        cfg = DramCacheConfig(size_bytes=1 << 20)
+        assert cfg.num_sets == (1 << 20) // 64
+
+    def test_system_config_default_equals_skylake(self):
+        assert SystemConfig() == skylake_default()

@@ -1,0 +1,125 @@
+"""JIT checkpointing: structure sizes, timing/energy plan, the FSM walk."""
+
+import pytest
+
+from repro.config import skylake_default
+from repro.core.checkpoint import (
+    CheckpointPlan,
+    ControllerState,
+    JitCheckpointController,
+    structure_sizes,
+)
+from repro.pipeline.regfile import RenamedRegisterFile
+from repro.pipeline.stats import StoreRecord
+
+
+class TestStructureSizes:
+    def test_default_matches_paper(self, config):
+        sizes = structure_sizes(config)
+        assert sizes.csq == 320       # 40 entries x 8 B
+        assert sizes.crt == 54        # 48 entries x 9 bits
+        assert sizes.maskreg == 48    # 384-bit vector
+        assert sizes.lcpc == 8
+        assert sizes.prf == 1408      # (40 + 48) regs x 16 B
+        assert sizes.total == 1838    # the paper's §7.13 worst case
+
+    def test_smaller_csq_shrinks_checkpoint(self, config):
+        small = structure_sizes(config.with_csq(10))
+        assert small.csq == 80
+        assert small.total < 1838
+
+    def test_bigger_prf_widens_maskreg(self, config):
+        sizes = structure_sizes(config.with_prf(280, 224))
+        assert sizes.maskreg == 64    # 504 bits banked to 512
+
+
+class TestCheckpointPlan:
+    def test_plan_matches_paper_numbers(self, config):
+        plan = CheckpointPlan.for_config(config)
+        assert plan.bytes_total == 1838
+        assert plan.read_cycles == 230
+        assert plan.read_ns == pytest.approx(114.9, abs=0.2)
+        assert plan.total_us == pytest.approx(0.91, abs=0.02)
+        assert plan.energy_uj == pytest.approx(21.7, abs=0.1)
+
+    def test_capacitor_volume_matches_paper(self, config):
+        plan = CheckpointPlan.for_config(config)
+        assert plan.capacitor_volume_mm3 == pytest.approx(0.06, abs=0.005)
+        assert plan.li_thin_volume_mm3 == pytest.approx(0.0006, abs=0.00005)
+
+    def test_energy_scales_with_bytes(self, config):
+        big = CheckpointPlan.for_config(config.with_csq(80))
+        small = CheckpointPlan.for_config(config.with_csq(10))
+        assert big.energy_uj > small.energy_uj
+
+
+class TestControllerFsm:
+    def _controller_and_rfs(self, config):
+        controller = JitCheckpointController(config)
+        rf_int = RenamedRegisterFile(config.core.int_prf_size,
+                                     config.core.int_arch_regs, "int",
+                                     track_values=True)
+        rf_fp = RenamedRegisterFile(config.core.fp_prf_size,
+                                    config.core.fp_arch_regs, "fp",
+                                    track_values=True)
+        return controller, rf_int, rf_fp
+
+    def test_walk_starts_and_ends_idle(self, config):
+        controller, rf_int, rf_fp = self._controller_and_rfs(config)
+        controller.checkpoint(0.0, 0, [], rf_int, rf_fp)
+        assert controller.trace[0] is ControllerState.STOP_PIPELINE
+        assert controller.trace[-1] is ControllerState.IDLE
+
+    def test_read_write_alternate(self, config):
+        controller, rf_int, rf_fp = self._controller_and_rfs(config)
+        controller.checkpoint(0.0, 0, [], rf_int, rf_fp)
+        body = controller.trace[1:-1]
+        reads = body[0::2]
+        writes = body[1::2]
+        assert all(s is ControllerState.READ for s in reads)
+        assert all(s is ControllerState.WRITE for s in writes)
+
+    def test_image_saves_crt_and_masks(self, config):
+        controller, rf_int, rf_fp = self._controller_and_rfs(config)
+        rf_int.mask(3)
+        image = controller.checkpoint(5.0, 0x400, [], rf_int, rf_fp)
+        assert image.crt_int == rf_int.crt
+        assert image.crt_fp == rf_fp.crt
+        assert 3 in image.masked_int
+        assert image.lcpc == 0x400
+
+    def test_image_saves_csq_register_values(self, config):
+        controller, rf_int, rf_fp = self._controller_and_rfs(config)
+        rf_int.write_value(100, 2.0, 777)
+        csq = [StoreRecord(seq=0, pc=4, addr=0x40, line_addr=0x40,
+                           value=777, data_preg=100, data_cls=0,
+                           commit_time=3.0, region_id=0)]
+        image = controller.checkpoint(10.0, 4, csq, rf_int, rf_fp)
+        assert image.preg_values[(0, 100)] == 777
+
+    def test_value_read_respects_failure_time(self, config):
+        """The checkpoint sees the register content AT the failure."""
+        controller, rf_int, rf_fp = self._controller_and_rfs(config)
+        rf_int.write_value(100, 2.0, 777)
+        rf_int.write_value(100, 20.0, 999)   # overwritten later
+        csq = [StoreRecord(seq=0, pc=4, addr=0x40, line_addr=0x40,
+                           value=777, data_preg=100, data_cls=0,
+                           commit_time=3.0, region_id=0)]
+        early = controller.checkpoint(10.0, 4, csq, rf_int, rf_fp)
+        late = controller.checkpoint(30.0, 4, csq, rf_int, rf_fp)
+        assert early.preg_values[(0, 100)] == 777
+        assert late.preg_values[(0, 100)] == 999
+
+    def test_crt_marked_registers_always_saved(self, config):
+        controller, rf_int, rf_fp = self._controller_and_rfs(config)
+        image = controller.checkpoint(0.0, 0, [], rf_int, rf_fp)
+        saved_int = {preg for cls, preg in image.preg_values if cls == 0}
+        assert saved_int == set(rf_int.crt)
+
+    def test_controller_hardware_budget(self):
+        assert JitCheckpointController.FLIP_FLOPS == 144
+        assert JitCheckpointController.LOGIC_GATES == 88
+
+    def test_plan_available_from_controller(self, config):
+        controller = JitCheckpointController(config)
+        assert controller.plan().bytes_total == 1838

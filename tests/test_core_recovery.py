@@ -1,0 +1,80 @@
+"""The recovery protocol in isolation."""
+
+import pytest
+
+from repro.core.checkpoint import CheckpointImage
+from repro.core.recovery import recover
+from repro.pipeline.stats import StoreRecord
+
+
+def make_image(csq, preg_values, lcpc=0x400) -> CheckpointImage:
+    return CheckpointImage(
+        fail_time=100.0, lcpc=lcpc, csq=csq,
+        crt_int=list(range(16)), crt_fp=list(range(32)),
+        masked_int=frozenset(), masked_fp=frozenset(),
+        preg_values=preg_values,
+    )
+
+
+def store(seq, addr, preg, cls=0) -> StoreRecord:
+    return StoreRecord(seq=seq, pc=4 * seq, addr=addr, line_addr=addr & ~63,
+                       value=0, data_preg=preg, data_cls=cls,
+                       commit_time=float(seq), region_id=0)
+
+
+class TestRecover:
+    def test_replays_stores_in_fifo_order(self):
+        csq = [store(0, 0x100, preg=5), store(1, 0x100, preg=6)]
+        image = make_image(csq, {(0, 5): 111, (0, 6): 222})
+        result = recover(image, {})
+        assert result.nvm_image[0x100] == 222  # younger value wins
+        assert result.replayed == 2
+
+    def test_replay_is_idempotent_over_persisted_data(self):
+        csq = [store(0, 0x100, preg=5)]
+        image = make_image(csq, {(0, 5): 111})
+        nvm = {0x100: 111}  # already persisted before the failure
+        result = recover(image, nvm)
+        assert result.nvm_image[0x100] == 111
+
+    def test_replay_fixes_inconsistent_nvm(self):
+        csq = [store(0, 0x100, preg=5)]
+        image = make_image(csq, {(0, 5): 111})
+        nvm = {0x100: 42, 0x200: 7}  # stale value + unrelated data
+        result = recover(image, nvm)
+        assert result.nvm_image[0x100] == 111
+        assert result.nvm_image[0x200] == 7
+
+    def test_resume_pc_follows_lcpc(self):
+        image = make_image([], {}, lcpc=0x800)
+        assert recover(image, {}).resume_pc == 0x801
+
+    def test_rat_restored_from_crt(self):
+        image = make_image([], {})
+        result = recover(image, {})
+        assert result.restored_rat_int == list(range(16))
+        assert result.restored_rat_fp == list(range(32))
+
+    def test_missing_register_is_integrity_violation(self):
+        csq = [store(0, 0x100, preg=5)]
+        image = make_image(csq, {})  # register was not checkpointed
+        with pytest.raises(KeyError):
+            recover(image, {})
+
+    def test_replay_log_records_writes(self):
+        csq = [store(0, 0x100, preg=5), store(1, 0x180, preg=6)]
+        image = make_image(csq, {(0, 5): 1, (0, 6): 2})
+        result = recover(image, {})
+        assert result.replay_log == [(0x100, 1), (0x180, 2)]
+
+    def test_fp_class_registers_resolve(self):
+        csq = [store(0, 0x100, preg=9, cls=1)]
+        image = make_image(csq, {(1, 9): 555})
+        assert recover(image, {}).nvm_image[0x100] == 555
+
+    def test_mutates_nvm_in_place(self):
+        nvm = {}
+        csq = [store(0, 0x100, preg=5)]
+        image = make_image(csq, {(0, 5): 1})
+        result = recover(image, nvm)
+        assert result.nvm_image is nvm

@@ -1,0 +1,131 @@
+"""Binary checkpoint layout: round trips and size budgets."""
+
+import pytest
+
+from repro.core.checkpoint import CheckpointImage
+from repro.core.processor import PersistentProcessor
+from repro.core.storage import (
+    MAGIC,
+    deserialize,
+    serialize,
+    worst_case_size,
+)
+from repro.pipeline.stats import StoreRecord
+from repro.workloads.profiles import profile_by_name
+from repro.workloads.synthetic import generate_trace
+
+
+def sample_image(csq_len=3) -> CheckpointImage:
+    csq = [
+        StoreRecord(seq=i, pc=4 * i, addr=0x1000 + 8 * i,
+                    line_addr=(0x1000 + 8 * i) & ~63, value=i + 1,
+                    data_preg=20 + i, data_cls=i % 2,
+                    commit_time=float(i), region_id=0)
+        for i in range(csq_len)
+    ]
+    preg_values = {(record.data_cls, record.data_preg): record.value
+                   for record in csq}
+    for index in range(16):
+        preg_values[(0, index)] = index * 10
+    for index in range(32):
+        preg_values[(1, index)] = index * 100
+    return CheckpointImage(
+        fail_time=123.0, lcpc=0x400123,
+        csq=csq,
+        crt_int=list(range(16)), crt_fp=list(range(32)),
+        masked_int=frozenset({20, 22}), masked_fp=frozenset({21}),
+        preg_values=preg_values,
+    )
+
+
+class TestRoundTrip:
+    def test_lcpc_survives(self, config):
+        blob = serialize(sample_image(), config)
+        assert deserialize(blob, config).lcpc == 0x400123
+
+    def test_csq_survives(self, config):
+        image = sample_image()
+        restored = deserialize(serialize(image, config), config)
+        assert len(restored.csq) == len(image.csq)
+        for original, copy in zip(image.csq, restored.csq):
+            assert copy.addr == original.addr
+            assert copy.data_preg == original.data_preg
+            assert copy.data_cls == original.data_cls
+
+    def test_crt_survives(self, config):
+        image = sample_image()
+        restored = deserialize(serialize(image, config), config)
+        assert restored.crt_int == image.crt_int
+        assert restored.crt_fp == image.crt_fp
+
+    def test_maskreg_survives(self, config):
+        image = sample_image()
+        restored = deserialize(serialize(image, config), config)
+        assert restored.masked_int == image.masked_int
+        assert restored.masked_fp == image.masked_fp
+
+    def test_register_values_survive(self, config):
+        image = sample_image()
+        restored = deserialize(serialize(image, config), config)
+        assert restored.preg_values == image.preg_values
+
+    def test_empty_csq_round_trips(self, config):
+        image = sample_image(csq_len=0)
+        restored = deserialize(serialize(image, config), config)
+        assert restored.csq == []
+
+
+class TestLayout:
+    def test_blob_is_word_aligned(self, config):
+        blob = serialize(sample_image(), config)
+        assert len(blob) % 8 == 0
+
+    def test_magic_checked(self, config):
+        blob = bytearray(serialize(sample_image(), config))
+        blob[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            deserialize(bytes(blob), config)
+
+    def test_wrong_core_config_rejected(self, config):
+        blob = serialize(sample_image(), config)
+        import dataclasses
+        other = dataclasses.replace(config, core=dataclasses.replace(
+            config.core, fp_arch_regs=16))
+        with pytest.raises(ValueError):
+            deserialize(blob, other)
+
+    def test_magic_constant(self):
+        assert MAGIC == 0x99A1
+
+    def test_worst_case_near_paper_budget(self, config):
+        # The flat layout adds only an 8 B header plus CRT word-alignment
+        # padding over the paper's 1838 B accounting.
+        assert 1838 <= worst_case_size(config) <= 1838 + 16
+
+
+class TestEndToEnd:
+    def test_real_crash_image_round_trips(self, config):
+        processor = PersistentProcessor()
+        trace = generate_trace(profile_by_name("gcc"), length=2_000)
+        stats = processor.run(trace)
+        crash = processor.crash_at(stats.cycles * 0.5)
+        blob = serialize(crash.checkpoint, config)
+        assert len(blob) <= worst_case_size(config)
+        restored = deserialize(blob, config)
+        assert restored.lcpc == crash.checkpoint.lcpc
+        assert len(restored.csq) == len(crash.checkpoint.csq)
+
+    def test_recovery_works_from_serialized_image(self, config):
+        """Recovery driven purely by the NVM byte image."""
+        from repro.core.recovery import recover
+        from repro.failure.consistency import verify_recovery
+
+        processor = PersistentProcessor()
+        trace = generate_trace(profile_by_name("gcc"), length=2_000)
+        stats = processor.run(trace)
+        crash = processor.crash_at(stats.cycles * 0.5)
+        restored = deserialize(serialize(crash.checkpoint, config), config)
+        result = recover(restored, dict(crash.nvm_image))
+        report = verify_recovery(stats, result.nvm_image,
+                                 crash.last_committed_seq)
+        assert report.consistent

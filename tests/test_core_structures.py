@@ -1,0 +1,97 @@
+"""PPA's structures: CSQ, region tracker."""
+
+import pytest
+
+from repro.core.csq import CommittedStoreQueue
+from repro.core.region import RegionTracker
+from repro.pipeline.stats import StoreRecord
+
+
+def record(seq=0, addr=0x100, value=1, preg=5) -> StoreRecord:
+    return StoreRecord(seq=seq, pc=4 * seq, addr=addr, line_addr=addr & ~63,
+                       value=value, data_preg=preg, data_cls=0,
+                       commit_time=float(seq), region_id=0)
+
+
+class TestCsq:
+    def test_push_and_len(self):
+        csq = CommittedStoreQueue(4)
+        csq.push(record(0))
+        csq.push(record(1))
+        assert len(csq) == 2
+
+    def test_fifo_order_on_clear(self):
+        csq = CommittedStoreQueue(4)
+        for seq in range(3):
+            csq.push(record(seq))
+        drained = csq.clear()
+        assert [r.seq for r in drained] == [0, 1, 2]
+        assert len(csq) == 0
+
+    def test_is_full(self):
+        csq = CommittedStoreQueue(2)
+        csq.push(record(0))
+        assert not csq.is_full
+        csq.push(record(1))
+        assert csq.is_full
+
+    def test_overflow_raises(self):
+        csq = CommittedStoreQueue(1)
+        csq.push(record(0))
+        with pytest.raises(OverflowError):
+            csq.push(record(1))
+
+    def test_snapshot_preserves_contents(self):
+        csq = CommittedStoreQueue(4)
+        csq.push(record(0))
+        snap = csq.snapshot()
+        assert len(csq) == 1
+        assert snap[0].seq == 0
+
+    def test_counters(self):
+        csq = CommittedStoreQueue(2)
+        csq.push(record(0))
+        csq.push(record(1))
+        csq.clear()
+        csq.push(record(2))
+        assert csq.total_pushed == 3
+        assert csq.max_occupancy == 2
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            CommittedStoreQueue(0)
+
+
+class TestRegionTracker:
+    def test_close_produces_record(self):
+        out = []
+        tracker = RegionTracker(out)
+        tracker.note_store()
+        tracker.note_store()
+        rec = tracker.close(end_seq=100, boundary_time=50.0,
+                            drain_time=60.0, cause="prf")
+        assert rec.instr_count == 100
+        assert rec.store_count == 2
+        assert rec.other_count == 98
+        assert rec.drain_wait == 10.0
+        assert out == [rec]
+
+    def test_next_region_starts_fresh(self):
+        tracker = RegionTracker([])
+        tracker.note_store()
+        tracker.close(10, 1.0, 1.0, "prf")
+        rec = tracker.close(25, 2.0, 2.0, "csq")
+        assert rec.start_seq == 10
+        assert rec.store_count == 0
+        assert rec.region_id == 1
+
+    def test_drain_before_boundary_rejected(self):
+        tracker = RegionTracker([])
+        with pytest.raises(ValueError):
+            tracker.close(1, 10.0, 5.0, "prf")
+
+    def test_close_time_lookup(self):
+        tracker = RegionTracker([])
+        tracker.close(10, 1.0, 3.0, "prf")
+        assert tracker.close_time_of(0) == 3.0
+        assert tracker.close_time_of(1) == float("inf")

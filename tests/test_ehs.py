@@ -1,0 +1,82 @@
+"""Intermittent computing: forward progress under episodic power."""
+
+import pytest
+
+from repro.core.processor import PersistentProcessor
+from repro.ehs.intermittent import IntermittentScenario
+from repro.workloads.profiles import profile_by_name
+from repro.workloads.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    processor = PersistentProcessor()
+    trace = generate_trace(profile_by_name("gcc"), length=2_500)
+    return IntermittentScenario(processor, trace)
+
+
+class TestPpaDiscipline:
+    def test_completes_with_small_windows(self, scenario):
+        # Windows must exceed the JIT flush/restore budget (~1830 cycles
+        # at 2.3 GB/s) with room to make progress.
+        window = max(scenario.stats.cycles / 5,
+                     scenario.recovery_overhead_cycles * 3)
+        outcome = scenario.run(window, "ppa")
+        assert outcome.completed
+        assert outcome.outages >= 2
+
+    def test_single_window_means_no_outage(self, scenario):
+        outcome = scenario.run(scenario.stats.cycles * 1.1, "ppa")
+        assert outcome.completed
+        assert outcome.outages == 0
+
+    def test_replays_stores_across_outages(self, scenario):
+        outcome = scenario.run(scenario.stats.cycles / 8, "ppa")
+        assert outcome.replayed_stores >= 0
+        assert outcome.completed
+
+    def test_progress_efficiency_bounded(self, scenario):
+        outcome = scenario.run(scenario.stats.cycles / 6, "ppa")
+        assert 0.0 < outcome.progress_efficiency <= 1.0
+
+    def test_stagnates_below_recovery_cost(self, scenario):
+        outcome = scenario.run(scenario.recovery_overhead_cycles * 0.5,
+                               "ppa")
+        assert not outcome.completed
+
+
+class TestComparativeDisciplines:
+    def test_restart_never_finishes_with_small_windows(self, scenario):
+        window = scenario.stats.cycles / 10
+        outcome = scenario.run(window, "restart")
+        assert not outcome.completed
+
+    def test_restart_finishes_given_one_big_window(self, scenario):
+        outcome = scenario.run(scenario.stats.cycles * 1.1, "restart")
+        assert outcome.completed
+
+    def test_region_restart_needs_no_fewer_outages_than_ppa(self, scenario):
+        window = max(scenario.stats.cycles / 5,
+                     scenario.recovery_overhead_cycles * 3)
+        ppa = scenario.run(window, "ppa")
+        region = scenario.run(window, "region-restart")
+        assert ppa.completed
+        if region.completed:
+            assert region.outages >= ppa.outages
+
+    def test_ppa_makes_more_progress_than_restart(self, scenario):
+        window = max(scenario.stats.cycles / 5,
+                     scenario.recovery_overhead_cycles * 3)
+        ppa = scenario.run(window, "ppa")
+        restart = scenario.run(window, "restart")
+        assert ppa.completed
+        assert not restart.completed
+        assert ppa.useful_cycles > restart.useful_cycles
+
+    def test_unknown_discipline_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            scenario.run(1000.0, "hope")
+
+    def test_zero_window_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            scenario.run(0.0, "ppa")

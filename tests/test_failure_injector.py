@@ -1,0 +1,116 @@
+"""Reconstruction of crash-time state from run logs."""
+
+import pytest
+
+from repro.failure.injector import PowerFailureInjector
+from repro.memory.writebuffer import PersistOp
+from repro.pipeline.stats import CoreStats, RegionRecord, StoreRecord
+
+
+def make_op(line, durable, writes) -> PersistOp:
+    return PersistOp(line_addr=line, created=0.0, durable_at=durable,
+                     done_at=durable + 180.0, writes=writes)
+
+
+def make_stats(stores=(), regions=(), commits=()) -> CoreStats:
+    stats = CoreStats(name="unit", scheme="ppa")
+    stats.stores = list(stores)
+    stats.regions = list(regions)
+    stats.commit_times = list(commits)
+    return stats
+
+
+def store(seq, addr, commit, region=0, durable=float("inf")) -> StoreRecord:
+    return StoreRecord(seq=seq, pc=4 * seq, addr=addr, line_addr=addr & ~63,
+                       value=seq + 100, data_preg=5, data_cls=0,
+                       commit_time=commit, region_id=region,
+                       durable_at=durable)
+
+
+def region(region_id, boundary, wait, start=0, end=10) -> RegionRecord:
+    return RegionRecord(region_id=region_id, start_seq=start, end_seq=end,
+                        store_count=1, boundary_time=boundary,
+                        drain_wait=wait, cause="prf")
+
+
+class TestNvmImage:
+    def test_only_durable_ops_apply(self):
+        log = [make_op(0, 10.0, [(5.0, 0, 1)]),
+               make_op(64, 50.0, [(40.0, 64, 2)])]
+        injector = PowerFailureInjector(make_stats(), log)
+        image = injector.nvm_image_at(20.0)
+        assert image == {0: 1}
+
+    def test_writes_merged_after_failure_excluded(self):
+        # Op admitted at 10, but one write merged into it at 30.
+        log = [make_op(0, 10.0, [(5.0, 0, 1), (30.0, 8, 2)])]
+        injector = PowerFailureInjector(make_stats(), log)
+        assert injector.nvm_image_at(20.0) == {0: 1}
+        assert injector.nvm_image_at(35.0) == {0: 1, 8: 2}
+
+    def test_durability_order_wins_for_same_address(self):
+        log = [make_op(0, 10.0, [(5.0, 0, 1)]),
+               make_op(0, 40.0, [(35.0, 0, 2)])]
+        injector = PowerFailureInjector(make_stats(), log)
+        assert injector.nvm_image_at(100.0) == {0: 2}
+
+    def test_out_of_program_order_persistence(self):
+        """A younger store's line can be durable while an older one is
+        not — the inconsistency PPA's replay repairs."""
+        log = [make_op(0, 90.0, [(5.0, 0, 1)]),     # older, durable late
+               make_op(64, 20.0, [(10.0, 64, 2)])]  # younger, durable early
+        injector = PowerFailureInjector(make_stats(), log)
+        image = injector.nvm_image_at(30.0)
+        assert 64 in image and 0 not in image
+
+
+class TestCsqReconstruction:
+    def test_open_region_stores_present(self):
+        stats = make_stats(
+            stores=[store(0, 0x100, commit=5.0, region=0)],
+            regions=[],
+        )
+        injector = PowerFailureInjector(stats, [])
+        assert len(injector.csq_at(10.0)) == 1
+
+    def test_closed_region_stores_cleared(self):
+        stats = make_stats(
+            stores=[store(0, 0x100, commit=5.0, region=0)],
+            regions=[region(0, boundary=20.0, wait=5.0)],
+        )
+        injector = PowerFailureInjector(stats, [])
+        assert injector.csq_at(30.0) == []
+
+    def test_csq_retained_until_drain_completes(self):
+        """Between the boundary and the drain acknowledgment the CSQ still
+        holds the region's stores."""
+        stats = make_stats(
+            stores=[store(0, 0x100, commit=5.0, region=0)],
+            regions=[region(0, boundary=20.0, wait=15.0)],
+        )
+        injector = PowerFailureInjector(stats, [])
+        assert len(injector.csq_at(22.0)) == 1
+        assert injector.csq_at(36.0) == []
+
+    def test_uncommitted_store_not_in_csq(self):
+        stats = make_stats(stores=[store(0, 0x100, commit=50.0, region=0)])
+        injector = PowerFailureInjector(stats, [])
+        assert injector.csq_at(10.0) == []
+
+
+class TestLastCommitted:
+    def test_bisect_on_commit_times(self):
+        stats = make_stats(commits=[1.0, 2.0, 5.0, 9.0])
+        injector = PowerFailureInjector(stats, [])
+        assert injector.last_committed_seq(0.5) == -1
+        assert injector.last_committed_seq(2.0) == 1
+        assert injector.last_committed_seq(100.0) == 3
+
+    def test_unpersisted_committed_count(self):
+        stats = make_stats(stores=[
+            store(0, 0x100, commit=5.0, durable=30.0),
+            store(1, 0x140, commit=6.0, durable=8.0),
+        ])
+        injector = PowerFailureInjector(stats, [])
+        assert injector.unpersisted_committed_stores(10.0) == 1
+        assert injector.unpersisted_committed_stores(40.0) == 0

@@ -1,0 +1,111 @@
+"""Hardware cost (Table 4) and flush-energy (Table 5) models."""
+
+import pytest
+
+from repro.config import skylake_default
+from repro.hwcost.cacti import (
+    CORE_AREA_MM2,
+    csq_cost,
+    lcpc_cost,
+    maskreg_cost,
+    ppa_area_fraction,
+    register_structure_cost,
+)
+from repro.hwcost.energy import (
+    capri_energy,
+    flush_energy_uj,
+    li_thin_volume_mm3,
+    lightpc_energy,
+    ppa_energy,
+    supercap_volume_mm3,
+    wsp_energy_table,
+)
+
+
+class TestTable4:
+    def test_lcpc_matches_paper(self):
+        cost = lcpc_cost()
+        assert cost.area_um2 == pytest.approx(12.20, rel=0.02)
+        assert cost.latency_ns == pytest.approx(0.057, rel=0.02)
+        assert cost.access_pj == pytest.approx(0.00034, rel=0.02)
+
+    def test_maskreg_matches_paper(self):
+        cost = maskreg_cost()
+        assert cost.area_um2 == pytest.approx(74.03, rel=0.02)
+        assert cost.latency_ns == pytest.approx(0.067, rel=0.02)
+        assert cost.access_pj == pytest.approx(0.00029, rel=0.03)
+
+    def test_csq_matches_paper(self):
+        cost = csq_cost()
+        assert cost.area_um2 == pytest.approx(547.84, rel=0.02)
+        assert cost.latency_ns == pytest.approx(0.07, rel=0.02)
+        assert cost.access_pj == pytest.approx(0.00025, rel=0.03)
+
+    def test_total_area_fraction_is_tiny(self):
+        fraction = ppa_area_fraction()
+        assert fraction == pytest.approx(5e-5, rel=0.2)  # 0.005 %
+
+    def test_area_scales_with_csq_entries(self):
+        assert csq_cost(80).area_um2 > csq_cost(40).area_um2
+
+    def test_maskreg_follows_prf_size(self):
+        big = maskreg_cost(skylake_default().with_prf(280, 224))
+        assert big.bits == 512
+        assert big.area_um2 > maskreg_cost().area_um2
+
+    def test_invalid_structure_rejected(self):
+        with pytest.raises(ValueError):
+            register_structure_cost("bad", bits=0)
+
+    def test_core_area_is_mcpat_value(self):
+        assert CORE_AREA_MM2 == 11.85
+
+
+class TestTable5:
+    def test_ppa_energy_matches_paper(self):
+        budget = ppa_energy()
+        assert budget.flush_bytes == 1838
+        assert budget.energy_uj == pytest.approx(21.7, abs=0.1)
+        assert budget.supercap_mm3 == pytest.approx(0.06, abs=0.005)
+        assert budget.li_thin_mm3 == pytest.approx(0.0006, abs=0.0001)
+
+    def test_capri_energy_matches_paper(self):
+        budget = capri_energy()
+        assert budget.energy_uj == pytest.approx(600.0, rel=0.15)
+        assert budget.supercap_mm3 == pytest.approx(1.57, rel=0.25)
+
+    def test_lightpc_energy_matches_paper(self):
+        budget = lightpc_energy()
+        assert budget.energy_uj == pytest.approx(189_000, rel=0.02)
+        assert budget.supercap_mm3 == pytest.approx(527.8, rel=0.02)
+        assert budget.li_thin_mm3 == pytest.approx(5.3, rel=0.02)
+
+    def test_ratio_to_core_size(self):
+        budget = ppa_energy()
+        assert budget.supercap_core_ratio == pytest.approx(0.005, abs=0.001)
+
+    def test_ordering_ppa_capri_lightpc(self):
+        table = wsp_energy_table()
+        energies = [row.energy_uj for row in table]
+        assert energies[0] < energies[1] < energies[2]
+
+    def test_eadr_scale_comparison(self):
+        # The paper: eADR needs 550 mJ, 25943x more than PPA's 21.7 uJ.
+        eadr_uj = 550_000.0
+        assert eadr_uj / ppa_energy().energy_uj == pytest.approx(
+            25_000, rel=0.05)
+
+
+class TestEnergyHelpers:
+    def test_flush_energy_linear(self):
+        assert flush_energy_uj(2000) == pytest.approx(
+            2 * flush_energy_uj(1000))
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            flush_energy_uj(-1)
+
+    def test_li_thin_is_100x_denser_than_supercap(self):
+        energy = 100.0
+        assert supercap_volume_mm3(energy) == pytest.approx(
+            100 * li_thin_volume_mm3(energy))

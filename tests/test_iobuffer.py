@@ -1,0 +1,81 @@
+"""The battery-backed I/O buffer extension (Section 5)."""
+
+import pytest
+
+from repro.core.iobuffer import BatteryBackedIoBuffer
+
+
+def make_buffer(entries=4, drain=100.0) -> BatteryBackedIoBuffer:
+    return BatteryBackedIoBuffer(entries=entries,
+                                 drain_cycles_per_write=drain)
+
+
+class TestBuffering:
+    def test_write_is_durable_on_entry(self):
+        buffer = make_buffer()
+        record = buffer.write(0, 0x10, 1, time=5.0)
+        assert record.buffered_at == 5.0
+        assert record.drained_at > record.buffered_at
+
+    def test_drains_serialize(self):
+        buffer = make_buffer(drain=100.0)
+        first = buffer.write(0, 0x10, 1, time=0.0)
+        second = buffer.write(1, 0x20, 2, time=0.0)
+        assert second.drained_at == pytest.approx(first.drained_at + 100.0)
+
+    def test_capacity_backpressure(self):
+        buffer = make_buffer(entries=2, drain=100.0)
+        buffer.write(0, 0x10, 1, time=0.0)
+        buffer.write(1, 0x20, 2, time=0.0)
+        third = buffer.write(2, 0x30, 3, time=0.0)
+        assert third.buffered_at > 0.0
+        assert buffer.stats.backpressure_cycles > 0.0
+
+    def test_no_backpressure_when_spaced(self):
+        buffer = make_buffer(entries=2, drain=10.0)
+        buffer.write(0, 0x10, 1, time=0.0)
+        buffer.write(1, 0x20, 2, time=1000.0)
+        assert buffer.stats.backpressure_cycles == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_buffer(entries=0)
+        with pytest.raises(ValueError):
+            make_buffer(drain=0.0)
+
+
+class TestCrashBehaviour:
+    def test_surviving_writes_are_the_undrained_ones(self):
+        buffer = make_buffer(drain=100.0)
+        buffer.write(0, 0x10, 1, time=0.0)     # drains at 100
+        buffer.write(1, 0x20, 2, time=0.0)     # drains at 200
+        surviving = buffer.surviving_writes(150.0)
+        assert [w.seq for w in surviving] == [1]
+
+    def test_device_state_excludes_buffered(self):
+        buffer = make_buffer(drain=100.0)
+        buffer.write(0, 0x10, 1, time=0.0)
+        buffer.write(1, 0x20, 2, time=0.0)
+        assert buffer.device_state_at(150.0) == {0x10: 1}
+
+    def test_recovered_state_is_crash_free_prefix(self):
+        """Battery coverage means no buffered I/O is ever lost."""
+        buffer = make_buffer(drain=100.0)
+        for seq in range(5):
+            buffer.write(seq, 0x10 * (seq + 1), seq + 100, time=0.0)
+        for instant in (50.0, 150.0, 350.0, 10_000.0):
+            recovered = buffer.recovered_state_at(instant)
+            reference = {0x10 * (seq + 1): seq + 100 for seq in range(5)
+                         if buffer.log[seq].buffered_at <= instant}
+            assert recovered == reference
+
+    def test_same_address_ordering_preserved(self):
+        buffer = make_buffer(drain=100.0)
+        buffer.write(0, 0x10, 1, time=0.0)
+        buffer.write(1, 0x10, 2, time=0.0)
+        assert buffer.recovered_state_at(50.0) == {0x10: 2}
+
+    def test_failure_before_any_write(self):
+        buffer = make_buffer()
+        buffer.write(0, 0x10, 1, time=100.0)
+        assert buffer.recovered_state_at(50.0) == {}

@@ -1,0 +1,147 @@
+"""Instruction, register, and trace representations."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    RegClass,
+    Register,
+    fp_reg,
+    int_reg,
+)
+from repro.isa.trace import Trace, TraceStats
+
+
+class TestRegisters:
+    def test_int_reg_shorthand(self):
+        reg = int_reg(3)
+        assert reg.cls is RegClass.INT
+        assert reg.index == 3
+
+    def test_fp_reg_shorthand(self):
+        reg = fp_reg(7)
+        assert reg.cls is RegClass.FP
+
+    def test_repr_distinguishes_classes(self):
+        assert repr(int_reg(1)) == "r1"
+        assert repr(fp_reg(1)) == "f1"
+
+    def test_registers_hashable_and_equal(self):
+        assert int_reg(5) == Register(RegClass.INT, 5)
+        assert len({int_reg(5), Register(RegClass.INT, 5)}) == 1
+
+    def test_same_index_different_class_differ(self):
+        assert int_reg(5) != fp_reg(5)
+
+
+class TestOpcode:
+    @pytest.mark.parametrize("opcode", [Opcode.LOAD, Opcode.STORE])
+    def test_mem_opcodes(self, opcode):
+        assert opcode.is_mem
+
+    @pytest.mark.parametrize("opcode", [
+        Opcode.INT_ALU, Opcode.BRANCH, Opcode.SYNC, Opcode.CMP])
+    def test_non_mem_opcodes(self, opcode):
+        assert not opcode.is_mem
+
+    @pytest.mark.parametrize("opcode", [
+        Opcode.INT_ALU, Opcode.INT_MUL, Opcode.INT_DIV, Opcode.FP_ALU,
+        Opcode.FP_MUL, Opcode.FP_DIV, Opcode.LOAD])
+    def test_defining_opcodes(self, opcode):
+        assert opcode.defines_reg
+
+    @pytest.mark.parametrize("opcode", [
+        Opcode.STORE, Opcode.BRANCH, Opcode.SYNC, Opcode.CMP])
+    def test_non_defining_opcodes(self, opcode):
+        assert not opcode.defines_reg
+
+
+class TestInstructionValidation:
+    def test_store_requires_address(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, opcode=Opcode.STORE, srcs=(int_reg(1),))
+
+    def test_load_requires_address(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, opcode=Opcode.LOAD, dest=int_reg(1))
+
+    def test_store_requires_data_source(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, opcode=Opcode.STORE, addr=64)
+
+    def test_store_must_not_define(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, opcode=Opcode.STORE, dest=int_reg(1),
+                        srcs=(int_reg(2),), addr=64)
+
+    def test_branch_must_not_define(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, opcode=Opcode.BRANCH, dest=int_reg(1))
+
+    def test_data_reg_is_first_source(self):
+        store = Instruction(pc=0, opcode=Opcode.STORE,
+                            srcs=(int_reg(9), int_reg(0)), addr=64)
+        assert store.data_reg == int_reg(9)
+
+    def test_data_reg_rejected_for_non_store(self):
+        alu = Instruction(pc=0, opcode=Opcode.INT_ALU, dest=int_reg(1))
+        with pytest.raises(ValueError):
+            __ = alu.data_reg
+
+    def test_line_addr_masks_low_bits(self):
+        load = Instruction(pc=0, opcode=Opcode.LOAD, dest=int_reg(1),
+                           addr=0x1234)
+        assert load.line_addr == 0x1200
+
+    def test_line_addr_rejected_for_non_mem(self):
+        alu = Instruction(pc=0, opcode=Opcode.INT_ALU, dest=int_reg(1))
+        with pytest.raises(ValueError):
+            __ = alu.line_addr
+
+
+class TestTrace:
+    def _trace(self):
+        instrs = [
+            Instruction(pc=4, opcode=Opcode.INT_ALU, dest=int_reg(1)),
+            Instruction(pc=8, opcode=Opcode.STORE,
+                        srcs=(int_reg(1),), addr=128),
+            Instruction(pc=12, opcode=Opcode.LOAD, dest=int_reg(2),
+                        addr=128),
+            Instruction(pc=16, opcode=Opcode.BRANCH, srcs=(int_reg(2),)),
+        ]
+        return Trace(instrs, name="t")
+
+    def test_len_and_indexing(self):
+        trace = self._trace()
+        assert len(trace) == 4
+        assert trace[1].opcode is Opcode.STORE
+
+    def test_iteration_order(self):
+        pcs = [i.pc for i in self._trace()]
+        assert pcs == [4, 8, 12, 16]
+
+    def test_stores_helper(self):
+        stores = self._trace().stores()
+        assert len(stores) == 1
+        assert stores[0].addr == 128
+
+    def test_stats_fractions(self):
+        stats = self._trace().stats()
+        assert stats.length == 4
+        assert stats.store_fraction == 0.25
+        assert stats.load_fraction == 0.25
+        assert stats.def_fraction == 0.5
+
+    def test_stats_distinct_lines(self):
+        stats = self._trace().stats()
+        assert stats.distinct_lines == 1
+
+    def test_repr_mentions_name_and_length(self):
+        assert "t" in repr(self._trace())
+        assert "4" in repr(self._trace())
+
+    def test_empty_trace_stats(self):
+        stats = TraceStats.measure([])
+        assert stats.length == 0
+        assert stats.store_fraction == 0.0

@@ -1,0 +1,133 @@
+"""NVM device model: WPQ, bandwidth, backpressure, read contention."""
+
+import pytest
+
+from repro.config import NvmConfig
+from repro.memory.nvm import NvmModel
+
+
+def make_nvm(**overrides) -> NvmModel:
+    return NvmModel(NvmConfig(**overrides))
+
+
+class TestWrites:
+    def test_first_write_admits_immediately(self):
+        nvm = make_nvm()
+        ticket = nvm.write_line(100.0)
+        assert ticket.accepted_at == 100.0
+        assert ticket.backpressure == 0.0
+
+    def test_durability_is_admission_plus_media_latency(self):
+        nvm = make_nvm()
+        ticket = nvm.write_line(0.0)
+        assert ticket.done_at == pytest.approx(nvm.write_latency)
+
+    def test_port_serializes_back_to_back_writes(self):
+        nvm = make_nvm()
+        first = nvm.write_line(0.0)
+        second = nvm.write_line(0.0)
+        assert second.done_at == pytest.approx(
+            first.done_at + nvm.cycles_per_line)
+
+    def test_spaced_writes_do_not_queue(self):
+        nvm = make_nvm()
+        nvm.write_line(0.0)
+        later = nvm.write_line(1000.0)
+        assert later.done_at == pytest.approx(1000.0 + nvm.write_latency)
+
+    def test_wpq_full_causes_backpressure(self):
+        nvm = make_nvm(wpq_entries=2)
+        nvm.write_line(0.0)
+        nvm.write_line(0.0)
+        third = nvm.write_line(0.0)
+        assert third.backpressure > 0.0
+        assert third.accepted_at > 0.0
+
+    def test_backpressure_waits_for_oldest_slot(self):
+        nvm = make_nvm(wpq_entries=1)
+        first = nvm.write_line(0.0)
+        second = nvm.write_line(0.0)
+        assert second.accepted_at == pytest.approx(first.done_at)
+
+    def test_wpq_occupancy_drains_over_time(self):
+        nvm = make_nvm()
+        nvm.write_line(0.0)
+        nvm.write_line(0.0)
+        assert nvm.wpq_occupancy(1.0) == 2
+        assert nvm.wpq_occupancy(1e9) == 0
+
+    def test_stats_count_writes_and_backpressure(self):
+        nvm = make_nvm(wpq_entries=1)
+        nvm.write_line(0.0)
+        nvm.write_line(0.0)
+        assert nvm.stats.line_writes == 2
+        assert nvm.stats.write_backpressure_cycles > 0
+
+    def test_drained_by(self):
+        nvm = make_nvm()
+        ticket = nvm.write_line(0.0)
+        assert not nvm.drained_by(ticket.done_at - 1)
+        assert nvm.drained_by(ticket.done_at)
+
+    def test_drain_time_tracks_last_write(self):
+        nvm = make_nvm()
+        nvm.write_line(0.0)
+        last = nvm.write_line(0.0)
+        assert nvm.drain_time() == pytest.approx(last.done_at)
+
+
+class TestReads:
+    def test_unloaded_read_latency(self):
+        nvm = make_nvm()
+        assert nvm.read(0.0) == pytest.approx(nvm.read_latency)
+
+    def test_read_port_occupancy_queues_reads(self):
+        nvm = make_nvm()
+        first = nvm.read(0.0)
+        second = nvm.read(0.0)
+        assert second == pytest.approx(first + nvm.read_cycles_per_line)
+
+    def test_read_contention_with_writes_is_bounded(self):
+        nvm = make_nvm()
+        for __ in range(50):
+            nvm.write_line(0.0)
+        latency = nvm.read(0.0)
+        cap = nvm.read_latency + nvm.cycles_per_line * 0.25
+        assert latency <= cap + 1e-9
+
+    def test_reads_counted(self):
+        nvm = make_nvm()
+        nvm.read(0.0)
+        nvm.read(10.0)
+        assert nvm.stats.reads == 2
+
+
+class TestBandwidthShare:
+    def test_share_scales_port_occupancy(self):
+        full = make_nvm()
+        half = NvmModel(NvmConfig(), bandwidth_share=0.5)
+        assert half.cycles_per_line == pytest.approx(
+            2 * full.cycles_per_line)
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ValueError):
+            NvmModel(NvmConfig(), bandwidth_share=0.0)
+
+    def test_sweep_bandwidth_changes_throughput(self):
+        slow = NvmModel(NvmConfig(write_bandwidth_gbs=1.0))
+        fast = NvmModel(NvmConfig(write_bandwidth_gbs=6.0))
+        slow_done = [slow.write_line(0.0).done_at for __ in range(8)][-1]
+        fast_done = [fast.write_line(0.0).done_at for __ in range(8)][-1]
+        assert fast_done < slow_done
+
+
+class TestStatsMerge:
+    def test_merge_accumulates(self):
+        a = make_nvm()
+        b = make_nvm()
+        a.write_line(0.0)
+        b.write_line(0.0)
+        b.read(0.0)
+        a.stats.merge(b.stats)
+        assert a.stats.line_writes == 2
+        assert a.stats.reads == 1

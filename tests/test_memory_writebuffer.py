@@ -1,0 +1,148 @@
+"""The asynchronous persist path: coalescing, payloads, region drains."""
+
+import pytest
+
+from repro.config import NvmConfig
+from repro.memory.nvm import NvmModel
+from repro.memory.writebuffer import WriteBuffer
+
+
+def make_wb(coalescing=True, **nvm_overrides):
+    nvm = NvmModel(NvmConfig(**nvm_overrides))
+    return WriteBuffer(16, nvm, coalescing=coalescing), nvm
+
+
+class TestCoalescing:
+    def test_same_line_stores_share_one_write(self):
+        wb, nvm = make_wb()
+        op1 = wb.persist_store(0, 0.0, addr=0, value=1)
+        op2 = wb.persist_store(0, 1.0, addr=8, value=2)
+        assert op1 is op2
+        assert nvm.stats.line_writes == 1
+        assert wb.ops_coalesced == 1
+
+    def test_different_lines_write_separately(self):
+        wb, nvm = make_wb()
+        wb.persist_store(0, 0.0, addr=0, value=1)
+        wb.persist_store(64, 0.0, addr=64, value=2)
+        assert nvm.stats.line_writes == 2
+
+    def test_window_closes_after_media_write(self):
+        wb, nvm = make_wb()
+        op1 = wb.persist_store(0, 0.0, addr=0, value=1)
+        op2 = wb.persist_store(0, op1.done_at + 1.0, addr=0, value=2)
+        assert op1 is not op2
+        assert nvm.stats.line_writes == 2
+
+    def test_coalescing_disabled(self):
+        wb, nvm = make_wb(coalescing=False)
+        wb.persist_store(0, 0.0, addr=0, value=1)
+        wb.persist_store(0, 1.0, addr=8, value=2)
+        assert nvm.stats.line_writes == 2
+
+    def test_stores_seen_counts_everything(self):
+        wb, __ = make_wb()
+        wb.persist_store(0, 0.0)
+        wb.persist_store(0, 1.0)
+        wb.persist_store(64, 2.0)
+        assert wb.stores_seen == 3
+
+
+class TestPayloads:
+    def test_writes_carry_durability_times(self):
+        wb, __ = make_wb()
+        op = wb.persist_store(0, 5.0, addr=8, value=42)
+        wb.persist_store(0, 9.0, addr=16, value=43)
+        times = {addr: t for t, addr, __ in op.writes}
+        assert times[8] == wb.store_durable_at(op, 5.0)
+        assert times[16] == wb.store_durable_at(op, 9.0)
+        assert all(t >= op.durable_at for t in times.values())
+
+    def test_log_records_every_issued_op(self):
+        wb, __ = make_wb()
+        wb.persist_store(0, 0.0, addr=0, value=1)
+        wb.persist_store(64, 0.0, addr=64, value=2)
+        assert len(wb.log) == 2
+
+    def test_store_durable_at_after_admission(self):
+        wb, __ = make_wb()
+        op = wb.persist_store(0, 0.0, addr=0, value=1)
+        # A store merged into the already-admitted entry still has to
+        # traverse the persist path before it is durable.
+        late = op.durable_at + 5.0
+        assert wb.store_durable_at(op, late) == late + wb.path_latency
+        assert wb.store_durable_at(op, 0.0) >= op.durable_at
+
+    def test_region_drain_covers_late_coalesced_store(self):
+        """The regression behind the property-test catch: a store that
+        coalesces into an admitted entry near a boundary must hold the
+        region open until it is durable."""
+        wb, __ = make_wb()
+        op = wb.persist_store(0, 0.0, addr=0, value=1)
+        late_time = op.durable_at + 1.0
+        wb.persist_store(0, late_time, addr=8, value=2)
+        drain = wb.region_drain_time(late_time)
+        assert drain >= late_time + wb.path_latency
+
+
+class TestRegionProtocol:
+    def test_drain_time_covers_all_region_ops(self):
+        wb, __ = make_wb()
+        op1 = wb.persist_store(0, 0.0)
+        op2 = wb.persist_store(64, 0.0)
+        drain = wb.region_drain_time(0.0)
+        assert drain >= max(op1.durable_at, op2.durable_at)
+
+    def test_drain_time_at_least_boundary(self):
+        wb, __ = make_wb()
+        wb.persist_store(0, 0.0)
+        assert wb.region_drain_time(1e6) == 1e6
+
+    def test_reset_region_clears_counter(self):
+        wb, __ = make_wb()
+        wb.persist_store(0, 0.0)
+        assert wb.outstanding(0.0) >= 1
+        wb.reset_region()
+        assert wb.outstanding(0.0) == 0
+
+    def test_outstanding_declines_over_time(self):
+        wb, __ = make_wb()
+        op = wb.persist_store(0, 0.0)
+        assert wb.outstanding(op.durable_at - 1) == 1
+        assert wb.outstanding(op.durable_at + 1) == 0
+
+    def test_cross_region_coalesce_joins_new_region(self):
+        wb, nvm = make_wb()
+        op = wb.persist_store(0, 0.0)
+        wb.region_drain_time(0.0)
+        wb.reset_region()
+        # A new-region store merging into the old (still draining) line op
+        # must be tracked by the new region's counter.
+        op2 = wb.persist_store(0, op.durable_at + 1.0, addr=0, value=9)
+        assert op2 is op
+        assert nvm.stats.line_writes == 1
+        assert wb.pending_count == 1
+
+    def test_total_nvm_writes_property(self):
+        wb, __ = make_wb()
+        wb.persist_store(0, 0.0)
+        wb.persist_store(64, 0.0)
+        assert wb.total_nvm_writes == 2
+
+    def test_invalid_entries_rejected(self):
+        nvm = NvmModel(NvmConfig())
+        with pytest.raises(ValueError):
+            WriteBuffer(0, nvm)
+
+
+class TestBandwidthInteraction:
+    def test_backlogged_port_lengthens_coalescing_window(self):
+        """Under saturation, media writes finish later, so more stores
+        merge into the same op — the self-limiting behaviour that keeps
+        traffic near the device bandwidth."""
+        wb, nvm = make_wb(write_bandwidth_gbs=0.5)
+        writes_before = 0
+        for index in range(50):
+            wb.persist_store((index % 4) * 64, float(index * 2))
+        writes_before = nvm.stats.line_writes
+        assert writes_before < 50

@@ -1,0 +1,80 @@
+"""The multicore system: barrier alignment, contention, makespan."""
+
+import pytest
+
+from repro.config import skylake_default
+from repro.multicore.system import MulticoreSystem
+from repro.workloads.profiles import profile_by_name
+
+LENGTH = 2_500
+
+
+@pytest.fixture(scope="module")
+def rb_baseline():
+    system = MulticoreSystem(skylake_default(), "baseline", threads=4)
+    return system.run_profile(profile_by_name("rb"), length=LENGTH)
+
+
+class TestMakespan:
+    def test_makespan_at_least_slowest_thread(self, rb_baseline):
+        slowest = max(s.cycles for s in rb_baseline.per_thread)
+        assert rb_baseline.makespan >= slowest
+
+    def test_all_threads_ran_full_traces(self, rb_baseline):
+        assert all(s.instructions == LENGTH
+                   for s in rb_baseline.per_thread)
+        assert rb_baseline.total_instructions == 4 * LENGTH
+
+    def test_barrier_segments_counted(self, rb_baseline):
+        # rb syncs every 900 instructions -> 2 syncs + final segment.
+        assert rb_baseline.barrier_segments == 3
+
+    def test_imbalance_nonnegative(self, rb_baseline):
+        assert rb_baseline.imbalance_cycles >= 0.0
+
+
+class TestContention:
+    def test_share_is_full_at_base_threads(self):
+        system = MulticoreSystem(skylake_default(), "ppa", threads=8)
+        assert system.bandwidth_share() == 1.0
+
+    def test_share_degrades_beyond_base(self):
+        s16 = MulticoreSystem(skylake_default(), "ppa", threads=16)
+        s64 = MulticoreSystem(skylake_default(), "ppa", threads=64)
+        assert 0 < s64.bandwidth_share() < s16.bandwidth_share() < 1.0
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            MulticoreSystem(skylake_default(), "ppa", threads=0)
+
+    def test_backend_follows_scheme(self):
+        system = MulticoreSystem(skylake_default(), "dram-only", threads=2)
+        assert system.config.memory.backend == "dram-only"
+
+
+class TestPpaOnMulticore:
+    def test_ppa_overhead_is_moderate(self):
+        base = MulticoreSystem(skylake_default(), "baseline",
+                               threads=4).run_profile(
+            profile_by_name("rb"), length=LENGTH)
+        ppa = MulticoreSystem(skylake_default(), "ppa",
+                              threads=4).run_profile(
+            profile_by_name("rb"), length=LENGTH)
+        ratio = ppa.makespan / base.makespan
+        assert 1.0 <= ratio < 1.5
+
+    def test_per_thread_regions_formed(self):
+        ppa = MulticoreSystem(skylake_default(), "ppa",
+                              threads=2).run_profile(
+            profile_by_name("rb"), length=LENGTH)
+        for stats in ppa.per_thread:
+            assert stats.regions
+            # sync primitives force boundaries on every core (Section 6)
+            assert any(r.cause == "sync" for r in stats.regions)
+
+    def test_nvm_writes_aggregate(self):
+        ppa = MulticoreSystem(skylake_default(), "ppa",
+                              threads=2).run_profile(
+            profile_by_name("rb"), length=LENGTH)
+        assert ppa.nvm_line_writes == sum(
+            s.nvm_line_writes for s in ppa.per_thread)

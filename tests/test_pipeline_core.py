@@ -1,0 +1,155 @@
+"""The scoreboard core on small hand-built traces."""
+
+import pytest
+
+from repro.config import skylake_default
+from repro.isa.instructions import Instruction, Opcode, int_reg
+from repro.persistence.baseline import NoPersistencePolicy
+from repro.pipeline.core import OoOCore, def_value
+
+
+def run_core(instructions, config=None, track_values=True):
+    from repro.isa.trace import Trace
+    core = OoOCore(config or skylake_default(), NoPersistencePolicy(),
+                   track_values=track_values)
+    stats = core.run(Trace(instructions, name="unit"))
+    return core, stats
+
+
+class TestBasics:
+    def test_single_alu_instruction(self, builders):
+        __, stats = run_core([builders.alu(4, 5)])
+        assert stats.instructions == 1
+        assert stats.cycles >= 2  # rename + execute + commit
+
+    def test_commit_times_monotonic(self, builders):
+        instrs = [builders.alu(4 * i, 5 + (i % 3)) for i in range(50)]
+        __, stats = run_core(instrs)
+        assert all(b >= a for a, b in zip(stats.commit_times,
+                                          stats.commit_times[1:]))
+
+    def test_commit_width_limits_throughput(self, builders):
+        # 40 independent 1-cycle ops on a 4-wide core need >= 10 cycles.
+        instrs = [builders.alu(4 * i, 5 + (i % 8), srcs=(1, 2))
+                  for i in range(40)]
+        __, stats = run_core(instrs)
+        assert stats.cycles >= 10
+
+    def test_dependency_chain_serializes(self, builders):
+        # r5 = r5 + r5, 30 times: a serial chain.
+        chain = [builders.alu(4 * i, 5, srcs=(5, 5)) for i in range(30)]
+        __, chained = run_core(chain)
+        parallel = [builders.alu(4 * i, 5 + (i % 8), srcs=(1, 2))
+                    for i in range(30)]
+        __, wide = run_core(parallel)
+        assert chained.cycles > wide.cycles
+
+    def test_div_slower_than_alu(self, builders):
+        def op(kind):
+            return [Instruction(pc=4 * i, opcode=kind, dest=int_reg(5),
+                                srcs=(int_reg(5),)) for i in range(20)]
+        __, divs = run_core(op(Opcode.INT_DIV))
+        __, alus = run_core(op(Opcode.INT_ALU))
+        assert divs.cycles > alus.cycles
+
+    def test_mispredicted_branch_adds_penalty(self, builders):
+        def trace(mispredict):
+            branch = Instruction(pc=0, opcode=Opcode.BRANCH,
+                                 srcs=(int_reg(1),),
+                                 mispredicted=mispredict)
+            return [branch] + [builders.alu(4 + 4 * i, 5) for i in range(8)]
+        __, taken = run_core(trace(True))
+        __, predicted = run_core(trace(False))
+        assert taken.cycles > predicted.cycles
+
+
+class TestMemoryOps:
+    def test_cold_load_pays_miss_latency(self, builders):
+        __, stats = run_core([builders.load(0, 5, addr=0x100000)])
+        assert stats.cycles > 100
+        assert stats.load_level_counts["nvm"] == 1
+
+    def test_warm_load_is_fast(self, builders):
+        instrs = [builders.load(0, 5, addr=0x100000),
+                  builders.load(4, 6, addr=0x100000)]
+        __, stats = run_core(instrs)
+        assert stats.load_level_counts["l1"] == 1
+
+    def test_store_produces_record(self, builders):
+        instrs = [builders.alu(0, 5),
+                  builders.store(4, 5, addr=0x2000)]
+        __, stats = run_core(instrs)
+        assert len(stats.stores) == 1
+        record = stats.stores[0]
+        assert record.addr == 0x2000
+        assert record.line_addr == 0x2000
+        assert record.seq == 1
+
+    def test_store_value_matches_producer(self, builders):
+        producer = builders.alu(0, 5, srcs=(1, 2))
+        store = builders.store(4, 5, addr=0x2000)
+        __, stats = run_core([producer, store])
+        assert stats.stores[0].value == def_value(0, (0, 0))
+
+    def test_load_sees_earlier_store_value(self, builders):
+        instrs = [
+            builders.alu(0, 5),
+            builders.store(4, 5, addr=0x2000),
+            builders.load(8, 6, addr=0x2000),
+            builders.store(12, 6, addr=0x3000),
+        ]
+        __, stats = run_core(instrs)
+        assert stats.stores[1].value == stats.stores[0].value
+
+    def test_functional_memory_defaults_to_zero(self, builders):
+        instrs = [builders.load(0, 5, addr=0x4000),
+                  builders.store(4, 5, addr=0x5000)]
+        __, stats = run_core(instrs)
+        assert stats.stores[0].value == 0
+
+
+class TestResourcesAndStats:
+    def test_rob_limits_run_ahead(self, builders):
+        # A long-latency head load followed by many cheap ops: the ROB
+        # caps how far the cheap ops can run ahead.
+        config = skylake_default()
+        instrs = [builders.load(0, 5, addr=0x900000)]
+        instrs += [builders.alu(4 + 4 * i, 6 + (i % 8), srcs=(1, 2))
+                   for i in range(400)]
+        __, stats = run_core(instrs, config)
+        head_commit = stats.commit_times[0]
+        # Instruction at index rob_size cannot commit before the head.
+        assert stats.commit_times[config.core.rob_size] >= head_commit
+
+    def test_free_reg_histogram_collected(self, small_trace):
+        core, stats = run_core(list(small_trace))
+        assert sum(stats.free_reg_hist_int.values()) > 0
+
+    def test_ipc_property(self, builders):
+        __, stats = run_core([builders.alu(4 * i, 5 + (i % 8), srcs=(1, 2))
+                              for i in range(100)])
+        assert stats.ipc == pytest.approx(100 / stats.cycles)
+
+    def test_value_tracking_can_be_disabled(self, builders):
+        instrs = [builders.alu(0, 5), builders.store(4, 5, addr=0x2000)]
+        __, stats = run_core(instrs, track_values=False)
+        assert stats.stores[0].value == 0
+
+    def test_sync_executes(self):
+        sync = Instruction(pc=0, opcode=Opcode.SYNC, srcs=(int_reg(1),))
+        __, stats = run_core([sync])
+        assert stats.cycles >= 20
+
+
+class TestDefValue:
+    def test_deterministic(self):
+        assert def_value(100, (1, 2)) == def_value(100, (1, 2))
+
+    def test_sensitive_to_pc(self):
+        assert def_value(100, (1, 2)) != def_value(104, (1, 2))
+
+    def test_sensitive_to_sources(self):
+        assert def_value(100, (1, 2)) != def_value(100, (2, 1))
+
+    def test_stays_in_64_bits(self):
+        assert 0 <= def_value(2**40, (2**63,)) < 2**64

@@ -1,0 +1,185 @@
+"""The renamed register file: free list, RAT/CRT, masking, values."""
+
+import pytest
+
+from repro.pipeline.regfile import RenamedRegisterFile
+
+
+def make_rf(size=12, arch=4, values=False) -> RenamedRegisterFile:
+    return RenamedRegisterFile(size, arch, "int", track_values=values)
+
+
+class TestInitialState:
+    def test_identity_mapping(self):
+        rf = make_rf()
+        assert rf.rat == [0, 1, 2, 3]
+        assert rf.crt == [0, 1, 2, 3]
+
+    def test_free_list_is_remainder(self):
+        rf = make_rf(size=12, arch=4)
+        assert rf.free_count(0.0) == 8
+
+    def test_too_small_prf_rejected(self):
+        with pytest.raises(ValueError):
+            make_rf(size=4, arch=4)
+
+
+class TestRenaming:
+    def test_allocate_updates_rat(self):
+        rf = make_rf()
+        preg = rf.allocate(0, 0.0)
+        assert rf.rat[0] == preg
+        assert preg >= 4
+
+    def test_allocate_consumes_free_list(self):
+        rf = make_rf()
+        before = rf.free_count(0.0)
+        rf.allocate(0, 0.0)
+        assert rf.free_count(0.0) == before - 1
+
+    def test_allocate_raises_when_exhausted(self):
+        rf = make_rf(size=5, arch=4)
+        rf.allocate(0, 0.0)
+        with pytest.raises(RuntimeError):
+            rf.allocate(1, 0.0)
+
+    def test_crt_untouched_by_rename(self):
+        rf = make_rf()
+        rf.allocate(0, 0.0)
+        assert rf.crt[0] == 0
+
+
+class TestCommitReclamation:
+    def test_commit_frees_superseded_register(self):
+        rf = make_rf()
+        preg = rf.allocate(0, 0.0)
+        rf.commit_def(0, preg, 10.0)
+        assert rf.crt[0] == preg
+        # The old mapping (p0) frees at the commit time.
+        assert rf.free_count(9.0) == 7
+        assert rf.free_count(10.0) == 8
+
+    def test_next_free_time(self):
+        rf = make_rf()
+        preg = rf.allocate(0, 0.0)
+        rf.commit_def(0, preg, 42.0)
+        assert rf.next_free_time() == 42.0
+
+    def test_next_free_time_none_when_quiet(self):
+        assert make_rf().next_free_time() is None
+
+    def test_reclaimed_register_can_be_reallocated(self):
+        rf = make_rf(size=5, arch=4)
+        preg = rf.allocate(0, 0.0)
+        rf.commit_def(0, preg, 10.0)
+        again = rf.allocate(1, 11.0)
+        assert again == 0  # the recycled original mapping of r0
+
+
+class TestStoreIntegrityMasking:
+    def test_masked_register_is_deferred_not_freed(self):
+        rf = make_rf()
+        preg = rf.allocate(0, 0.0)
+        rf.mask(0)                     # p0 (old CRT mapping) holds a store
+        rf.commit_def(0, preg, 10.0)
+        assert rf.free_count(100.0) == 7  # p0 parked, not freed
+        assert rf.deferred_count == 1
+
+    def test_end_region_releases_deferred(self):
+        rf = make_rf()
+        preg = rf.allocate(0, 0.0)
+        rf.mask(0)
+        rf.commit_def(0, preg, 10.0)
+        reclaimed = rf.end_region(50.0)
+        assert reclaimed == 1
+        assert rf.free_count(50.0) == 8
+        assert rf.deferred_count == 0
+
+    def test_end_region_clears_maskreg(self):
+        rf = make_rf()
+        rf.mask(0)
+        rf.end_region(0.0)
+        assert not rf.masked
+
+    def test_masked_but_live_register_stays_in_crt(self):
+        rf = make_rf()
+        rf.mask(1)                     # r1's mapping, never redefined
+        rf.end_region(0.0)
+        assert rf.crt[1] == 1
+        assert rf.free_count(0.0) == 8
+
+    def test_double_mask_defers_once(self):
+        rf = make_rf()
+        preg = rf.allocate(0, 0.0)
+        rf.mask(0)
+        rf.mask(0)
+        rf.commit_def(0, preg, 10.0)
+        assert rf.deferred_count == 1
+
+
+class TestReadiness:
+    def test_default_ready_time_is_zero(self):
+        assert make_rf().ready_time(3) == 0.0
+
+    def test_set_ready(self):
+        rf = make_rf()
+        rf.set_ready(5, 99.0)
+        assert rf.ready_time(5) == 99.0
+
+
+class TestValueHistory:
+    def test_initial_arch_values_are_zero(self):
+        rf = make_rf(values=True)
+        assert rf.value_at(0, 0.0) == 0
+
+    def test_value_at_respects_time(self):
+        rf = make_rf(values=True)
+        rf.write_value(5, 10.0, 111)
+        rf.write_value(5, 20.0, 222)
+        assert rf.value_at(5, 9.0) == 0
+        assert rf.value_at(5, 15.0) == 111
+        assert rf.value_at(5, 25.0) == 222
+
+    def test_value_at_exact_time_sees_write(self):
+        rf = make_rf(values=True)
+        rf.write_value(5, 10.0, 7)
+        assert rf.value_at(5, 10.0) == 7
+
+    def test_tracking_disabled_raises(self):
+        rf = make_rf(values=False)
+        with pytest.raises(RuntimeError):
+            rf.write_value(5, 0.0, 1)
+        with pytest.raises(RuntimeError):
+            rf.value_at(5, 0.0)
+
+    def test_reallocated_register_history_preserved(self):
+        """The old value is still recoverable at its own timestamp — the
+        essence of the store-integrity failure mode when masking is off."""
+        rf = make_rf(values=True)
+        rf.write_value(5, 10.0, 111)
+        rf.write_value(5, 50.0, 999)  # new definition after reclamation
+        assert rf.value_at(5, 30.0) == 111
+        assert rf.value_at(5, 60.0) == 999
+
+
+class TestInvariants:
+    def test_fresh_rf_passes(self):
+        make_rf().check_invariants()
+
+    def test_invariants_after_traffic(self):
+        rf = make_rf(size=24)
+        for step in range(20):
+            arch = step % 4
+            preg = rf.allocate(arch, float(step))
+            if step % 3 == 0:
+                rf.mask(rf.crt[arch])
+            rf.commit_def(arch, preg, float(step) + 5.0)
+            if step % 7 == 6:
+                rf.end_region(float(step) + 10.0)
+            rf.check_invariants()
+
+    def test_detects_corrupt_free_list(self):
+        rf = make_rf()
+        rf._free_now.append(rf.rat[0])
+        with pytest.raises(AssertionError):
+            rf.check_invariants()

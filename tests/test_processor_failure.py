@@ -1,0 +1,137 @@
+"""End-to-end whole-system persistence: run, crash, recover, verify."""
+
+import pytest
+
+from repro.core.processor import PersistentProcessor
+from repro.failure.consistency import (
+    reference_image,
+    verify_recovery,
+    verify_resumption,
+)
+from repro.workloads.profiles import profile_by_name
+from repro.workloads.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def gcc_run():
+    processor = PersistentProcessor()
+    trace = generate_trace(profile_by_name("gcc"), length=3_000)
+    stats = processor.run(trace)
+    return processor, stats
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("fraction", [0.1, 0.25, 0.5, 0.75, 0.9, 0.999])
+    def test_recovery_matches_reference(self, gcc_run, fraction):
+        processor, stats = gcc_run
+        crash = processor.crash_at(stats.cycles * fraction)
+        result = processor.recover(crash)
+        report = verify_recovery(stats, result.nvm_image,
+                                 crash.last_committed_seq)
+        assert report.consistent, report.mismatches
+
+    @pytest.mark.parametrize("fraction", [0.2, 0.6, 0.95])
+    def test_resumption_converges_to_full_execution(self, gcc_run,
+                                                    fraction):
+        processor, stats = gcc_run
+        crash = processor.crash_at(stats.cycles * fraction)
+        result = processor.recover(crash)
+        report = verify_resumption(stats, result.nvm_image,
+                                   crash.last_committed_seq)
+        assert report.consistent, report.mismatches
+
+    def test_crash_before_any_commit(self, gcc_run):
+        processor, stats = gcc_run
+        crash = processor.crash_at(0.0)
+        assert crash.last_committed_seq == -1
+        result = processor.recover(crash)
+        assert result.replayed == 0
+
+    def test_crash_after_completion_is_fully_consistent(self, gcc_run):
+        processor, stats = gcc_run
+        crash = processor.crash_at(stats.cycles * 10)
+        result = processor.recover(crash)
+        report = verify_recovery(stats, result.nvm_image,
+                                 len(stats.commit_times) - 1)
+        assert report.consistent
+
+    def test_resume_pc_is_last_committed_plus_one(self, gcc_run):
+        processor, stats = gcc_run
+        crash = processor.crash_at(stats.cycles * 0.5)
+        result = processor.recover(crash)
+        last_pc = processor._trace[crash.last_committed_seq].pc
+        assert result.resume_pc == last_pc + 1
+
+    def test_unpersisted_window_exists_mid_run(self, gcc_run):
+        """Mid-run there are committed-but-unpersisted stores — the very
+        window that breaks crash consistency without PPA."""
+        processor, stats = gcc_run
+        # Every store has a commit-to-durability window...
+        mid = stats.stores[len(stats.stores) // 2]
+        assert mid.durable_at > mid.commit_time
+        # ...and the injector sees the store inside it.
+        instant = (mid.commit_time + mid.durable_at) / 2.0
+        count = processor.injector.unpersisted_committed_stores(instant)
+        assert count > 0
+
+    def test_crash_requires_prior_run(self):
+        processor = PersistentProcessor()
+        with pytest.raises(RuntimeError):
+            processor.crash_at(1.0)
+
+
+class TestStoreIntegrityMatters:
+    def test_masking_off_corrupts_some_recovery(self):
+        """The negative result: without MaskReg, reclaimed registers are
+        overwritten and replay writes wrong values."""
+        processor = PersistentProcessor(enforce_store_integrity=False)
+        trace = generate_trace(profile_by_name("bzip2"), length=3_000)
+        stats = processor.run(trace)
+        corrupted = 0
+        for fraction in (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9):
+            crash = processor.crash_at(stats.cycles * fraction)
+            try:
+                result = processor.recover(crash)
+            except KeyError:
+                corrupted += 1
+                continue
+            report = verify_recovery(stats, result.nvm_image,
+                                     crash.last_committed_seq)
+            if not report.consistent:
+                corrupted += 1
+        assert corrupted > 0
+
+    def test_masking_on_never_corrupts_same_points(self):
+        processor = PersistentProcessor(enforce_store_integrity=True)
+        trace = generate_trace(profile_by_name("bzip2"), length=3_000)
+        stats = processor.run(trace)
+        for fraction in (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9):
+            crash = processor.crash_at(stats.cycles * fraction)
+            result = processor.recover(crash)
+            report = verify_recovery(stats, result.nvm_image,
+                                     crash.last_committed_seq)
+            assert report.consistent
+
+
+class TestConsistencyHelpers:
+    def test_reference_image_applies_program_order(self, gcc_run):
+        __, stats = gcc_run
+        image = reference_image(stats.stores)
+        if stats.stores:
+            last_writes = {}
+            for record in stats.stores:
+                last_writes[record.addr] = record.value
+            assert image == last_writes
+
+    def test_reference_image_truncates(self, gcc_run):
+        __, stats = gcc_run
+        if len(stats.stores) > 2:
+            early = reference_image(stats.stores, stats.stores[1].seq)
+            assert len(early) <= 2
+
+    def test_report_is_falsy_on_mismatch(self, gcc_run):
+        __, stats = gcc_run
+        report = verify_recovery(stats, {}, len(stats.commit_times) - 1)
+        if stats.stores:
+            assert not report
+            assert report.mismatches

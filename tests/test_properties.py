@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+The headline property is the paper's correctness claim: *for any program
+and any power-failure instant, replaying the CSQ on top of whatever had
+reached the persistence domain reconstructs the crash-free memory image up
+to the last committed instruction.*
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.config import NvmConfig
+from repro.core.processor import PersistentProcessor
+from repro.failure.consistency import verify_recovery, verify_resumption
+from repro.memory.cache import Cache
+from repro.config import CacheConfig
+from repro.memory.nvm import NvmModel
+from repro.memory.writebuffer import WriteBuffer
+from repro.pipeline.regfile import RenamedRegisterFile
+from repro.pipeline.resources import BandwidthLimiter
+from repro.workloads.profiles import ALL_PROFILES
+from repro.workloads.synthetic import generate_trace
+
+_RUN_CACHE: dict = {}
+
+
+def _ppa_run(app_index: int, length: int = 1_200):
+    key = (app_index, length)
+    if key not in _RUN_CACHE:
+        processor = PersistentProcessor()
+        trace = generate_trace(ALL_PROFILES[app_index], length=length,
+                               seed=app_index)
+        stats = processor.run(trace)
+        _RUN_CACHE[key] = (processor, stats)
+    return _RUN_CACHE[key]
+
+
+class TestCrashConsistencyProperty:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    @given(app_index=st.integers(min_value=0,
+                                 max_value=len(ALL_PROFILES) - 1),
+           fraction=st.floats(min_value=0.0, max_value=1.2))
+    def test_recovery_always_consistent(self, app_index, fraction):
+        processor, stats = _ppa_run(app_index)
+        crash = processor.crash_at(stats.cycles * fraction)
+        result = processor.recover(crash)
+        report = verify_recovery(stats, result.nvm_image,
+                                 crash.last_committed_seq)
+        assert report.consistent, (app_index, fraction, report.mismatches)
+
+    @settings(max_examples=25, deadline=None)
+    @given(app_index=st.integers(min_value=0,
+                                 max_value=len(ALL_PROFILES) - 1),
+           fraction=st.floats(min_value=0.0, max_value=1.0))
+    def test_resumption_always_converges(self, app_index, fraction):
+        processor, stats = _ppa_run(app_index)
+        crash = processor.crash_at(stats.cycles * fraction)
+        result = processor.recover(crash)
+        report = verify_resumption(stats, result.nvm_image,
+                                   crash.last_committed_seq)
+        assert report.consistent
+
+
+class TestRegfileProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),   # arch reg
+                  st.booleans(),                           # mask old?
+                  st.booleans()),                          # region end?
+        min_size=1, max_size=60))
+    def test_invariants_hold_under_any_sequence(self, ops):
+        rf = RenamedRegisterFile(96, 4, "int")
+        time = 0.0
+        for arch, mask_old, end_region in ops:
+            time += 1.0
+            if mask_old:
+                rf.mask(rf.crt[arch])
+            preg = rf.allocate(arch, time)
+            rf.commit_def(arch, preg, time + 4.0)
+            if end_region:
+                rf.end_region(time + 8.0)
+            rf.check_invariants()
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(st.integers(min_value=0, max_value=3),
+                        min_size=1, max_size=80))
+    def test_no_register_is_ever_double_allocated(self, ops):
+        rf = RenamedRegisterFile(96, 4, "int")
+        live = set(rf.rat)
+        time = 0.0
+        for arch in ops:
+            time += 1.0
+            old_rat = rf.rat[arch]
+            preg = rf.allocate(arch, time)
+            assert preg not in live or preg == old_rat
+            live.add(preg)
+            rf.commit_def(arch, preg, time + 2.0)
+            # the superseded CRT register leaves the live set
+            live = set(rf.rat) | set(rf.crt)
+
+
+class TestNvmProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(times=st.lists(st.floats(min_value=0, max_value=1e5),
+                          min_size=1, max_size=40))
+    def test_admissions_and_completions_monotone(self, times):
+        nvm = NvmModel(NvmConfig())
+        last_done = 0.0
+        for t in sorted(times):
+            ticket = nvm.write_line(t)
+            assert ticket.accepted_at >= t
+            assert ticket.done_at >= ticket.accepted_at
+            assert ticket.done_at >= last_done
+            last_done = ticket.done_at
+
+    @settings(max_examples=50, deadline=None)
+    @given(times=st.lists(st.floats(min_value=0, max_value=1e4),
+                          min_size=2, max_size=30))
+    def test_wpq_never_exceeds_capacity(self, times):
+        nvm = NvmModel(NvmConfig(wpq_entries=4))
+        for t in sorted(times):
+            ticket = nvm.write_line(t)
+            assert nvm.wpq_occupancy(ticket.accepted_at) <= 4
+
+
+class TestWriteBufferProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(stores=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=7),   # line index
+                  st.integers(min_value=0, max_value=7),   # word in line
+                  st.integers(min_value=0, max_value=2**32)),
+        min_size=1, max_size=60))
+    def test_every_store_is_covered_by_exactly_one_op(self, stores):
+        wb = WriteBuffer(16, NvmModel(NvmConfig()))
+        time = 0.0
+        for line_index, word, value in stores:
+            time += 3.0
+            wb.persist_store(line_index * 64, time,
+                             addr=line_index * 64 + word * 8, value=value)
+        covered = sum(len(op.writes) for op in wb.log)
+        assert covered == len(stores)
+
+    @settings(max_examples=30, deadline=None)
+    @given(lines=st.lists(st.integers(min_value=0, max_value=3),
+                          min_size=1, max_size=40))
+    def test_drain_time_after_all_admissions(self, lines):
+        wb = WriteBuffer(16, NvmModel(NvmConfig()))
+        time = 0.0
+        ops = []
+        for line in lines:
+            time += 2.0
+            ops.append(wb.persist_store(line * 64, time))
+        drain = wb.region_drain_time(time)
+        assert all(op.durable_at <= drain for op in ops)
+
+
+class TestCacheProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(accesses=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=31),
+                  st.booleans()),
+        min_size=1, max_size=120))
+    def test_occupancy_never_exceeds_capacity(self, accesses):
+        cache = Cache(CacheConfig(size_bytes=64 * 8, assoc=2,
+                                  hit_latency=1))
+        for line_index, write in accesses:
+            if not cache.access(line_index * 64, write):
+                cache.fill(line_index * 64, dirty=write)
+            assert cache.resident_lines() <= 8
+
+    @settings(max_examples=50, deadline=None)
+    @given(accesses=st.lists(st.integers(min_value=0, max_value=15),
+                             min_size=1, max_size=60))
+    def test_fill_makes_next_access_hit(self, accesses):
+        cache = Cache(CacheConfig(size_bytes=64 * 64, assoc=4,
+                                  hit_latency=1))
+        for line_index in accesses:
+            cache.fill(line_index * 64)
+            assert cache.access(line_index * 64, write=False)
+
+
+class TestBandwidthLimiterProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(times=st.lists(st.floats(min_value=0, max_value=1e4),
+                          min_size=1, max_size=60),
+           width=st.integers(min_value=1, max_value=8))
+    def test_no_cycle_over_subscribed(self, times, width):
+        limiter = BandwidthLimiter(width)
+        granted = [limiter.take(t) for t in sorted(times)]
+        assert granted == sorted(granted)
+        from collections import Counter
+        per_cycle = Counter(granted)
+        assert max(per_cycle.values()) <= width

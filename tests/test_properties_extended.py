@@ -1,0 +1,120 @@
+"""Additional property-based tests: serialization, in-order recovery,
+multi-controller consistency, and the I/O buffer."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.config import skylake_default
+from repro.core.checkpoint import CheckpointImage
+from repro.core.iobuffer import BatteryBackedIoBuffer
+from repro.core.storage import deserialize, serialize
+from repro.inorder.processor import InOrderPersistentProcessor
+from repro.isa.encoding import dumps_trace, load_trace
+from repro.pipeline.stats import StoreRecord
+from repro.workloads.profiles import ALL_PROFILES
+from repro.workloads.synthetic import generate_trace
+
+_INORDER_CACHE: dict = {}
+
+
+def _inorder_run(app_index: int):
+    if app_index not in _INORDER_CACHE:
+        processor = InOrderPersistentProcessor()
+        trace = generate_trace(ALL_PROFILES[app_index], length=1_000,
+                               seed=app_index)
+        stats = processor.run(trace)
+        _INORDER_CACHE[app_index] = (processor, stats)
+    return _INORDER_CACHE[app_index]
+
+
+class TestCheckpointSerializationProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(csq=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=167),   # valid preg
+                  st.booleans(),                             # fp class
+                  st.integers(min_value=0, max_value=2**40)),
+        max_size=40),
+           lcpc=st.integers(min_value=0, max_value=2**48))
+    def test_round_trip_any_image(self, csq, lcpc):
+        config = skylake_default()
+        records = [
+            StoreRecord(seq=i, pc=0, addr=(addr >> 3) << 3,
+                        line_addr=((addr >> 3) << 3) & ~63, value=0,
+                        data_preg=preg, data_cls=int(fp),
+                        commit_time=float(i), region_id=0)
+            for i, (preg, fp, addr) in enumerate(csq)
+        ]
+        values = {(r.data_cls, r.data_preg): r.seq * 3 for r in records}
+        for index in range(16):
+            values[(0, index)] = index
+        for index in range(32):
+            values[(1, index)] = index
+        image = CheckpointImage(
+            fail_time=0.0, lcpc=lcpc, csq=records,
+            crt_int=list(range(16)), crt_fp=list(range(32)),
+            masked_int=frozenset(r.data_preg for r in records
+                                 if r.data_cls == 0),
+            masked_fp=frozenset(r.data_preg for r in records
+                                if r.data_cls == 1),
+            preg_values=values)
+        restored = deserialize(serialize(image, config), config)
+        assert restored.lcpc == lcpc
+        assert [(r.data_cls, r.data_preg, r.addr) for r in restored.csq] \
+            == [(r.data_cls, r.data_preg, r.addr) for r in records]
+        assert restored.preg_values == values
+        assert restored.masked_int == image.masked_int
+
+
+class TestTraceSerializationProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(app_index=st.integers(min_value=0,
+                                 max_value=len(ALL_PROFILES) - 1),
+           length=st.integers(min_value=1, max_value=400))
+    def test_any_generated_trace_round_trips(self, app_index, length):
+        trace = generate_trace(ALL_PROFILES[app_index], length=length,
+                               seed=app_index)
+        restored = load_trace(dumps_trace(trace))
+        assert [(i.pc, i.opcode, i.dest, i.srcs, i.addr, i.mispredicted)
+                for i in restored] == \
+            [(i.pc, i.opcode, i.dest, i.srcs, i.addr, i.mispredicted)
+             for i in trace]
+
+
+class TestInOrderCrashProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(app_index=st.integers(min_value=0,
+                                 max_value=len(ALL_PROFILES) - 1),
+           fraction=st.floats(min_value=0.0, max_value=1.1))
+    def test_value_csq_recovery_consistent(self, app_index, fraction):
+        processor, stats = _inorder_run(app_index)
+        crash = processor.crash_at(stats.cycles * fraction)
+        result = processor.recover(crash)
+        reference = {}
+        for entry in stats.entries:
+            if entry.seq <= crash.last_committed_seq:
+                reference[entry.addr] = entry.value
+        for addr, expected in reference.items():
+            assert result.nvm_image.get(addr) == expected, \
+                (ALL_PROFILES[app_index].name, fraction, hex(addr))
+
+
+class TestIoBufferProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(writes=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=7),      # port
+                  st.integers(min_value=0, max_value=1000)),  # value
+        min_size=1, max_size=30),
+           instant=st.floats(min_value=0.0, max_value=5_000.0))
+    def test_recovered_state_is_a_prefix(self, writes, instant):
+        buffer = BatteryBackedIoBuffer(entries=4,
+                                       drain_cycles_per_write=50.0)
+        time = 0.0
+        for seq, (port, value) in enumerate(writes):
+            time += 10.0
+            buffer.write(seq, port * 8, value, time)
+        recovered = buffer.recovered_state_at(instant)
+        reference = {}
+        for seq, (port, value) in enumerate(writes):
+            if buffer.log[seq].buffered_at <= instant:
+                reference[port * 8] = value
+        assert recovered == reference

@@ -1,0 +1,207 @@
+"""Workload profiles and the synthetic trace generator."""
+
+import pytest
+
+from repro.isa.instructions import Opcode, RegClass
+from repro.workloads.multithreaded import generate_thread_traces
+from repro.workloads.profiles import (
+    ALL_PROFILES,
+    SUITES,
+    MemRegion,
+    WorkloadProfile,
+    memory_intensive_profiles,
+    profile_by_name,
+    profiles_in_suite,
+)
+from repro.workloads.synthetic import TraceGenerator, generate_trace
+
+
+class TestProfiles:
+    def test_forty_one_applications(self):
+        assert len(ALL_PROFILES) == 41
+
+    def test_names_unique(self):
+        names = [p.name for p in ALL_PROFILES]
+        assert len(names) == len(set(names))
+
+    def test_all_suites_present(self):
+        assert {p.suite for p in ALL_PROFILES} == set(SUITES)
+
+    def test_suite_populations(self):
+        assert len(profiles_in_suite("CPU2006")) == 14
+        assert len(profiles_in_suite("CPU2017")) == 8
+        assert len(profiles_in_suite("SPLASH3")) == 6
+        assert len(profiles_in_suite("STAMP")) == 4
+        assert len(profiles_in_suite("WHISPER")) == 7
+        assert len(profiles_in_suite("Mini-apps")) == 2
+
+    def test_lookup_by_name(self):
+        assert profile_by_name("gcc").suite == "CPU2006"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            profile_by_name("doom")
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            profiles_in_suite("GEEKBENCH")
+
+    def test_multithreaded_suites_declare_threads(self):
+        for suite in ("SPLASH3", "STAMP", "WHISPER"):
+            for profile in profiles_in_suite(suite):
+                assert profile.threads == 8
+                assert profile.sync_interval > 0
+
+    def test_spec_profiles_single_threaded(self):
+        for suite in ("CPU2006", "CPU2017", "Mini-apps"):
+            for profile in profiles_in_suite(suite):
+                assert profile.threads == 1
+
+    def test_memory_intensive_subset(self):
+        names = {p.name for p in memory_intensive_profiles()}
+        assert "lbm" in names and "mcf" in names and "pc" in names
+        assert "gcc" not in names and "sjeng" not in names
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", suite="CPU2006", load_frac=0.6,
+                            store_frac=0.3, branch_frac=0.2)
+
+    def test_invalid_suite_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", suite="GEEKBENCH")
+
+    def test_every_profile_has_a_stack_region(self):
+        for profile in ALL_PROFILES:
+            names = [r.name for r in profile.regions]
+            assert "stack" in names and "stream" in names
+
+    def test_footprint_sums_regions(self):
+        profile = profile_by_name("gcc")
+        assert profile.footprint_bytes == sum(
+            r.size_bytes for r in profile.regions)
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        a = generate_trace(profile_by_name("gcc"), length=500, seed=3)
+        b = generate_trace(profile_by_name("gcc"), length=500, seed=3)
+        assert [(i.pc, i.opcode, i.addr) for i in a] == \
+            [(i.pc, i.opcode, i.addr) for i in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(profile_by_name("gcc"), length=500, seed=1)
+        b = generate_trace(profile_by_name("gcc"), length=500, seed=2)
+        assert [(i.pc, i.opcode, i.addr) for i in a] != \
+            [(i.pc, i.opcode, i.addr) for i in b]
+
+    def test_mix_fractions_approximate_profile(self):
+        profile = profile_by_name("gcc")
+        stats = generate_trace(profile, length=20_000).stats()
+        assert stats.store_fraction == pytest.approx(profile.store_frac,
+                                                     rel=0.2)
+        assert stats.load_fraction == pytest.approx(profile.load_frac,
+                                                    rel=0.15)
+
+    def test_fp_profile_emits_fp_ops(self):
+        trace = generate_trace(profile_by_name("namd"), length=5_000)
+        counts = trace.stats().opcode_counts
+        fp_ops = sum(counts.get(op, 0) for op in
+                     (Opcode.FP_ALU, Opcode.FP_MUL, Opcode.FP_DIV))
+        assert fp_ops > 500
+
+    def test_int_profile_emits_no_fp(self):
+        trace = generate_trace(profile_by_name("sjeng"), length=5_000)
+        counts = trace.stats().opcode_counts
+        assert Opcode.FP_ALU not in counts
+
+    def test_addresses_within_region_extents(self):
+        generator = TraceGenerator(profile_by_name("gcc"), seed=0)
+        trace = generator.generate(5_000)
+        extents = generator.region_extents()
+        spans = [(base, base + size) for __, base, size in extents]
+        for instr in trace:
+            if instr.opcode.is_mem:
+                assert any(lo <= instr.addr < hi for lo, hi in spans)
+
+    def test_addresses_are_word_aligned(self):
+        trace = generate_trace(profile_by_name("gcc"), length=2_000)
+        for instr in trace:
+            if instr.opcode.is_mem:
+                assert instr.addr % 8 == 0
+
+    def test_sync_interval_places_syncs(self):
+        generator = TraceGenerator(profile_by_name("gcc"), seed=0)
+        trace = generator.generate(3_000, sync_interval=500)
+        syncs = [i for i, ins in enumerate(trace)
+                 if ins.opcode is Opcode.SYNC]
+        assert syncs == [500, 1000, 1500, 2000, 2500]
+
+    def test_memory_stream_matches_profile_rate(self):
+        generator = TraceGenerator(profile_by_name("gcc"), seed=0)
+        profile = profile_by_name("gcc")
+        accesses = list(generator.memory_stream(10_000))
+        expected = 10_000 * (profile.load_frac + profile.store_frac)
+        assert len(accesses) == pytest.approx(expected, rel=0.15)
+
+    def test_memory_stream_yields_line_addresses(self):
+        generator = TraceGenerator(profile_by_name("gcc"), seed=0)
+        for line, __ in generator.memory_stream(500):
+            assert line % 64 == 0
+
+    def test_base_registers_never_redefined(self):
+        trace = generate_trace(profile_by_name("gcc"), length=5_000)
+        for instr in trace:
+            if instr.dest is not None and instr.dest.cls is RegClass.INT:
+                assert instr.dest.index >= TraceGenerator._NUM_BASE_REGS
+
+    def test_zero_length_rejected(self):
+        generator = TraceGenerator(profile_by_name("gcc"))
+        with pytest.raises(ValueError):
+            generator.generate(0)
+
+    def test_store_cursors_are_more_sequential(self):
+        """Consecutive store addresses continue runs more often than
+        loads — the locality persist coalescing exploits."""
+        trace = generate_trace(profile_by_name("gcc"), length=20_000)
+        def run_rate(kind):
+            addrs = [i.addr for i in trace if i.opcode is kind]
+            seq = sum(1 for a, b in zip(addrs, addrs[1:]) if b == a + 8)
+            return seq / max(1, len(addrs))
+        assert run_rate(Opcode.STORE) > run_rate(Opcode.LOAD)
+
+
+class TestMultithreaded:
+    def test_one_trace_per_thread(self):
+        traces = generate_thread_traces(profile_by_name("rb"), 1_000)
+        assert len(traces) == 8
+
+    def test_explicit_thread_count(self):
+        traces = generate_thread_traces(profile_by_name("rb"), 1_000,
+                                        threads=3)
+        assert len(traces) == 3
+
+    def test_disjoint_address_spaces(self):
+        traces = generate_thread_traces(profile_by_name("rb"), 2_000,
+                                        threads=4)
+        line_sets = []
+        for trace in traces:
+            line_sets.append({i.line_addr for i in trace
+                              if i.opcode.is_mem})
+        for a in range(len(line_sets)):
+            for b in range(a + 1, len(line_sets)):
+                assert not (line_sets[a] & line_sets[b])
+
+    def test_syncs_aligned_across_threads(self):
+        traces = generate_thread_traces(profile_by_name("rb"), 3_000,
+                                        threads=4)
+        positions = [
+            [i for i, ins in enumerate(t) if ins.opcode is Opcode.SYNC]
+            for t in traces
+        ]
+        assert all(p == positions[0] for p in positions)
+        assert positions[0]
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            generate_thread_traces(profile_by_name("rb"), 100, threads=0)
