@@ -14,6 +14,15 @@ import sys
 import time
 
 from repro.experiments.registry import all_experiments, get_experiment
+from repro.experiments.runner import cache_counters
+
+
+def _cache_summary() -> str:
+    counters = cache_counters()
+    return (f"cache: L1 {counters['l1_hits']} hit / "
+            f"{counters['l1_misses']} miss, "
+            f"L2 {counters['l2_hits']} hit / "
+            f"{counters['l2_misses']} miss")
 
 
 def _run_one(experiment_id: str, kwargs: dict,
@@ -29,7 +38,7 @@ def _run_one(experiment_id: str, kwargs: dict,
         from repro.analysis.charts import bar_chart
         print()
         print(bar_chart(result))
-    print(f"[{elapsed:.1f}s]\n")
+    print(f"[{elapsed:.1f}s, {_cache_summary()}]\n")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,59 +1,97 @@
-"""Shared machinery for running (application × scheme × config) points.
+"""Shared machinery for running (application x scheme x config) points.
 
-Runs are memoized: most figures share the same baseline runs, and the
-benchmark suite would otherwise re-simulate them dozens of times. Cached
-:class:`CoreStats` objects must be treated as read-only.
+Runs are memoized in two tiers: an in-process dict (L1 — most figures
+share the same baseline runs, and the benchmark suite would otherwise
+re-simulate them dozens of times) in front of the orchestrator's optional
+content-addressed disk cache (L2 — survives across processes and makes
+repeated figure runs near-instant). Cached :class:`CoreStats` objects must
+be treated as read-only.
+
+The actual simulation is delegated to
+:func:`repro.orchestrator.execute.simulate_point`, the same entry the
+parallel :class:`repro.orchestrator.Campaign` workers use.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import os
 
-from repro.config import SystemConfig, skylake_default
-from repro.isa.trace import Trace
-from repro.memory.hierarchy import MemorySystem
-from repro.persistence.catalog import make_policy, scheme_backend
-from repro.pipeline.core import OoOCore
+from repro.config import SystemConfig
+from repro.orchestrator.cache import (
+    CacheCounters,
+    ResultCache,
+    point_digest,
+)
+from repro.orchestrator.execute import (
+    declare_steady_state as _declare_steady_state,  # noqa: F401 — re-export
+)
+from repro.orchestrator.execute import run_point_payload, simulate_point
+from repro.orchestrator.points import (
+    DEFAULT_LENGTH,
+    DEFAULT_WARMUP,
+    config_for,
+    make_point,
+    memo_key,
+    multicore_memo_key,
+)
+from repro.orchestrator.serialize import stats_from_payload
 from repro.pipeline.stats import CoreStats
 from repro.workloads.profiles import WorkloadProfile, profile_by_name
-from repro.workloads.synthetic import TraceGenerator
 
-DEFAULT_LENGTH = 20_000
-DEFAULT_WARMUP = 40_000
+__all__ = [
+    "DEFAULT_LENGTH", "DEFAULT_WARMUP", "run_app", "slowdown",
+    "run_multithreaded", "clear_cache", "cache_counters",
+    "configure_disk_cache", "disk_cache",
+]
 
-_CACHE: dict[tuple, CoreStats] = {}
+_CACHE: dict[tuple, object] = {}
+
+# L1 = the in-process dict above; L2 = the orchestrator's disk cache.
+_L1_COUNTERS = CacheCounters()
+_L2: ResultCache | None = None
+_L2_CONFIGURED = False
 
 
 def clear_cache() -> None:
-    """Drop all memoized runs (tests use this for isolation)."""
+    """Drop all memoized runs and reset hit/miss counters (tests use this
+    for isolation). The disk cache, if any, is left alone."""
     _CACHE.clear()
+    _L1_COUNTERS.reset()
+    if _L2 is not None:
+        _L2.counters.reset()
+
+
+def configure_disk_cache(root: str | os.PathLike | None) -> None:
+    """Enable (or, with ``None``, disable) the L2 disk cache."""
+    global _L2, _L2_CONFIGURED
+    _L2 = ResultCache(root) if root is not None else None
+    _L2_CONFIGURED = True
+
+
+def disk_cache() -> ResultCache | None:
+    """The active L2 cache. Defaults to ``$REPRO_CACHE_DIR`` when that is
+    set and :func:`configure_disk_cache` was never called."""
+    global _L2, _L2_CONFIGURED
+    if not _L2_CONFIGURED:
+        env = os.environ.get("REPRO_CACHE_DIR")
+        _L2 = ResultCache(env) if env else None
+        _L2_CONFIGURED = True
+    return _L2
+
+
+def cache_counters() -> dict[str, int]:
+    """Hit/miss counters for both tiers (L2 all-zero when disabled)."""
+    l2 = disk_cache()
+    return {
+        "l1_hits": _L1_COUNTERS.hits,
+        "l1_misses": _L1_COUNTERS.misses,
+        "l2_hits": l2.counters.hits if l2 is not None else 0,
+        "l2_misses": l2.counters.misses if l2 is not None else 0,
+    }
 
 
 def _config_for(scheme: str, config: SystemConfig | None) -> SystemConfig:
-    base = config if config is not None else skylake_default()
-    backend = scheme_backend(scheme)
-    if base.memory.backend != backend:
-        base = replace(base, memory=replace(base.memory, backend=backend))
-    return base
-
-
-def _declare_steady_state(memory: MemorySystem,
-                          generator: TraceGenerator) -> None:
-    """Mark non-streaming regions DRAM-cache resident: after the billions
-    of instructions the paper fast-forwards, a sub-4 GB reused footprint
-    sits in the direct-mapped DRAM cache, while streaming data outruns it."""
-    if memory.dram_cache is None:
-        return
-    dram_bytes = memory.cfg.dram_cache.size_bytes if memory.cfg.dram_cache \
-        else 4 << 30
-    for name, base, size in generator.region_extents():
-        if name == "stream":
-            # Large streaming data suffers direct-mapped aliasing under OS
-            # page scatter; the conflict share grows with the footprint.
-            conflict = min(0.6, 2.5 * size / dram_bytes)
-        else:
-            conflict = min(0.1, size / dram_bytes)
-        memory.dram_cache.add_resident_range(base, size, conflict)
+    return config_for(scheme, config)
 
 
 def run_app(profile: WorkloadProfile | str, scheme: str,
@@ -62,24 +100,32 @@ def run_app(profile: WorkloadProfile | str, scheme: str,
             seed: int = 0, track_values: bool = False,
             use_cache: bool = True) -> CoreStats:
     """Simulate one application under one scheme on one configuration."""
-    if isinstance(profile, str):
-        profile = profile_by_name(profile)
-    cfg = _config_for(scheme, config)
-    key = (profile.name, scheme, cfg, length, warmup, seed, track_values)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    point = make_point(profile, scheme, config=config, length=length,
+                       warmup=warmup, seed=seed, track_values=track_values)
+    if not use_cache:
+        stats, _log = simulate_point(point)
+        return stats
 
-    generator = TraceGenerator(profile, seed=seed)
-    memory = MemorySystem(cfg.memory)
-    if warmup > 0:
-        _declare_steady_state(memory, generator)
-        memory.prewarm_extents(generator.region_extents())
-    trace = generator.generate(length)
-    core = OoOCore(cfg, make_policy(scheme), memory=memory,
-                   track_values=track_values)
-    stats = core.run(trace)
-    if use_cache:
-        _CACHE[key] = stats
+    key = memo_key(point)
+    if key in _CACHE:
+        _L1_COUNTERS.hits += 1
+        return _CACHE[key]  # type: ignore[return-value]
+    _L1_COUNTERS.misses += 1
+
+    l2 = disk_cache()
+    if l2 is not None:
+        digest = point_digest(point)
+        payload = l2.get(digest)
+        if payload is not None:
+            stats = stats_from_payload(payload)
+            _CACHE[key] = stats
+            return stats
+        payload = run_point_payload(point)
+        l2.put(digest, payload, meta={"point": point.name})
+        stats = stats_from_payload(payload)
+    else:
+        stats, _log = simulate_point(point)
+    _CACHE[key] = stats
     return stats
 
 
@@ -108,17 +154,22 @@ def run_multithreaded(profile: WorkloadProfile | str, scheme: str,
     """Simulate a multithreaded application; returns the MulticoreStats.
 
     Imported lazily to keep the single-core path free of the multicore
-    machinery.
+    machinery. Multicore results stay L1-only: their stats type has no
+    serialized form yet.
     """
     from repro.multicore.system import MulticoreSystem
 
     if isinstance(profile, str):
         profile = profile_by_name(profile)
-    cfg = _config_for(scheme, config)
+    cfg = config_for(scheme, config)
     count = threads if threads is not None else profile.threads
-    key = ("mt", profile.name, scheme, cfg, count, length, warmup, seed)
+    key = multicore_memo_key(profile, scheme, cfg, count, length, warmup,
+                             seed)
     if use_cache and key in _CACHE:
+        _L1_COUNTERS.hits += 1
         return _CACHE[key]
+    if use_cache:
+        _L1_COUNTERS.misses += 1
     system = MulticoreSystem(cfg, scheme, threads=count)
     result = system.run_profile(profile, length=length, warmup=warmup,
                                 seed=seed)

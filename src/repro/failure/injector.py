@@ -37,6 +37,29 @@ class PowerFailureInjector:
             for r in stats.regions
         }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PowerFailureInjector":
+        """Build an injector from an orchestrator worker/cache payload
+        (a point simulated with ``capture_persist_log=True``), so crash
+        campaigns can replay failures against cached runs without
+        re-simulating."""
+        from repro.orchestrator.serialize import (
+            persist_log_from_payload,
+            stats_from_payload,
+        )
+
+        log = persist_log_from_payload(payload)
+        if log is None:
+            raise ValueError(
+                "payload has no persist log; simulate the point with "
+                "capture_persist_log=True")
+        return cls(stats_from_payload(payload), log)
+
+    def region_close_times(self) -> dict[int, float]:
+        """Per-region instant at which the persist counter reached zero and
+        the CSQ was cleared (boundary time plus drain wait)."""
+        return dict(self._region_close)
+
     def nvm_image_at(self, fail_time: float) -> dict[int, int]:
         """Persistence-domain contents at the moment of power loss.
 

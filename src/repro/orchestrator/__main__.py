@@ -1,0 +1,162 @@
+"""Campaign orchestrator CLI.
+
+Usage::
+
+    python -m repro.orchestrator run fig16 --jobs 4 [--length N]
+        [--apps a,b] [--no-cache] [--timeout S] [--retries K]
+    python -m repro.orchestrator run matrix --apps mcf,lbm \\
+        --schemes ppa,baseline [--jobs N]
+    python -m repro.orchestrator status [--cache-dir DIR]
+    python -m repro.orchestrator gc [--all] [--cache-dir DIR]
+
+``run fig16`` (or fig15/fig17/fig18) executes the figure's sweep as a
+campaign: a cold run simulates every point across the pool; a warm rerun
+resolves everything from the disk cache and simulates nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.orchestrator.cache import ResultCache, default_cache_dir
+from repro.orchestrator.campaign import Campaign
+from repro.orchestrator.campaigns import (
+    SWEEPS,
+    build_matrix,
+    build_sweep,
+    summarize_sweep,
+    sweep_spec,
+)
+
+
+def _progress(telemetry, result) -> None:
+    tag = "hit " if result.cache_hit else ("fail" if not result.ok
+                                           else "sim ")
+    print(f"  [{telemetry.done:4d}/{telemetry.total}] {tag} "
+          f"{result.point.name}"
+          + (f"  ({result.wall_clock:.2f}s)" if not result.cache_hit
+             and result.ok else ""),
+          flush=True)
+
+
+def _make_campaign(args) -> Campaign:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(pathlib.Path(args.cache_dir)
+                            if args.cache_dir else default_cache_dir())
+    return Campaign(cache=cache, jobs=args.jobs, timeout=args.timeout,
+                    retries=args.retries,
+                    progress=_progress if args.verbose else None)
+
+
+def _cmd_run(args) -> int:
+    campaign = _make_campaign(args)
+    apps = args.apps.split(",") if args.apps else None
+
+    if args.campaign == "matrix":
+        if not apps or not args.schemes:
+            print("matrix campaigns need --apps and --schemes")
+            return 2
+        points = build_matrix(apps, args.schemes.split(","),
+                              length=args.length or 12_000)
+        campaign.extend(points)
+        results = campaign.run()
+        print(f"{'point':32s} {'cycles':>12s} {'ipc':>6s} {'src':>5s}")
+        for result in results:
+            if result.stats is None:
+                print(f"{result.point.name:32s} FAILED: {result.error}")
+                continue
+            print(f"{result.point.name:32s} {result.stats.cycles:12.0f} "
+                  f"{result.stats.ipc:6.2f} "
+                  f"{'cache' if result.cache_hit else 'sim':>5s}")
+    elif args.campaign in SWEEPS:
+        spec = sweep_spec(args.campaign, apps=apps, length=args.length)
+        campaign.extend(build_sweep(spec))
+        results = campaign.run()
+        print(f"== {spec.name}: {spec.title} ==")
+        for label, mean in summarize_sweep(spec, results):
+            print(f"  {label:12s} {mean:.3f}")
+    else:
+        known = ", ".join(sorted(SWEEPS)) + ", matrix"
+        print(f"unknown campaign {args.campaign!r} (known: {known})")
+        return 2
+
+    telemetry = campaign.telemetry
+    print(f"[campaign] {telemetry.summary_line()}")
+    if campaign.cache is not None:
+        print(f"[cache] {campaign.cache.root}")
+    return 0 if telemetry.failures == 0 else 1
+
+
+def _cmd_status(args) -> int:
+    cache = ResultCache(pathlib.Path(args.cache_dir)
+                        if args.cache_dir else default_cache_dir())
+    info = cache.inventory()
+    print(f"cache root:    {info['root']}")
+    print(f"entries:       {info['entries']}")
+    print(f"bytes:         {info['bytes']}")
+    print(f"current salt:  {info['current_salt']}")
+    for salt, count in sorted(info["salts"].items()):
+        marker = " (current)" if salt == info["current_salt"] else " (stale)"
+        print(f"  salt {salt}: {count} entries{marker}")
+    return 0
+
+
+def _cmd_gc(args) -> int:
+    cache = ResultCache(pathlib.Path(args.cache_dir)
+                        if args.cache_dir else default_cache_dir())
+    removed = cache.gc(all_entries=args.all)
+    what = "entries" if args.all else "stale entries"
+    print(f"removed {removed} {what} from {cache.root}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.orchestrator",
+        description="Run simulation campaigns in parallel with a "
+                    "persistent result cache.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a named campaign")
+    run.add_argument("campaign",
+                     help="fig15|fig16|fig17|fig18 sweep, or 'matrix'")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (1 = in-process serial)")
+    run.add_argument("--length", type=int, default=None,
+                     help="instructions per trace")
+    run.add_argument("--apps", type=str, default=None,
+                     help="comma-separated application subset")
+    run.add_argument("--schemes", type=str, default=None,
+                     help="comma-separated schemes (matrix campaigns)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="bypass the disk result cache")
+    run.add_argument("--cache-dir", type=str, default=None,
+                     help="cache directory (default: $REPRO_CACHE_DIR or "
+                          "~/.cache/repro-sim)")
+    run.add_argument("--timeout", type=float, default=None,
+                     help="per-point timeout in seconds")
+    run.add_argument("--retries", type=int, default=1,
+                     help="retries per point on worker failure")
+    run.add_argument("--verbose", action="store_true",
+                     help="print per-point progress lines")
+    run.set_defaults(func=_cmd_run)
+
+    status = sub.add_parser("status", help="show cache inventory")
+    status.add_argument("--cache-dir", type=str, default=None)
+    status.set_defaults(func=_cmd_status)
+
+    gc = sub.add_parser("gc", help="drop stale cache entries")
+    gc.add_argument("--all", action="store_true",
+                    help="drop everything, not just stale-salt entries")
+    gc.add_argument("--cache-dir", type=str, default=None)
+    gc.set_defaults(func=_cmd_gc)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Content-addressed on-disk result cache (the campaign's L2).
+
+Each entry is one strict-JSON file named by the SHA-256 of its canonical
+key material (full profile + config + run parameters + code-version salt).
+The salt hashes every ``repro`` source file, so editing the simulator
+invalidates old results instead of silently serving them; ``gc`` reclaims
+entries written under a different salt.
+
+Writes are atomic (temp file + rename), so concurrent campaigns sharing a
+cache directory can only ever race to write identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.orchestrator.points import SimPoint
+from repro.orchestrator.serialize import point_key_material
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+_code_salt_cache: str | None = None
+
+
+def code_salt() -> str:
+    """Hash of every ``repro`` source file: the cache's code-version salt."""
+    global _code_salt_cache
+    if _code_salt_cache is None:
+        import repro
+
+        package_root = pathlib.Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_salt_cache = digest.hexdigest()[:16]
+    return _code_salt_cache
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sim``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-sim"
+
+
+def point_digest(point: SimPoint, salt: str | None = None) -> str:
+    """Stable content address of one simulation point."""
+    material = point_key_material(point, salt if salt is not None
+                                  else code_salt())
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss accounting for one cache tier."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class ResultCache:
+    """Directory of content-addressed simulation results."""
+
+    root: pathlib.Path
+    counters: CacheCounters = field(default_factory=CacheCounters)
+
+    def __post_init__(self) -> None:
+        self.root = pathlib.Path(self.root)
+
+    def _path(self, digest: str) -> pathlib.Path:
+        # Two-character shard keeps directories small at campaign scale.
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> dict[str, Any] | None:
+        """The stored payload for ``digest``, or None on miss (a corrupt
+        entry counts as a miss and is removed)."""
+        path = self._path(digest)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            payload = entry["payload"]
+        except (OSError, ValueError, KeyError):
+            if path.exists():
+                path.unlink(missing_ok=True)
+            self.counters.misses += 1
+            return None
+        self.counters.hits += 1
+        return payload
+
+    def put(self, digest: str, payload: dict[str, Any],
+            meta: dict[str, Any] | None = None) -> None:
+        """Atomically store ``payload`` under ``digest``."""
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "digest": digest,
+            "salt": code_salt(),
+            "schema": 1,
+            "meta": meta or {},
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, allow_nan=False,
+                          separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def contains(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    # ------------------------------------------------------------------
+    # Inventory and maintenance
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list[pathlib.Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def inventory(self) -> dict[str, Any]:
+        """Entry count, total bytes, and per-salt breakdown."""
+        salts: dict[str, int] = {}
+        total_bytes = 0
+        paths = self.entries()
+        for path in paths:
+            total_bytes += path.stat().st_size
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    salt = json.load(handle).get("salt", "?")
+            except (OSError, ValueError):
+                salt = "?"
+            salts[salt] = salts.get(salt, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": len(paths),
+            "bytes": total_bytes,
+            "salts": salts,
+            "current_salt": code_salt(),
+        }
+
+    def gc(self, all_entries: bool = False) -> int:
+        """Remove stale entries (different code salt), or everything with
+        ``all_entries``; returns the number of files removed."""
+        current = code_salt()
+        removed = 0
+        for path in self.entries():
+            if not all_entries:
+                try:
+                    with path.open("r", encoding="utf-8") as handle:
+                        salt = json.load(handle).get("salt")
+                except (OSError, ValueError):
+                    salt = None
+                if salt == current:
+                    continue
+            path.unlink(missing_ok=True)
+            removed += 1
+        for shard in self.root.glob("*"):
+            if shard.is_dir() and not any(shard.iterdir()):
+                shard.rmdir()
+        return removed

@@ -1,0 +1,312 @@
+"""Parallel simulation campaigns over a process pool with an L2 disk cache.
+
+A :class:`Campaign` collects :class:`SimPoint`\\ s, resolves as many as it
+can from the content-addressed :class:`ResultCache`, fans the misses out
+across a ``ProcessPoolExecutor``, and returns results in submission order
+regardless of completion order. Worker failures are retried a bounded
+number of times; per-point timeouts bound how long the collector waits on
+any single point.
+
+Telemetry (points done, cache hits/misses, retries, worker busy-time) is
+kept up to date as points complete and handed to an optional progress
+callback after every point.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.memory.writebuffer import PersistOp
+from repro.pipeline.stats import CoreStats
+
+from repro.orchestrator.cache import ResultCache, point_digest
+from repro.orchestrator.execute import run_point_payload
+from repro.orchestrator.points import SimPoint
+from repro.orchestrator.serialize import (
+    persist_log_from_payload,
+    stats_from_payload,
+)
+
+
+@dataclass
+class PointResult:
+    """Outcome of one campaign point (order matches submission order)."""
+
+    index: int
+    point: SimPoint
+    stats: CoreStats | None = None
+    persist_log: list[PersistOp] | None = None
+    cache_hit: bool = False
+    wall_clock: float = 0.0          # simulation time inside the worker
+    attempts: int = 0                # simulation attempts (0 for cache hits)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.stats is not None
+
+
+@dataclass
+class CampaignTelemetry:
+    """Live campaign accounting, snapshotted to progress callbacks."""
+
+    total: int = 0
+    done: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    simulated: int = 0
+    failures: int = 0               # points that exhausted their retries
+    retries: int = 0                # extra attempts after a failure
+    jobs: int = 1
+    busy_seconds: float = 0.0       # summed worker simulation time
+    started_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started_at
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the pool's wall-clock capacity spent simulating."""
+        wall = self.elapsed * max(1, self.jobs)
+        return self.busy_seconds / wall if wall > 0 else 0.0
+
+    def summary_line(self) -> str:
+        return (f"{self.done}/{self.total} points, "
+                f"L2 {self.cache_hits} hit / {self.cache_misses} miss, "
+                f"{self.simulated} simulated, {self.retries} retries, "
+                f"{self.failures} failed, "
+                f"{self.elapsed:.1f}s elapsed, "
+                f"{100.0 * self.worker_utilization:.0f}% "
+                f"worker utilization")
+
+
+ProgressCallback = Callable[[CampaignTelemetry, PointResult], None]
+
+
+class CampaignError(RuntimeError):
+    """A point exhausted its retries and ``fail_fast`` was requested."""
+
+
+class Campaign:
+    """Submit points, then :meth:`run` them with caching and parallelism."""
+
+    def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
+                 timeout: float | None = None, retries: int = 1,
+                 progress: ProgressCallback | None = None,
+                 fail_fast: bool = False) -> None:
+        self.cache = cache
+        self.jobs = max(1, jobs)
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.progress = progress
+        self.fail_fast = fail_fast
+        self.points: list[SimPoint] = []
+        self.telemetry = CampaignTelemetry(jobs=self.jobs)
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def add(self, point: SimPoint) -> int:
+        """Queue a point; returns its (stable) result index."""
+        self.points.append(point)
+        return len(self.points) - 1
+
+    def add_run(self, profile, scheme: str, **kwargs: Any) -> int:
+        """Convenience: build the point via :func:`make_point` and queue
+        it."""
+        from repro.orchestrator.points import make_point
+
+        return self.add(make_point(profile, scheme, **kwargs))
+
+    def extend(self, points) -> None:
+        for point in points:
+            self.add(point)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self) -> list[PointResult]:
+        """Execute every queued point; results come back in submission
+        order with deterministic content (the simulator is seeded)."""
+        telemetry = self.telemetry = CampaignTelemetry(jobs=self.jobs)
+        telemetry.total = len(self.points)
+        results: list[PointResult | None] = [None] * len(self.points)
+
+        misses: list[int] = []
+        for index, point in enumerate(self.points):
+            result = self._try_cache(index, point)
+            if result is not None:
+                results[index] = result
+                self._account(result)
+            else:
+                misses.append(index)
+
+        if misses:
+            if self.jobs == 1:
+                self._run_serial(misses, results)
+            else:
+                self._run_pool(misses, results)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # -- cache probe ----------------------------------------------------
+
+    def _try_cache(self, index: int, point: SimPoint) -> PointResult | None:
+        if self.cache is None:
+            return None
+        digest = point_digest(point)
+        payload = self.cache.get(digest)
+        if payload is None:
+            return None
+        return PointResult(
+            index=index, point=point,
+            stats=stats_from_payload(payload),
+            persist_log=persist_log_from_payload(payload),
+            cache_hit=True,
+            wall_clock=payload.get("wall_clock", 0.0),
+        )
+
+    def _store(self, point: SimPoint, payload: dict[str, Any]) -> None:
+        if self.cache is not None:
+            self.cache.put(point_digest(point), payload,
+                           meta={"point": point.name})
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _account(self, result: PointResult) -> None:
+        telemetry = self.telemetry
+        telemetry.done += 1
+        if result.cache_hit:
+            telemetry.cache_hits += 1
+        else:
+            telemetry.cache_misses += 1
+            if result.ok:
+                telemetry.simulated += 1
+                telemetry.busy_seconds += result.wall_clock
+            else:
+                telemetry.failures += 1
+        if self.progress is not None:
+            self.progress(telemetry, result)
+        if result.error is not None and self.fail_fast:
+            raise CampaignError(
+                f"point {result.index} ({result.point.name}) failed after "
+                f"{result.attempts} attempts: {result.error}")
+
+    def _result_from_payload(self, index: int, point: SimPoint,
+                             payload: dict[str, Any],
+                             attempts: int) -> PointResult:
+        result = PointResult(
+            index=index, point=point,
+            stats=stats_from_payload(payload),
+            persist_log=persist_log_from_payload(payload),
+            wall_clock=payload.get("wall_clock", 0.0),
+            attempts=attempts,
+        )
+        self._store(point, payload)
+        return result
+
+    # -- serial path ----------------------------------------------------
+
+    def _run_serial(self, misses: list[int],
+                    results: list[PointResult | None]) -> None:
+        for index in misses:
+            point = self.points[index]
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    payload = run_point_payload(point)
+                except Exception as exc:  # noqa: BLE001 — retried below
+                    if attempts <= self.retries:
+                        self.telemetry.retries += 1
+                        continue
+                    result = PointResult(index=index, point=point,
+                                         attempts=attempts, error=repr(exc))
+                else:
+                    result = self._result_from_payload(
+                        index, point, payload, attempts)
+                break
+            results[index] = result
+            self._account(result)
+
+    # -- pool path ------------------------------------------------------
+
+    def _run_pool(self, misses: list[int],
+                  results: list[PointResult | None]) -> None:
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        futures: dict[int, Future] = {}
+        attempts: dict[int, int] = {}
+        try:
+            for index in misses:
+                futures[index] = pool.submit(
+                    run_point_payload, self.points[index])
+                attempts[index] = 1
+
+            # Collect in submission order so retries keep deterministic
+            # result ordering; out-of-order completions simply wait ready.
+            queue = list(misses)
+            position = 0
+            while position < len(queue):
+                index = queue[position]
+                point = self.points[index]
+                future = futures[index]
+                try:
+                    payload = future.result(timeout=self.timeout)
+                except FutureTimeoutError:
+                    future.cancel()
+                    result, pool = self._handle_failure(
+                        pool, futures, attempts, index,
+                        f"timeout after {self.timeout}s")
+                except BrokenExecutor as exc:
+                    # The pool is dead (worker OOM/segfault): rebuild it and
+                    # resubmit every unfinished point before retrying.
+                    pool = self._rebuild_pool(pool, futures, queue, position)
+                    result, pool = self._handle_failure(
+                        pool, futures, attempts, index, repr(exc))
+                except Exception as exc:  # noqa: BLE001 — worker raised
+                    result, pool = self._handle_failure(
+                        pool, futures, attempts, index, repr(exc))
+                else:
+                    result = self._result_from_payload(
+                        index, point, payload, attempts[index])
+                if result is None:
+                    continue      # retrying this index; don't advance
+                results[index] = result
+                self._account(result)
+                position += 1
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _handle_failure(self, pool: ProcessPoolExecutor,
+                        futures: dict[int, Future],
+                        attempts: dict[int, int], index: int,
+                        error: str):
+        """Retry ``index`` if budget remains (returns ``(None, pool)``), or
+        produce its failed :class:`PointResult`."""
+        if attempts[index] <= self.retries:
+            attempts[index] += 1
+            self.telemetry.retries += 1
+            futures[index] = pool.submit(
+                run_point_payload, self.points[index])
+            return None, pool
+        return PointResult(index=index, point=self.points[index],
+                           attempts=attempts[index], error=error), pool
+
+    def _rebuild_pool(self, pool: ProcessPoolExecutor,
+                      futures: dict[int, Future], queue: list[int],
+                      position: int) -> ProcessPoolExecutor:
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        for pending in queue[position + 1:]:
+            if not futures[pending].done() or \
+                    futures[pending].exception() is not None:
+                futures[pending] = pool.submit(
+                    run_point_payload, self.points[pending])
+        return pool

@@ -1,0 +1,146 @@
+"""Named campaign builders for the paper's sensitivity sweeps.
+
+Each sweep (Figures 15-18) is the same shape: a list of configurations, a
+set of applications, and a ``ppa``-over-``baseline`` slowdown per cell.
+``build_sweep`` expands that into the flat point list a :class:`Campaign`
+schedules, and ``summarize_sweep`` folds the results back into the
+figure's (config -> gmean slowdown) table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.stats import gmean
+from repro.config import SystemConfig, skylake_default
+
+from repro.orchestrator.points import SimPoint, make_point
+
+SWEEP_LENGTH = 12_000
+
+# Mirrors repro.experiments.figures.SWEEP_APPS (kept literal here so the
+# orchestrator has no import edge into the experiments layer).
+SWEEP_APPS = ("mcf", "lbm", "libquantum", "rb", "pc", "water-ns",
+              "lulesh", "xsbench")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One figure-style sweep: labeled configs x apps x (ppa, baseline)."""
+
+    name: str
+    title: str
+    configs: tuple[tuple[str, SystemConfig], ...]
+    apps: tuple[str, ...] = SWEEP_APPS
+    schemes: tuple[str, ...] = ("ppa", "baseline")
+    length: int = SWEEP_LENGTH
+
+
+def _prf_spec() -> SweepSpec:
+    base = skylake_default()
+    sizes = ((80, 80), (100, 100), (120, 120), (140, 140), (180, 168),
+             (280, 224))
+    return SweepSpec(
+        name="fig16", title="PPA slowdown vs PRF size",
+        configs=tuple((f"{i}/{f}", base.with_prf(i, f)) for i, f in sizes))
+
+
+def _wpq_spec() -> SweepSpec:
+    base = skylake_default()
+    return SweepSpec(
+        name="fig15", title="PPA slowdown vs WPQ size",
+        configs=tuple((f"wpq={n}", base.with_wpq(n))
+                      for n in (8, 16, 24)))
+
+
+def _csq_spec() -> SweepSpec:
+    base = skylake_default()
+    return SweepSpec(
+        name="fig17", title="PPA slowdown vs CSQ size",
+        configs=tuple((f"csq={n}", base.with_csq(n))
+                      for n in (10, 20, 30, 40, 50)))
+
+
+def _bandwidth_spec() -> SweepSpec:
+    base = skylake_default()
+    return SweepSpec(
+        name="fig18", title="PPA slowdown vs NVM write bandwidth",
+        configs=tuple((f"gbs={g}", base.with_write_bandwidth(g))
+                      for g in (1.0, 2.3, 4.0, 6.0)))
+
+
+SWEEPS: dict[str, Callable[[], SweepSpec]] = {
+    "fig15": _wpq_spec,
+    "fig16": _prf_spec,
+    "fig17": _csq_spec,
+    "fig18": _bandwidth_spec,
+}
+
+
+def sweep_spec(name: str, apps: Sequence[str] | None = None,
+               length: int | None = None) -> SweepSpec:
+    """The named sweep, optionally narrowed to a subset of apps or a
+    different trace length."""
+    try:
+        spec = SWEEPS[name]()
+    except KeyError:
+        known = ", ".join(sorted(SWEEPS))
+        raise ValueError(f"unknown sweep {name!r} (known: {known})") \
+            from None
+    updates: dict = {}
+    if apps is not None:
+        updates["apps"] = tuple(apps)
+    if length is not None:
+        updates["length"] = length
+    if updates:
+        from dataclasses import replace
+
+        spec = replace(spec, **updates)
+    return spec
+
+
+def build_sweep(spec: SweepSpec) -> list[SimPoint]:
+    """Expand a sweep into the flat, deterministic point list."""
+    points = []
+    for label, config in spec.configs:
+        for app in spec.apps:
+            for scheme in spec.schemes:
+                points.append(make_point(
+                    app, scheme, config=config, length=spec.length,
+                    label=f"{spec.name}:{label}:{app}:{scheme}"))
+    return points
+
+
+def summarize_sweep(spec: SweepSpec, results) -> list[tuple[str, float]]:
+    """(config label, gmean slowdown) rows from a finished campaign.
+
+    ``results`` must come from the point list ``build_sweep`` produced;
+    ordering is positional, which :meth:`Campaign.run` guarantees."""
+    rows = []
+    cursor = iter(results)
+    for label, _config in spec.configs:
+        ratios = []
+        for _app in spec.apps:
+            per_scheme = {}
+            for scheme in spec.schemes:
+                result = next(cursor)
+                if result.stats is None:
+                    raise RuntimeError(
+                        f"point {result.point.name} failed: {result.error}")
+                per_scheme[scheme] = result.stats.cycles
+            ratios.append(per_scheme["ppa"] / per_scheme["baseline"])
+        rows.append((label, gmean(ratios)))
+    return rows
+
+
+def build_matrix(apps: Sequence[str], schemes: Sequence[str],
+                 length: int = SWEEP_LENGTH,
+                 config: SystemConfig | None = None) -> list[SimPoint]:
+    """A plain apps x schemes campaign on one configuration."""
+    return [
+        make_point(app, scheme, config=config, length=length,
+                   label=f"{app}:{scheme}")
+        for app in apps
+        for scheme in schemes
+    ]

@@ -1,0 +1,159 @@
+"""JSON round-tripping for everything a campaign ships across processes.
+
+``CoreStats`` (with its ``StoreRecord``/``RegionRecord`` logs) serializes
+via the methods on the dataclasses themselves; this module adds the
+surrounding pieces — ``SystemConfig``, ``WorkloadProfile``, persist-op
+logs, and whole worker payloads — and the canonical key material that the
+content-addressed cache hashes.
+
+Everything is strict JSON (``allow_nan=False``): non-finite floats are
+encoded as the strings ``"inf"``/``"-inf"``/``"nan"`` by
+:func:`repro.pipeline.stats.encode_float`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    DramCacheConfig,
+    MemoryConfig,
+    NvmConfig,
+    PpaConfig,
+    SystemConfig,
+)
+from repro.memory.writebuffer import PersistOp
+from repro.pipeline.stats import CoreStats, decode_float, encode_float
+from repro.workloads.profiles import MemRegion, WorkloadProfile
+
+from repro.orchestrator.points import SimPoint
+
+
+# ---------------------------------------------------------------------------
+# Configurations and profiles
+# ---------------------------------------------------------------------------
+
+def config_to_dict(config: SystemConfig) -> dict[str, Any]:
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: dict[str, Any]) -> SystemConfig:
+    memory = dict(data["memory"])
+    memory["l1i"] = CacheConfig(**memory["l1i"])
+    memory["l1d"] = CacheConfig(**memory["l1d"])
+    memory["l2"] = CacheConfig(**memory["l2"])
+    memory["l3"] = (CacheConfig(**memory["l3"])
+                    if memory["l3"] is not None else None)
+    memory["dram_cache"] = (DramCacheConfig(**memory["dram_cache"])
+                            if memory["dram_cache"] is not None else None)
+    memory["nvm"] = NvmConfig(**memory["nvm"])
+    return SystemConfig(
+        core=CoreConfig(**data["core"]),
+        memory=MemoryConfig(**memory),
+        ppa=PpaConfig(**data["ppa"]),
+        num_cores=data["num_cores"],
+        free_reg_sample_stride=data["free_reg_sample_stride"],
+    )
+
+
+def profile_to_dict(profile: WorkloadProfile) -> dict[str, Any]:
+    return dataclasses.asdict(profile)
+
+
+def profile_from_dict(data: dict[str, Any]) -> WorkloadProfile:
+    data = dict(data)
+    data["regions"] = tuple(MemRegion(**r) for r in data["regions"])
+    return WorkloadProfile(**data)
+
+
+# ---------------------------------------------------------------------------
+# Persist logs
+# ---------------------------------------------------------------------------
+
+def persist_op_to_dict(op: PersistOp) -> dict[str, Any]:
+    return {
+        "line_addr": op.line_addr,
+        "created": op.created,
+        "durable_at": encode_float(op.durable_at),
+        "done_at": encode_float(op.done_at),
+        "writes": [[encode_float(t), addr, value]
+                   for t, addr, value in op.writes],
+    }
+
+
+def persist_op_from_dict(data: dict[str, Any]) -> PersistOp:
+    return PersistOp(
+        line_addr=data["line_addr"],
+        created=data["created"],
+        durable_at=decode_float(data["durable_at"]),
+        done_at=decode_float(data["done_at"]),
+        writes=[(decode_float(t), addr, value)
+                for t, addr, value in data["writes"]],
+    )
+
+
+def persist_log_to_list(log: list[PersistOp]) -> list[dict[str, Any]]:
+    return [persist_op_to_dict(op) for op in log]
+
+
+def persist_log_from_list(data: list[dict[str, Any]]) -> list[PersistOp]:
+    return [persist_op_from_dict(op) for op in data]
+
+
+# ---------------------------------------------------------------------------
+# Worker payloads
+# ---------------------------------------------------------------------------
+
+def payload_from_run(stats: CoreStats, persist_log: list[PersistOp] | None,
+                     wall_clock: float) -> dict[str, Any]:
+    """What a worker returns (and the disk cache stores) for one point."""
+    return {
+        "stats": stats.to_dict(),
+        "persist_log": (persist_log_to_list(persist_log)
+                        if persist_log is not None else None),
+        "wall_clock": wall_clock,
+    }
+
+
+def stats_from_payload(payload: dict[str, Any]) -> CoreStats:
+    return CoreStats.from_dict(payload["stats"])
+
+
+def persist_log_from_payload(payload: dict[str, Any]) \
+        -> list[PersistOp] | None:
+    log = payload.get("persist_log")
+    return persist_log_from_list(log) if log is not None else None
+
+
+# ---------------------------------------------------------------------------
+# Canonical cache-key material
+# ---------------------------------------------------------------------------
+
+CACHE_SCHEMA_VERSION = 1
+
+
+def point_key_material(point: SimPoint, salt: str) -> str:
+    """Canonical JSON string hashed into the point's cache key.
+
+    Covers every run parameter (full profile and config, not just names)
+    plus a code-version salt, so results from a different simulator version
+    never alias."""
+    material = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "salt": salt,
+        "kind": "app",
+        "profile": profile_to_dict(point.profile),
+        "scheme": point.scheme,
+        "config": config_to_dict(point.config),
+        "length": point.length,
+        "warmup": point.warmup,
+        "seed": point.seed,
+        "track_values": point.track_values,
+        "capture_persist_log": point.capture_persist_log,
+    }
+    return json.dumps(material, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)

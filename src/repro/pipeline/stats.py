@@ -13,6 +13,27 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
+def encode_float(value: float) -> float | str:
+    """Strict-JSON encoding of a float: non-finite values become strings.
+
+    ``json.dumps(..., allow_nan=False)`` rejects inf/nan, and the
+    ``Infinity`` literal the default encoder would emit is not valid JSON.
+    Finite floats pass through unchanged (Python's repr round-trips them
+    bit-exactly)."""
+    if value == float("inf"):
+        return "inf"
+    if value == float("-inf"):
+        return "-inf"
+    if value != value:
+        return "nan"
+    return value
+
+
+def decode_float(value: float | str) -> float:
+    """Inverse of :func:`encode_float`."""
+    return float(value) if isinstance(value, str) else value
+
+
 @dataclass(slots=True)
 class StoreRecord:
     """One committed store, as the CSQ and the failure injector see it."""
@@ -27,6 +48,19 @@ class StoreRecord:
     commit_time: float
     region_id: int
     durable_at: float = float("inf")
+
+    def to_row(self) -> list:
+        """Compact JSON row (field order matches the dataclass)."""
+        return [self.seq, self.pc, self.addr, self.line_addr, self.value,
+                self.data_preg, self.data_cls, self.commit_time,
+                self.region_id, encode_float(self.durable_at)]
+
+    @classmethod
+    def from_row(cls, row: list) -> "StoreRecord":
+        return cls(seq=row[0], pc=row[1], addr=row[2], line_addr=row[3],
+                   value=row[4], data_preg=row[5], data_cls=row[6],
+                   commit_time=row[7], region_id=row[8],
+                   durable_at=decode_float(row[9]))
 
 
 @dataclass(slots=True)
@@ -48,6 +82,18 @@ class RegionRecord:
     @property
     def other_count(self) -> int:
         return self.instr_count - self.store_count
+
+    def to_row(self) -> list:
+        """Compact JSON row (field order matches the dataclass)."""
+        return [self.region_id, self.start_seq, self.end_seq,
+                self.store_count, self.boundary_time,
+                encode_float(self.drain_wait), self.cause]
+
+    @classmethod
+    def from_row(cls, row: list) -> "RegionRecord":
+        return cls(region_id=row[0], start_seq=row[1], end_seq=row[2],
+                   store_count=row[3], boundary_time=row[4],
+                   drain_wait=decode_float(row[5]), cause=row[6])
 
 
 @dataclass
@@ -122,6 +168,55 @@ class CoreStats:
             "load_levels": dict(self.load_level_counts),
             "extra": dict(self.extra),
         }
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full-fidelity JSON form: every field the figures and the failure
+        injector consume survives a ``to_dict``/``from_dict`` round trip
+        bit-exactly (unlike :meth:`to_summary_dict`, which is a digest)."""
+        return {
+            "name": self.name,
+            "scheme": self.scheme,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "rename_oor_stall_cycles": self.rename_oor_stall_cycles,
+            "regions": [r.to_row() for r in self.regions],
+            "stores": [s.to_row() for s in self.stores],
+            "free_reg_hist_int": {str(k): v
+                                  for k, v in self.free_reg_hist_int.items()},
+            "free_reg_hist_fp": {str(k): v
+                                 for k, v in self.free_reg_hist_fp.items()},
+            "commit_times": list(self.commit_times),
+            "nvm_line_writes": self.nvm_line_writes,
+            "nvm_reads": self.nvm_reads,
+            "persist_ops": self.persist_ops,
+            "persist_coalesced": self.persist_coalesced,
+            "load_level_counts": dict(self.load_level_counts),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CoreStats":
+        """Reconstruct a :class:`CoreStats` written by :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            scheme=data["scheme"],
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            rename_oor_stall_cycles=data["rename_oor_stall_cycles"],
+            regions=[RegionRecord.from_row(r) for r in data["regions"]],
+            stores=[StoreRecord.from_row(s) for s in data["stores"]],
+            free_reg_hist_int=Counter(
+                {int(k): v for k, v in data["free_reg_hist_int"].items()}),
+            free_reg_hist_fp=Counter(
+                {int(k): v for k, v in data["free_reg_hist_fp"].items()}),
+            commit_times=list(data["commit_times"]),
+            nvm_line_writes=data["nvm_line_writes"],
+            nvm_reads=data["nvm_reads"],
+            persist_ops=data["persist_ops"],
+            persist_coalesced=data["persist_coalesced"],
+            load_level_counts=Counter(data["load_level_counts"]),
+            extra=dict(data["extra"]),
+        )
 
     def free_reg_cdf(self, fp: bool = False) -> list[tuple[int, float]]:
         """Cumulative distribution of free registers over time (Fig 5)."""

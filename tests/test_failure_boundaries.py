@@ -1,0 +1,159 @@
+"""Failure injection exactly at region-boundary instants.
+
+The CSQ of a region is cleared the moment its persist counter reaches zero
+(``boundary_time + drain_wait``). A power cut *exactly* at that instant
+must see the region already cleared (the counter-zero event and the CSQ
+clear are one atomic step in the model), while a cut any time earlier must
+still see the region's stores. Likewise, a persist op is durable *at* its
+WPQ-admission cycle, inclusive. These edges are exercised both on
+hand-built logs and, property-style, on real PPA runs with hypothesis
+drawing failure times around every boundary.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.processor import PersistentProcessor
+from repro.failure.consistency import verify_recovery
+from repro.failure.injector import PowerFailureInjector
+from repro.memory.writebuffer import PersistOp
+from repro.pipeline.stats import CoreStats, RegionRecord, StoreRecord
+from repro.workloads.profiles import profile_by_name
+from repro.workloads.synthetic import generate_trace
+
+_EPS = 1e-6
+
+
+def _stats_with_region(close_time: float) -> CoreStats:
+    """One region whose persist counter reaches zero at ``close_time``."""
+    stats = CoreStats(name="unit", scheme="ppa")
+    stats.regions = [RegionRecord(region_id=0, start_seq=0, end_seq=4,
+                                  store_count=2,
+                                  boundary_time=close_time - 5.0,
+                                  drain_wait=5.0, cause="prf")]
+    stats.stores = [
+        StoreRecord(seq=0, pc=0, addr=0, line_addr=0, value=1,
+                    data_preg=1, data_cls=0, commit_time=2.0, region_id=0),
+        StoreRecord(seq=1, pc=4, addr=8, line_addr=0, value=2,
+                    data_preg=2, data_cls=0, commit_time=4.0, region_id=0),
+    ]
+    stats.commit_times = [2.0, 4.0]
+    return stats
+
+
+class TestCsqClearInstant:
+    def test_csq_populated_just_before_counter_zero(self):
+        stats = _stats_with_region(close_time=50.0)
+        injector = PowerFailureInjector(stats, [])
+        assert len(injector.csq_at(50.0 - _EPS)) == 2
+
+    def test_csq_cleared_exactly_at_counter_zero(self):
+        """Failure at the exact counter-zero cycle: the clear has happened."""
+        stats = _stats_with_region(close_time=50.0)
+        injector = PowerFailureInjector(stats, [])
+        assert injector.csq_at(50.0) == []
+
+    def test_zero_drain_wait_region_clears_at_boundary(self):
+        """A region whose persists were all durable by the boundary has
+        drain_wait == 0: its CSQ clears at the boundary cycle itself."""
+        stats = _stats_with_region(close_time=45.0)
+        stats.regions[0].drain_wait = 0.0
+        close = stats.regions[0].boundary_time
+        injector = PowerFailureInjector(stats, [])
+        assert len(injector.csq_at(close - _EPS)) == 2
+        assert injector.csq_at(close) == []
+
+    def test_region_close_times_reflect_drain_wait(self):
+        stats = _stats_with_region(close_time=50.0)
+        injector = PowerFailureInjector(stats, [])
+        assert injector.region_close_times() == {0: 50.0}
+
+
+class TestDurabilityInstant:
+    def test_write_durable_exactly_at_admission(self):
+        op = PersistOp(line_addr=0, created=0.0, durable_at=30.0,
+                       done_at=200.0, writes=[(30.0, 0, 7)])
+        injector = PowerFailureInjector(CoreStats(), [op])
+        assert injector.nvm_image_at(30.0 - _EPS) == {}
+        assert injector.nvm_image_at(30.0) == {0: 7}
+
+    def test_unpersisted_window_closes_at_durability(self):
+        stats = _stats_with_region(close_time=50.0)
+        stats.stores[0].durable_at = 30.0
+        stats.stores[1].durable_at = 40.0
+        injector = PowerFailureInjector(stats, [])
+        assert injector.unpersisted_committed_stores(4.0) == 2
+        assert injector.unpersisted_committed_stores(30.0 - _EPS) == 2
+        assert injector.unpersisted_committed_stores(30.0) == 1
+        assert injector.unpersisted_committed_stores(40.0) == 0
+
+
+class _PpaRun:
+    """One real tracked PPA run, shared by the property tests."""
+
+    _cached = None
+
+    @classmethod
+    def get(cls):
+        if cls._cached is None:
+            processor = PersistentProcessor()
+            trace = generate_trace(profile_by_name("water-ns"),
+                                   length=1_200, seed=7)
+            stats = processor.run(trace)
+            cls._cached = (processor, stats)
+        return cls._cached
+
+
+class TestBoundaryProperty:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    @given(region_index=st.integers(min_value=0, max_value=10 ** 6),
+           offset=st.sampled_from(
+               [-1.0, -_EPS, 0.0, _EPS, 1.0]))
+    def test_recovery_consistent_at_and_around_every_boundary(
+            self, region_index, offset):
+        """Crash exactly at (and a hair around) persist-counter-zero /
+        CSQ-clear instants: recovery must still reconstruct the crash-free
+        image up to the last committed instruction."""
+        processor, stats = _PpaRun.get()
+        closes = sorted(processor.injector.region_close_times().values())
+        fail_time = max(0.0, closes[region_index % len(closes)] + offset)
+        crash = processor.crash_at(fail_time)
+        result = processor.recover(crash)
+        report = verify_recovery(stats, result.nvm_image,
+                                 crash.last_committed_seq)
+        assert report.consistent, (fail_time, report.mismatches)
+
+    @settings(max_examples=40, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=1.1))
+    def test_recovery_consistent_at_random_times(self, fraction):
+        processor, stats = _PpaRun.get()
+        fail_time = stats.cycles * fraction
+        crash = processor.crash_at(fail_time)
+        result = processor.recover(crash)
+        report = verify_recovery(stats, result.nvm_image,
+                                 crash.last_committed_seq)
+        assert report.consistent, (fail_time, report.mismatches)
+
+    def test_csq_boundary_semantics_on_real_run(self):
+        """On a real run: at each region-close instant the region's own
+        stores are gone from the CSQ; just before, any store committed by
+        then is still present."""
+        processor, stats = _PpaRun.get()
+        injector = processor.injector
+        checked = 0
+        for region in stats.regions[:20]:
+            close = region.boundary_time + region.drain_wait
+            ids = {s.region_id for s in injector.csq_at(close)}
+            assert region.region_id not in ids
+            committed_before = [
+                s for s in stats.stores
+                if s.region_id == region.region_id
+                and s.commit_time <= close - _EPS
+            ]
+            if committed_before:
+                before_ids = {s.region_id
+                              for s in injector.csq_at(close - _EPS)}
+                assert region.region_id in before_ids
+                checked += 1
+        assert checked > 0

@@ -1,0 +1,98 @@
+"""Content-addressed disk cache: keys, storage, inventory, gc."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import skylake_default
+from repro.orchestrator.cache import (
+    ResultCache,
+    code_salt,
+    point_digest,
+)
+from repro.orchestrator.points import make_point
+from repro.workloads.profiles import profile_by_name
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "simcache")
+
+
+class TestPointDigest:
+    def test_stable_across_calls(self):
+        a = make_point("gcc", "ppa", length=1000)
+        b = make_point("gcc", "ppa", length=1000)
+        assert point_digest(a) == point_digest(b)
+
+    def test_every_run_parameter_is_keyed(self):
+        base = dict(length=1000, warmup=500, seed=0, track_values=False)
+        reference = point_digest(make_point("gcc", "ppa", **base))
+        for change in (dict(length=1001), dict(warmup=501), dict(seed=1),
+                       dict(track_values=True)):
+            digest = point_digest(make_point("gcc", "ppa",
+                                             **{**base, **change}))
+            assert digest != reference, change
+
+    def test_scheme_config_and_profile_are_keyed(self):
+        reference = point_digest(make_point("gcc", "ppa", length=1000))
+        assert point_digest(make_point("gcc", "capri", length=1000)) \
+            != reference
+        assert point_digest(make_point("mcf", "ppa", length=1000)) \
+            != reference
+        config = skylake_default().with_csq(10)
+        assert point_digest(make_point("gcc", "ppa", config=config,
+                                       length=1000)) != reference
+
+    def test_modified_profile_with_stock_name_gets_own_key(self):
+        stock = make_point("gcc", "ppa", length=1000)
+        tweaked_profile = dataclasses.replace(profile_by_name("gcc"),
+                                              store_frac=0.5)
+        tweaked = make_point(tweaked_profile, "ppa", length=1000)
+        assert point_digest(stock) != point_digest(tweaked)
+
+    def test_salt_changes_key(self):
+        point = make_point("gcc", "ppa", length=1000)
+        assert point_digest(point, salt="a") != point_digest(point, salt="b")
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, cache):
+        assert cache.get("ab" + "0" * 62) is None
+        cache.put("ab" + "0" * 62, {"stats": 1})
+        assert cache.get("ab" + "0" * 62) == {"stats": 1}
+        assert cache.counters.hits == 1
+        assert cache.counters.misses == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, cache):
+        digest = "cd" + "0" * 62
+        cache.put(digest, {"x": 1})
+        path = cache._path(digest)
+        path.write_text("{not json")
+        assert cache.get(digest) is None
+        assert not path.exists()
+
+    def test_inventory_and_gc(self, cache):
+        cache.put("aa" + "0" * 62, {"x": 1})
+        cache.put("bb" + "0" * 62, {"x": 2})
+        info = cache.inventory()
+        assert info["entries"] == 2
+        assert info["bytes"] > 0
+        assert info["salts"] == {code_salt(): 2}
+
+        # Rewrite one entry under a stale salt; gc reclaims only that one.
+        path = cache._path("aa" + "0" * 62)
+        entry = json.loads(path.read_text())
+        entry["salt"] = "stale-salt"
+        path.write_text(json.dumps(entry))
+        assert cache.gc() == 1
+        assert cache.get("bb" + "0" * 62) == {"x": 2}
+
+        assert cache.gc(all_entries=True) == 1
+        assert cache.inventory()["entries"] == 0
+
+    def test_empty_cache_inventory(self, cache):
+        info = cache.inventory()
+        assert info["entries"] == 0
+        assert cache.gc() == 0

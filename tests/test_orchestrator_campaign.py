@@ -1,0 +1,181 @@
+"""Campaign execution: caching tiers, ordering, retries, telemetry."""
+
+import pytest
+
+from repro.config import skylake_default
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.campaign import Campaign, CampaignError
+from repro.orchestrator.points import SimPoint, make_point
+from repro.workloads.profiles import profile_by_name
+
+LENGTH = 1_500
+
+POINTS = [("gcc", "ppa"), ("gcc", "baseline"), ("rb", "ppa"),
+          ("rb", "baseline")]
+
+
+def _populate(campaign):
+    for app, scheme in POINTS:
+        campaign.add_run(app, scheme, length=LENGTH, warmup=0)
+
+
+def _bad_point() -> SimPoint:
+    """A point whose simulation raises inside the worker (unknown scheme
+    slips past make_point because we build the dataclass directly)."""
+    return SimPoint(profile=profile_by_name("gcc"),
+                    scheme="no-such-scheme", config=skylake_default(),
+                    length=200, warmup=0)
+
+
+class TestSerialCampaign:
+    def test_results_in_submission_order(self, tmp_path):
+        campaign = Campaign(cache=ResultCache(tmp_path))
+        _populate(campaign)
+        results = campaign.run()
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        assert [r.point.profile.name for r in results] \
+            == [app for app, _ in POINTS]
+        assert all(r.ok and not r.cache_hit for r in results)
+
+    def test_warm_rerun_simulates_nothing(self, tmp_path):
+        cold = Campaign(cache=ResultCache(tmp_path))
+        _populate(cold)
+        cold_results = cold.run()
+        assert cold.telemetry.simulated == len(POINTS)
+
+        warm = Campaign(cache=ResultCache(tmp_path))
+        _populate(warm)
+        warm_results = warm.run()
+        assert warm.telemetry.simulated == 0
+        assert warm.telemetry.cache_hits == len(POINTS)
+        for a, b in zip(cold_results, warm_results):
+            assert a.stats == b.stats
+
+    def test_no_cache_campaign(self):
+        campaign = Campaign(cache=None)
+        campaign.add_run("gcc", "ppa", length=LENGTH, warmup=0)
+        results = campaign.run()
+        assert results[0].ok
+        assert campaign.telemetry.cache_hits == 0
+
+    def test_progress_callback_sees_every_point(self, tmp_path):
+        seen = []
+        campaign = Campaign(
+            cache=ResultCache(tmp_path),
+            progress=lambda telemetry, result: seen.append(
+                (result.index, result.cache_hit, telemetry.done)))
+        _populate(campaign)
+        campaign.run()
+        assert [done for _, _, done in seen] == [1, 2, 3, 4]
+        assert [index for index, _, _ in seen] == [0, 1, 2, 3]
+
+    def test_failed_point_records_error_and_retries(self):
+        campaign = Campaign(cache=None, retries=2)
+        campaign.add(_bad_point())
+        campaign.add_run("gcc", "ppa", length=LENGTH, warmup=0)
+        results = campaign.run()
+        assert results[0].error is not None
+        assert results[0].stats is None
+        assert results[0].attempts == 3          # initial try + 2 retries
+        assert results[1].ok                     # later points still run
+        assert campaign.telemetry.failures == 1
+        assert campaign.telemetry.retries == 2
+
+    def test_fail_fast_raises(self):
+        campaign = Campaign(cache=None, retries=0, fail_fast=True)
+        campaign.add(_bad_point())
+        with pytest.raises(CampaignError):
+            campaign.run()
+
+    def test_persist_log_capture(self, tmp_path):
+        from repro.failure.injector import PowerFailureInjector
+
+        campaign = Campaign(cache=ResultCache(tmp_path))
+        campaign.add(make_point("gcc", "ppa", length=LENGTH, warmup=0,
+                                track_values=True, capture_persist_log=True))
+        result = campaign.run()[0]
+        assert result.persist_log
+        injector = PowerFailureInjector(result.stats, result.persist_log)
+        assert injector.nvm_image_at(result.stats.cycles)
+
+        # The warm path hands back the same log from disk.
+        warm = Campaign(cache=ResultCache(tmp_path))
+        warm.add(make_point("gcc", "ppa", length=LENGTH, warmup=0,
+                            track_values=True, capture_persist_log=True))
+        warm_result = warm.run()[0]
+        assert warm_result.cache_hit
+        assert warm_result.persist_log == result.persist_log
+
+
+class TestParallelCampaign:
+    def test_pool_matches_serial(self, tmp_path):
+        serial = Campaign(cache=None)
+        _populate(serial)
+        serial_results = serial.run()
+
+        pooled = Campaign(cache=ResultCache(tmp_path / "pool"), jobs=2)
+        _populate(pooled)
+        pooled_results = pooled.run()
+        assert pooled.telemetry.simulated == len(POINTS)
+        for a, b in zip(serial_results, pooled_results):
+            assert a.stats == b.stats
+
+    def test_pool_failure_is_retried_then_reported(self):
+        campaign = Campaign(cache=None, jobs=2, retries=1)
+        campaign.add(_bad_point())
+        campaign.add_run("rb", "ppa", length=LENGTH, warmup=0)
+        results = campaign.run()
+        assert results[0].error is not None and results[0].attempts == 2
+        assert results[1].ok
+        assert campaign.telemetry.retries == 1
+
+    def test_pool_warm_rerun_hits_cache(self, tmp_path):
+        cache_dir = tmp_path / "shared"
+        cold = Campaign(cache=ResultCache(cache_dir), jobs=2)
+        _populate(cold)
+        cold.run()
+
+        warm = Campaign(cache=ResultCache(cache_dir), jobs=2)
+        _populate(warm)
+        warm.run()
+        assert warm.telemetry.simulated == 0
+        assert warm.telemetry.cache_hits == len(POINTS)
+
+
+class TestTelemetry:
+    def test_utilization_and_summary(self, tmp_path):
+        campaign = Campaign(cache=ResultCache(tmp_path))
+        _populate(campaign)
+        campaign.run()
+        telemetry = campaign.telemetry
+        assert telemetry.total == telemetry.done == len(POINTS)
+        assert telemetry.busy_seconds > 0
+        assert 0.0 <= telemetry.worker_utilization <= 1.0
+        line = telemetry.summary_line()
+        assert f"{len(POINTS)}/{len(POINTS)} points" in line
+        assert "worker utilization" in line
+
+
+class TestSweepCampaigns:
+    def test_build_and_summarize_fig17(self, tmp_path):
+        from repro.orchestrator.campaigns import (
+            build_sweep,
+            summarize_sweep,
+            sweep_spec,
+        )
+
+        spec = sweep_spec("fig17", apps=("rb",), length=LENGTH)
+        points = build_sweep(spec)
+        assert len(points) == len(spec.configs) * 2
+        campaign = Campaign(cache=ResultCache(tmp_path))
+        campaign.extend(points)
+        rows = summarize_sweep(spec, campaign.run())
+        assert [label for label, _ in rows] \
+            == [label for label, _ in spec.configs]
+        assert all(mean > 0 for _, mean in rows)
+
+    def test_unknown_sweep_rejected(self):
+        from repro.orchestrator.campaigns import sweep_spec
+
+        with pytest.raises(ValueError):
+            sweep_spec("fig99")

@@ -1,0 +1,126 @@
+"""JSON round-tripping of stats, persist logs, configs, and profiles."""
+
+import json
+
+from repro.config import skylake_default
+from repro.orchestrator.execute import simulate_point
+from repro.orchestrator.points import make_point
+from repro.orchestrator.serialize import (
+    config_from_dict,
+    config_to_dict,
+    payload_from_run,
+    persist_log_from_payload,
+    persist_log_from_list,
+    persist_log_to_list,
+    profile_from_dict,
+    profile_to_dict,
+    stats_from_payload,
+)
+from repro.pipeline.stats import (
+    CoreStats,
+    RegionRecord,
+    StoreRecord,
+    decode_float,
+    encode_float,
+)
+from repro.workloads.profiles import profile_by_name
+
+
+def _json_round_trip(data):
+    """Strict JSON: rejects bare inf/nan, so encoding must be explicit."""
+    return json.loads(json.dumps(data, allow_nan=False))
+
+
+class TestFloatEncoding:
+    def test_non_finite_floats(self):
+        for value in (float("inf"), float("-inf")):
+            assert decode_float(encode_float(value)) == value
+        nan = decode_float(encode_float(float("nan")))
+        assert nan != nan
+
+    def test_finite_floats_pass_through(self):
+        assert encode_float(1.25) == 1.25
+        assert encode_float(0.1) == 0.1
+
+
+class TestRecordRoundTrip:
+    def test_store_record(self):
+        record = StoreRecord(seq=7, pc=28, addr=1000, line_addr=960,
+                             value=123, data_preg=5, data_cls=1,
+                             commit_time=17.5, region_id=2)
+        assert StoreRecord.from_row(_json_round_trip(record.to_row())) \
+            == record
+
+    def test_store_record_with_finite_durability(self):
+        record = StoreRecord(seq=0, pc=0, addr=0, line_addr=0, value=0,
+                             data_preg=0, data_cls=0, commit_time=1.0,
+                             region_id=0, durable_at=42.125)
+        assert StoreRecord.from_row(_json_round_trip(record.to_row())) \
+            == record
+
+    def test_region_record(self):
+        record = RegionRecord(region_id=3, start_seq=10, end_seq=40,
+                              store_count=4, boundary_time=99.5,
+                              drain_wait=3.25, cause="csq")
+        assert RegionRecord.from_row(_json_round_trip(record.to_row())) \
+            == record
+
+
+class TestStatsRoundTrip:
+    def test_simulated_stats_round_trip_bit_exact(self):
+        """Every field the figures and the failure injector consume must
+        survive serialize -> strict JSON -> deserialize unchanged."""
+        point = make_point("gcc", "ppa", length=2_000, warmup=0,
+                           track_values=True, capture_persist_log=True)
+        stats, log = simulate_point(point)
+        assert stats.stores and stats.regions and stats.commit_times
+
+        restored = CoreStats.from_dict(_json_round_trip(stats.to_dict()))
+        # Dataclass equality covers every field, including the store and
+        # region logs, both Counter histograms, and `extra`.
+        assert restored == stats
+        assert restored.ipc == stats.ipc
+        assert restored.free_reg_cdf() == stats.free_reg_cdf()
+        assert restored.region_end_stall_cycles \
+            == stats.region_end_stall_cycles
+
+        restored_log = persist_log_from_list(
+            _json_round_trip(persist_log_to_list(log)))
+        assert restored_log == log
+
+    def test_payload_round_trip(self):
+        point = make_point("rb", "ppa", length=1_500, warmup=0,
+                           track_values=True, capture_persist_log=True)
+        stats, log = simulate_point(point)
+        payload = _json_round_trip(payload_from_run(stats, log, 1.5))
+        assert stats_from_payload(payload) == stats
+        assert persist_log_from_payload(payload) == log
+        assert payload["wall_clock"] == 1.5
+
+    def test_payload_without_persist_log(self):
+        stats = CoreStats(name="x", scheme="ppa")
+        payload = _json_round_trip(payload_from_run(stats, None, 0.0))
+        assert persist_log_from_payload(payload) is None
+
+
+class TestConfigAndProfileRoundTrip:
+    def test_default_config(self):
+        config = skylake_default()
+        assert config_from_dict(_json_round_trip(config_to_dict(config))) \
+            == config
+
+    def test_modified_config_with_l3_and_no_dram_cache(self):
+        from dataclasses import replace
+
+        config = skylake_default().with_l3().with_prf(80, 80)
+        config = replace(config, memory=replace(config.memory,
+                                                dram_cache=None))
+        assert config_from_dict(_json_round_trip(config_to_dict(config))) \
+            == config
+
+    def test_profiles(self):
+        for name in ("gcc", "mcf", "water-ns", "tpcc"):
+            profile = profile_by_name(name)
+            restored = profile_from_dict(
+                _json_round_trip(profile_to_dict(profile)))
+            assert restored == profile

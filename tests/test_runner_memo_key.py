@@ -1,0 +1,98 @@
+"""Regression tests for the runner's memo keys and cache tiers.
+
+The seed runner keyed single-core runs on ``profile.name`` (so a modified
+profile reusing a stock name collided with the stock run) and did not
+namespace single-core keys away from multicore ones. These tests pin the
+fixed behaviour: every run parameter is part of the key.
+"""
+
+import dataclasses
+
+from repro.config import skylake_default
+from repro.experiments import runner
+from repro.orchestrator.points import (
+    make_point,
+    memo_key,
+    multicore_memo_key,
+)
+from repro.workloads.profiles import profile_by_name
+
+
+class TestMemoKeyCollisions:
+    def test_all_run_parameters_are_keyed(self):
+        base = dict(length=1000, warmup=500, seed=0, track_values=False)
+        reference = memo_key(make_point("gcc", "ppa", **base))
+        for change in (dict(length=1001), dict(warmup=501), dict(seed=1),
+                       dict(track_values=True)):
+            key = memo_key(make_point("gcc", "ppa", **{**base, **change}))
+            assert key != reference, change
+
+    def test_modified_profile_with_stock_name_does_not_collide(self):
+        stock = memo_key(make_point("gcc", "ppa", length=1000))
+        tweaked = dataclasses.replace(profile_by_name("gcc"),
+                                      store_frac=0.5)
+        assert memo_key(make_point(tweaked, "ppa", length=1000)) != stock
+
+    def test_app_and_multicore_keys_are_namespaced(self):
+        profile = profile_by_name("water-ns")
+        config = skylake_default()
+        app = memo_key(make_point(profile, "ppa", config=config,
+                                  length=1000, warmup=500, seed=0))
+        mt = multicore_memo_key(profile, "ppa", config, 8, 1000, 500, 0)
+        assert app[0] == "app" and mt[0] == "mt"
+        assert app != mt
+
+    def test_run_app_does_not_serve_stale_profile(self):
+        """The live regression: a tweaked profile named like a stock one
+        must not be answered from the stock run's cache entry."""
+        stock_stats = runner.run_app("gcc", "ppa", length=800, warmup=0)
+        tweaked = dataclasses.replace(profile_by_name("gcc"),
+                                      store_frac=0.45)
+        tweaked_stats = runner.run_app(tweaked, "ppa", length=800, warmup=0)
+        assert tweaked_stats is not stock_stats
+
+
+class TestCacheTiers:
+    def test_l1_counters(self):
+        counters = runner.cache_counters()
+        assert counters["l1_hits"] == 0 and counters["l1_misses"] == 0
+        runner.run_app("gcc", "ppa", length=800, warmup=0)
+        runner.run_app("gcc", "ppa", length=800, warmup=0)
+        counters = runner.cache_counters()
+        assert counters["l1_hits"] == 1
+        assert counters["l1_misses"] == 1
+
+    def test_disk_l2_survives_l1_clear(self, tmp_path):
+        runner.configure_disk_cache(tmp_path / "l2")
+        try:
+            first = runner.run_app("rb", "ppa", length=800, warmup=0)
+            assert runner.cache_counters()["l2_misses"] == 1
+
+            runner.clear_cache()        # L1 gone, disk remains
+            second = runner.run_app("rb", "ppa", length=800, warmup=0)
+            counters = runner.cache_counters()
+            assert counters["l2_hits"] == 1
+            assert second == first      # bit-exact through the disk tier
+            assert second is not first  # ...but a fresh object
+        finally:
+            runner.configure_disk_cache(None)
+
+    def test_use_cache_false_bypasses_all_tiers(self, tmp_path):
+        runner.configure_disk_cache(tmp_path / "l2")
+        try:
+            runner.run_app("gcc", "ppa", length=800, warmup=0,
+                           use_cache=False)
+            counters = runner.cache_counters()
+            assert counters == {"l1_hits": 0, "l1_misses": 0,
+                                "l2_hits": 0, "l2_misses": 0}
+        finally:
+            runner.configure_disk_cache(None)
+
+    def test_multithreaded_counters(self):
+        runner.run_multithreaded("water-ns", "ppa", threads=2, length=400,
+                                 warmup=0)
+        runner.run_multithreaded("water-ns", "ppa", threads=2, length=400,
+                                 warmup=0)
+        counters = runner.cache_counters()
+        assert counters["l1_hits"] == 1
+        assert counters["l1_misses"] == 1
