@@ -79,3 +79,13 @@ __all__ = [
     "skylake_default",
     "__version__",
 ]
+
+# Opt-in persistency sanitizer: REPRO_SANITIZE=1 installs runtime invariant
+# probes on the persist-path structures (see repro.sanitizer). Checked at
+# import so subprocesses — orchestrator pool workers included — inherit it.
+from repro.config import sanitize_requested as _sanitize_requested  # noqa: E402
+
+if _sanitize_requested():
+    from repro.sanitizer import install as _sanitizer_install
+
+    _sanitizer_install()

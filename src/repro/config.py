@@ -11,9 +11,23 @@ name says otherwise.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 CACHELINE_BYTES = 64
+
+# Environment switch for the persistency sanitizer (repro.sanitizer):
+# when set, importing ``repro`` installs runtime invariant probes on the
+# persist-path structures. Off by default — the probes then cost nothing
+# because the classes are never touched.
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def sanitize_requested(environ: dict | None = None) -> bool:
+    """Did the environment (``REPRO_SANITIZE=1``) ask for the sanitizer?"""
+    env = os.environ if environ is None else environ
+    return env.get(SANITIZE_ENV_VAR, "").strip().lower() in _TRUTHY
 
 
 def ns_to_cycles(ns: float, clock_ghz: float) -> int:

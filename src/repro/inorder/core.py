@@ -40,6 +40,7 @@ class InOrderStats:
     entries: list[ValueCsqEntry] = field(default_factory=list)
     commit_times: list[float] = field(default_factory=list)
     nvm_line_writes: int = 0
+    wb_full_stall_cycles: float = 0.0
 
     @property
     def ipc(self) -> float:
@@ -95,7 +96,7 @@ class InOrderCore:
     def _close_region(self, end_seq: int, boundary: float, cause: str,
                       stats: InOrderStats) -> float:
         drain = self.wb.region_drain_time(boundary)
-        self.wb.reset_region()
+        self.wb.reset_region(drain)
         self.csq.clear()
         stats.regions.append(RegionRecord(
             region_id=self._region_id, start_seq=self._region_start,
@@ -157,6 +158,9 @@ class InOrderCore:
                 stats.entries.append(entry)
                 self._region_stores += 1
                 merge = self.mem.store_merge(instr.line_addr, commit)
+                # Commits are monotone and merges trail them: a sound
+                # floor for evicting closed coalescing windows.
+                self.wb.advance_floor(commit)
                 self.wb.persist_store(instr.line_addr, merge,
                                       addr=instr.addr, value=value)
             elif opcode is Opcode.STORE:
@@ -181,4 +185,5 @@ class InOrderCore:
         stats.instructions = len(trace)
         stats.cycles = end_time
         stats.nvm_line_writes = self.mem.nvm.stats.line_writes
+        stats.wb_full_stall_cycles = self.wb.wb_full_stall_cycles
         return stats

@@ -23,8 +23,11 @@ class NvmStats:
 
     line_writes: int = 0
     reads: int = 0
-    write_backpressure_cycles: int = 0
-    read_contention_cycles: int = 0
+    # Cycle accumulators are floats: WPQ admission times and read-port
+    # queueing are fractional (bandwidth terms divide the clock), and the
+    # orchestrator's strict-JSON round trip must reproduce them bit-exactly.
+    write_backpressure_cycles: float = 0.0
+    read_contention_cycles: float = 0.0
     busy_cycles: float = 0.0
 
     def merge(self, other: "NvmStats") -> None:

@@ -16,6 +16,15 @@ being persisted is merged with the old unpersisted one of the same
 address") and is what keeps PPA's NVM write traffic near one line write per
 region-unique line.
 
+The buffer itself has ``entries`` slots (Section 4.3): a slot is occupied
+from the moment the L1D launches the line writeback until the memory
+controller's WPQ admits it. When every slot is occupied, the next persist
+op cannot enter the path — its admission waits until the oldest in-flight
+op frees a slot, and the wait is accounted in ``wb_full_stall_cycles``.
+The core itself does not stall (the store already merged into L1D); the
+backpressure only delays durability, which the region protocol then waits
+out at the next boundary.
+
 Each op carries a timestamped functional payload — the (durable-time,
 address, value) writes it covers, where a write merged into an already-
 admitted entry is durable once it has traversed the persist path — so the
@@ -26,6 +35,8 @@ arbitrary power-cut cycle, and the region counter waits for the last
 
 from __future__ import annotations
 
+import heapq
+from bisect import bisect_right, insort
 from dataclasses import dataclass, field
 
 from repro.memory.nvm import NvmModel
@@ -40,6 +51,9 @@ class PersistOp:
     durable_at: float                 # WPQ admission (persistence domain)
     done_at: float                    # media write completion
     writes: list[tuple[float, int, int]] = field(default_factory=list)
+    # Which region's persist counter tracks this op (transient bookkeeping;
+    # not serialized). Lets cross-region coalescing membership be O(1).
+    region_tag: int = field(default=-1, compare=False)
 
     def add_write(self, time: float, addr: int, value: int) -> None:
         self.writes.append((time, addr, value))
@@ -65,8 +79,19 @@ class WriteBuffer:
         # Live op per line: coalescing candidates until their media write
         # completes.
         self._live: dict[int, PersistOp] = {}
+        # Media-completion heap over live ops, so finished coalescing
+        # windows are evicted instead of accumulating over the whole run.
+        self._live_done: list[tuple[float, int]] = []
+        # WPQ-admission times of in-flight ops (sorted): the slot-occupancy
+        # model behind WB-full backpressure.
+        self._slot_free: list[float] = []
+        # A proven lower bound on every future ``persist_store`` time;
+        # callers advance it with monotone commit times so eviction of
+        # closed coalescing windows is exact, not heuristic.
+        self._floor = 0.0
         # Ops of the current region (for the persist counter).
         self._region_ops: list[PersistOp] = []
+        self._region_seq = 0
         # Durability of the region's latest store (a coalesced store can
         # become durable after its covering op was admitted).
         self._region_store_durable = 0.0
@@ -74,7 +99,56 @@ class WriteBuffer:
         self.ops_issued = 0
         self.ops_coalesced = 0
         self.stores_seen = 0
+        self.wb_full_stall_cycles = 0.0
         self.log: list[PersistOp] = []
+
+    # ------------------------------------------------------------------
+    # Capacity model
+    # ------------------------------------------------------------------
+
+    def wb_occupancy(self, now: float) -> int:
+        """In-flight persist ops (launched, not yet WPQ-admitted) at
+        ``now``."""
+        free = self._slot_free
+        return len(free) - bisect_right(free, now)
+
+    def _admit_time(self, time: float) -> float:
+        """When a new persist op may enter the path: immediately, or —
+        with every slot occupied — once the oldest in-flight op is
+        admitted to the WPQ and frees its slot.
+
+        Slots whose ops were admitted at or before the eviction floor can
+        never occupy capacity for any future call, so only those are
+        dropped; occupancy for this call is counted over slots still held
+        past ``time`` (persist times are not monotone — a straggling RFO
+        can order an older store's merge after a younger one's).
+        """
+        free = self._slot_free
+        drained = bisect_right(free, self._floor)
+        if drained:
+            del free[:drained]
+        if len(free) - bisect_right(free, time) >= self.entries:
+            return free[len(free) - self.entries]
+        return time
+
+    def advance_floor(self, time: float) -> None:
+        """Promise that no future ``persist_store`` happens before
+        ``time`` (callers pass monotone commit times); closed coalescing
+        windows at or before it are evicted from the live map."""
+        if time <= self._floor:
+            return
+        self._floor = time
+        heap = self._live_done
+        live = self._live
+        while heap and heap[0][0] <= time:
+            done_at, line_addr = heapq.heappop(heap)
+            op = live.get(line_addr)
+            if op is not None and op.done_at <= time:
+                del live[line_addr]
+
+    # ------------------------------------------------------------------
+    # The persist path
+    # ------------------------------------------------------------------
 
     def persist_store(self, line_addr: int, time: float,
                       addr: int | None = None,
@@ -86,15 +160,21 @@ class WriteBuffer:
         if op is not None and op.done_at > time:
             self.ops_coalesced += 1
         else:
-            ticket = self.nvm.write_line(time + self.path_latency,
+            admit = self._admit_time(time)
+            self.wb_full_stall_cycles += admit - time
+            ticket = self.nvm.write_line(admit + self.path_latency,
                                          line_addr)
             op = PersistOp(
                 line_addr=line_addr,
                 created=time,
                 durable_at=ticket.accepted_at,
                 done_at=ticket.done_at,
+                region_tag=self._region_seq,
             )
-            self._live[line_addr] = op
+            insort(self._slot_free, ticket.accepted_at)
+            if self.coalescing:
+                self._live[line_addr] = op
+                heapq.heappush(self._live_done, (op.done_at, line_addr))
             self._region_ops.append(op)
             self.ops_issued += 1
             self.log.append(op)
@@ -104,9 +184,10 @@ class WriteBuffer:
                                          durable)
         if addr is not None:
             op.add_write(durable, addr, value if value is not None else 0)
-        if op not in self._region_ops:
+        if op.region_tag != self._region_seq:
             # A store of the new region merged into a previous region's
             # still-draining line write; track it for this region's counter.
+            op.region_tag = self._region_seq
             self._region_ops.append(op)
         return op
 
@@ -129,10 +210,15 @@ class WriteBuffer:
             drained = max(drained, op.durable_at)
         return drained
 
-    def reset_region(self) -> None:
-        """Start accounting a new region (counter cleared)."""
+    def reset_region(self, now: float | None = None) -> None:
+        """Start accounting a new region (counter cleared). ``now`` is the
+        region's drain time — no later event can precede it, so it also
+        advances the eviction floor."""
         self._region_ops = []
+        self._region_seq += 1
         self._region_store_durable = 0.0
+        if now is not None:
+            self.advance_floor(now)
 
     def outstanding(self, now: float) -> int:
         """Region persist ops not yet durable at ``now``."""
@@ -145,3 +231,8 @@ class WriteBuffer:
     @property
     def pending_count(self) -> int:
         return len(self._region_ops)
+
+    @property
+    def live_lines(self) -> int:
+        """Lines with an open coalescing window (bounded by eviction)."""
+        return len(self._live)

@@ -48,7 +48,8 @@ def _make_campaign(args) -> Campaign:
                             if args.cache_dir else default_cache_dir())
     return Campaign(cache=cache, jobs=args.jobs, timeout=args.timeout,
                     retries=args.retries,
-                    progress=_progress if args.verbose else None)
+                    progress=_progress if args.verbose else None,
+                    sanitize=True if args.sanitize else None)
 
 
 def _cmd_run(args) -> int:
@@ -140,6 +141,10 @@ def main(argv: list[str] | None = None) -> int:
                      help="per-point timeout in seconds")
     run.add_argument("--retries", type=int, default=1,
                      help="retries per point on worker failure")
+    run.add_argument("--sanitize", action="store_true",
+                     help="run simulated points under the persistency "
+                          "sanitizer (repro.sanitizer); also enabled by "
+                          "REPRO_SANITIZE=1")
     run.add_argument("--verbose", action="store_true",
                      help="print per-point progress lines")
     run.set_defaults(func=_cmd_run)

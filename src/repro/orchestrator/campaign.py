@@ -20,6 +20,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.config import sanitize_requested
 from repro.memory.writebuffer import PersistOp
 from repro.pipeline.stats import CoreStats
 
@@ -98,13 +99,20 @@ class Campaign:
     def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
                  timeout: float | None = None, retries: int = 1,
                  progress: ProgressCallback | None = None,
-                 fail_fast: bool = False) -> None:
+                 fail_fast: bool = False,
+                 sanitize: bool | None = None) -> None:
         self.cache = cache
         self.jobs = max(1, jobs)
         self.timeout = timeout
         self.retries = max(0, retries)
         self.progress = progress
         self.fail_fast = fail_fast
+        # Run every simulated point under the persistency sanitizer
+        # (repro.sanitizer); None defers to the REPRO_SANITIZE environment
+        # variable. Cached hits are returned as-is — the sanitizer checks
+        # execution, not payloads.
+        self.sanitize = sanitize_requested() if sanitize is None \
+            else sanitize
         self.points: list[SimPoint] = []
         self.telemetry = CampaignTelemetry(jobs=self.jobs)
 
@@ -222,7 +230,7 @@ class Campaign:
             while True:
                 attempts += 1
                 try:
-                    payload = run_point_payload(point)
+                    payload = run_point_payload(point, self.sanitize)
                 except Exception as exc:  # noqa: BLE001 — retried below
                     if attempts <= self.retries:
                         self.telemetry.retries += 1
@@ -246,7 +254,7 @@ class Campaign:
         try:
             for index in misses:
                 futures[index] = pool.submit(
-                    run_point_payload, self.points[index])
+                    run_point_payload, self.points[index], self.sanitize)
                 attempts[index] = 1
 
             # Collect in submission order so retries keep deterministic
@@ -294,7 +302,7 @@ class Campaign:
             attempts[index] += 1
             self.telemetry.retries += 1
             futures[index] = pool.submit(
-                run_point_payload, self.points[index])
+                run_point_payload, self.points[index], self.sanitize)
             return None, pool
         return PointResult(index=index, point=self.points[index],
                            attempts=attempts[index], error=error), pool
@@ -308,5 +316,5 @@ class Campaign:
             if not futures[pending].done() or \
                     futures[pending].exception() is not None:
                 futures[pending] = pool.submit(
-                    run_point_payload, self.points[pending])
+                    run_point_payload, self.points[pending], self.sanitize)
         return pool

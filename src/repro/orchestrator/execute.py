@@ -57,12 +57,26 @@ def simulate_point(point: SimPoint) \
     return stats, log
 
 
-def run_point_payload(point: SimPoint) -> dict[str, Any]:
+def run_point_payload(point: SimPoint,
+                      sanitize: bool = False) -> dict[str, Any]:
     """Pool-worker entry: simulate and return a JSON payload.
 
     Returning the serialized form (rather than the live objects) keeps the
     parent<->worker contract identical to the disk-cache contract, so the
-    round trip is exercised on every parallel run."""
-    start = time.perf_counter()
-    stats, log = simulate_point(point)
+    round trip is exercised on every parallel run. With ``sanitize`` (or
+    ``REPRO_SANITIZE=1`` in the worker's environment) the run executes
+    under the persistency sanitizer's invariant probes; a violation
+    surfaces as an ordinary worker failure carrying the offending event."""
+    if sanitize:
+        from repro.sanitizer import sanitized
+
+        # The context keeps an in-process (jobs=1) campaign from leaving
+        # the probes patched in the caller; with REPRO_SANITIZE=1 they
+        # were installed at import and simply stay.
+        with sanitized():
+            start = time.perf_counter()
+            stats, log = simulate_point(point)
+    else:
+        start = time.perf_counter()
+        stats, log = simulate_point(point)
     return payload_from_run(stats, log, time.perf_counter() - start)

@@ -133,7 +133,9 @@ def persist_log_from_payload(payload: dict[str, Any]) \
 # Canonical cache-key material
 # ---------------------------------------------------------------------------
 
-CACHE_SCHEMA_VERSION = 1
+# v2: CoreStats grew wb_full_stall_cycles and the write-buffer capacity
+# model changed; v1 payloads must not alias the new results.
+CACHE_SCHEMA_VERSION = 2
 
 
 def point_key_material(point: SimPoint, salt: str) -> str:

@@ -103,6 +103,10 @@ class CapriPolicy(PersistencePolicy):
         NVM has fallen behind, the commit waits for a free entry."""
         assert self.redo is not None
         assert instr.addr is not None
+        # Tentative commit times are monotone, and every future store
+        # enters the redo buffer at its own tentative commit — a sound
+        # eviction floor for closed coalescing windows.
+        self.redo.advance_floor(tentative)
         op = self.redo.persist_store(instr.line_addr, tentative,
                                      instr.addr, instr.value or 0)
         return max(tentative, op.durable_at)

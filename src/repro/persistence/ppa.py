@@ -55,7 +55,7 @@ class PpaPolicy(PersistencePolicy):
         assert self.core is not None and self.csq is not None
         assert self.regions is not None
         drain = self.core.wb.region_drain_time(boundary_time)
-        self.core.wb.reset_region()
+        self.core.wb.reset_region(drain)
         for rf in self.core.rf.values():
             rf.end_region(drain)
         self.csq.clear()
@@ -126,6 +126,10 @@ class PpaPolicy(PersistencePolicy):
             self.core.rf[cls].mask(record.data_preg)
         self.csq.push(record)
         self.regions.note_store()
+        # Commits are monotone and every future merge trails its commit,
+        # so the commit time is a sound eviction floor for the write
+        # buffer's closed coalescing windows.
+        self.core.wb.advance_floor(record.commit_time)
         self.core.wb.persist_store(
             record.line_addr, merge_time, record.addr, record.value)
         record.durable_at = self.core.wb.last_store_durable

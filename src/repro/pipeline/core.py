@@ -234,6 +234,7 @@ class OoOCore:
         stats.nvm_reads = self.nvm.stats.reads
         stats.persist_ops = self.wb.ops_issued
         stats.persist_coalesced = self.wb.ops_coalesced
+        stats.wb_full_stall_cycles = self.wb.wb_full_stall_cycles
         stats.extra["l2_miss_rate"] = self.mem.l2_miss_rate()
         stats.extra["eviction_writebacks"] = self.mem.eviction_writebacks
         return stats

@@ -114,6 +114,9 @@ class CoreStats:
     nvm_reads: int = 0
     persist_ops: int = 0
     persist_coalesced: int = 0
+    # Cycles persist ops spent waiting for a free write-buffer slot
+    # (WB-full backpressure, Section 4.3).
+    wb_full_stall_cycles: float = 0.0
     load_level_counts: Counter = field(default_factory=Counter)
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -165,6 +168,7 @@ class CoreStats:
             "nvm_reads": self.nvm_reads,
             "persist_ops": self.persist_ops,
             "persist_coalesced": self.persist_coalesced,
+            "wb_full_stall_cycles": self.wb_full_stall_cycles,
             "load_levels": dict(self.load_level_counts),
             "extra": dict(self.extra),
         }
@@ -190,6 +194,7 @@ class CoreStats:
             "nvm_reads": self.nvm_reads,
             "persist_ops": self.persist_ops,
             "persist_coalesced": self.persist_coalesced,
+            "wb_full_stall_cycles": self.wb_full_stall_cycles,
             "load_level_counts": dict(self.load_level_counts),
             "extra": dict(self.extra),
         }
@@ -214,6 +219,7 @@ class CoreStats:
             nvm_reads=data["nvm_reads"],
             persist_ops=data["persist_ops"],
             persist_coalesced=data["persist_coalesced"],
+            wb_full_stall_cycles=data.get("wb_full_stall_cycles", 0.0),
             load_level_counts=Counter(data["load_level_counts"]),
             extra=dict(data["extra"]),
         )

@@ -1,0 +1,51 @@
+"""repro.sanitizer — runtime invariant checking for the persist path.
+
+The paper's central claim (Section 2.4) — replaying the interrupted
+region's CSQ on the surviving NVM image always reproduces the crash-free
+state — rests on event-level invariants of the timing model that ordinary
+tests only sample: WPQ and write-buffer occupancies never exceed their
+capacities, persist counters are exactly zero when a region clears, masked
+registers are never reclaimed early, durability never precedes admission.
+This package is a persistency sanitizer (think TSan for the timing model):
+
+* :func:`install` patches checking wrappers onto ``WriteBuffer``,
+  ``NvmModel`` (and therefore every ``MultiControllerNvm`` controller),
+  ``CommittedStoreQueue``, ``RenamedRegisterFile``, and ``RegionTracker``.
+  Every call is checked; a violation raises :class:`SanitizerError`
+  immediately, at the offending event. :func:`uninstall` restores the
+  originals, so the disabled cost is exactly zero.
+* :mod:`repro.sanitizer.oracle` is the differential crash-sweep oracle: it
+  re-verifies the Section 2.4 claim mechanically by sweeping randomized
+  and boundary-targeted power-cut points through ``failure.injector`` and
+  ``failure.consistency``.
+* ``python -m repro.sanitizer`` sweeps workload profiles under both.
+
+Enable globally with ``REPRO_SANITIZE=1`` (checked at ``import repro``),
+per-campaign with ``Campaign(sanitize=True)``, or explicitly::
+
+    from repro import sanitizer
+    with sanitizer.sanitized():
+        stats = PersistentProcessor().run(trace)
+"""
+
+from __future__ import annotations
+
+from repro.sanitizer.probes import (
+    SanitizerError,
+    SanitizerState,
+    install,
+    installed,
+    sanitized,
+    state,
+    uninstall,
+)
+
+__all__ = [
+    "SanitizerError",
+    "SanitizerState",
+    "install",
+    "installed",
+    "sanitized",
+    "state",
+    "uninstall",
+]

@@ -1,0 +1,433 @@
+"""Attachable invariant probes for the persist-path structures.
+
+Each probe is a checking wrapper patched over a method of one of the
+timing-model classes. The wrapped method runs unchanged; the probe then
+asserts the event-level invariants the crash-consistency argument rests
+on and raises :class:`SanitizerError` at the first violation — pointing
+at the offending event, not at a corrupted figure three layers later.
+
+Invariant catalogue (see also ``docs/modeling.md`` §7):
+
+``NvmModel.write_line``
+    admission never precedes submission; durability never precedes
+    admission; the write port's busy horizon is monotone; WPQ occupancy
+    at the admission instant never exceeds ``wpq_entries``; the WPQ
+    completion queue stays sorted.
+``NvmModel.read``
+    returned latency covers the device read latency; the read port's
+    busy horizon is monotone.
+``WriteBuffer.persist_store``
+    call times respect the eviction floor; every store's durability
+    trails its merge by at least the persist-path latency; a fresh op
+    enters the path only when write-buffer occupancy is below
+    ``entries`` (WB-full backpressure); a coalesced store only merges
+    into a still-open window; payload writes carry the store's
+    durability; the covering op is tracked by the current region.
+``WriteBuffer.reset_region``
+    the persist counter is exactly zero at the region clear: every
+    region op (and every late-coalesced store) is durable by the drain
+    time the caller passes.
+``CommittedStoreQueue.push``
+    occupancy never exceeds ``entries``; pushes arrive in commit-time
+    and program (seq) order; region ids never decrease.
+``RenamedRegisterFile``
+    masked registers are live (never on the free list); allocation
+    never hands out a masked or deferred register; a masked register
+    superseded at commit parks in the deferred list exactly once;
+    region end restores the every-register-in-exactly-one-place
+    invariant and leaves no mask behind (mask/unmask pairing).
+``RegionTracker.close``
+    drains never precede boundaries; boundaries and close times are
+    monotone across regions; causes are from the known set.
+``PpaPolicy._close_region``
+    after a region closes, the CSQ is empty and no register remains
+    masked or deferred.
+"""
+
+from __future__ import annotations
+
+import functools
+from bisect import bisect_right
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
+
+_KNOWN_CAUSES = frozenset(
+    {"prf", "csq", "sync", "compiler", "end"})
+
+
+class SanitizerError(AssertionError):
+    """A timing-model invariant was violated at a checked event."""
+
+
+@dataclass
+class SanitizerState:
+    """Check counters plus per-instance probe memory."""
+
+    checks: Counter = field(default_factory=Counter)
+    # instance -> mutable probe memory (last submit/commit/boundary...)
+    memory: WeakKeyDictionary = field(default_factory=WeakKeyDictionary)
+    # Submit time of the most recent NvmModel.write_line call — read by the
+    # write-buffer probe to recover where a fresh op entered the path, even
+    # behind a MultiControllerNvm router (single-threaded timelines).
+    last_write_submit: float | None = None
+
+    def mem(self, instance) -> dict:
+        entry = self.memory.get(instance)
+        if entry is None:
+            entry = self.memory[instance] = {}
+        return entry
+
+    @property
+    def total_checks(self) -> int:
+        return sum(self.checks.values())
+
+
+_STATE = SanitizerState()
+_PATCHES: list[tuple[type, str, object]] = []
+
+
+def state() -> SanitizerState:
+    """The live check counters (reset on :func:`install`)."""
+    return _STATE
+
+
+def installed() -> bool:
+    return bool(_PATCHES)
+
+
+def _fail(probe: str, message: str, **context) -> None:
+    details = ", ".join(f"{k}={v!r}" for k, v in context.items())
+    raise SanitizerError(
+        f"[sanitizer:{probe}] {message}" + (f" ({details})" if details
+                                            else ""))
+
+
+def _check(probe: str, condition: bool, message: str, **context) -> None:
+    _STATE.checks[probe] += 1
+    if not condition:
+        _fail(probe, message, **context)
+
+
+# ---------------------------------------------------------------------------
+# Probe wrappers
+# ---------------------------------------------------------------------------
+
+def _wrap_nvm_write_line(original):
+    @functools.wraps(original)
+    def write_line(self, submit_time, line_addr=0):
+        port_before = self._port_free
+        ticket = original(self, submit_time, line_addr)
+        _check("nvm.write_line", ticket.accepted_at >= submit_time,
+               "WPQ admission precedes submission",
+               accepted=ticket.accepted_at, submit=submit_time)
+        _check("nvm.write_line", ticket.done_at >= ticket.accepted_at,
+               "media completion precedes WPQ admission",
+               done=ticket.done_at, accepted=ticket.accepted_at)
+        _check("nvm.write_line",
+               ticket.backpressure == ticket.accepted_at - submit_time,
+               "backpressure does not equal admission delay",
+               backpressure=ticket.backpressure)
+        _check("nvm.write_line", self._port_free >= port_before,
+               "write-port busy horizon regressed",
+               before=port_before, after=self._port_free)
+        done = self._wpq_done
+        _check("nvm.write_line",
+               len(done) < 2 or done[-2] <= done[-1],
+               "WPQ completion queue out of order")
+        occupancy = len(done) - bisect_right(done, ticket.accepted_at)
+        _check("nvm.write_line", occupancy <= self.wpq_entries,
+               "WPQ occupancy exceeds wpq_entries at admission",
+               occupancy=occupancy, wpq_entries=self.wpq_entries)
+        _STATE.last_write_submit = submit_time
+        return ticket
+    return write_line
+
+
+def _wrap_nvm_read(original):
+    @functools.wraps(original)
+    def read(self, submit_time, line_addr=0):
+        port_before = self._read_port_free
+        latency = original(self, submit_time, line_addr)
+        _check("nvm.read", latency >= self.read_latency,
+               "read returned below the device read latency",
+               latency=latency, floor=self.read_latency)
+        _check("nvm.read", self._read_port_free >= port_before,
+               "read-port busy horizon regressed")
+        return latency
+    return read
+
+
+def _wrap_wb_persist_store(original):
+    @functools.wraps(original)
+    def persist_store(self, line_addr, time, addr=None, value=None):
+        floor = self._floor
+        issued_before = self.ops_issued
+        _STATE.last_write_submit = None
+        op = original(self, line_addr, time, addr, value)
+        _check("wb.persist_store", time >= floor,
+               "persist time below the promised eviction floor",
+               time=time, floor=floor)
+        _check("wb.persist_store",
+               self.last_store_durable >= time + self.path_latency,
+               "store durable before traversing the persist path",
+               durable=self.last_store_durable, time=time,
+               path_latency=self.path_latency)
+        _check("wb.persist_store", op.done_at >= op.durable_at,
+               "media completion precedes WPQ admission",
+               done=op.done_at, durable=op.durable_at)
+        if self.ops_issued > issued_before:
+            # A fresh op entered the path: its admission respects both
+            # the WB capacity and the path latency. (The submit time is
+            # None when the device class is not probed, e.g. a test stub.)
+            submit = _STATE.last_write_submit
+            if submit is not None:
+                entered = submit - self.path_latency
+                _check("wb.capacity", entered >= time,
+                       "op entered the path before its merge",
+                       entered=entered, time=time)
+                _check("wb.capacity",
+                       self.wb_occupancy(entered) <= self.entries,
+                       "write-buffer occupancy exceeds capacity",
+                       occupancy=self.wb_occupancy(entered),
+                       entries=self.entries, entered=entered)
+            _check("wb.persist_store",
+                   op.durable_at >= time + self.path_latency,
+                   "fresh op admitted before traversing the path",
+                   durable=op.durable_at, time=time)
+        else:
+            _check("wb.persist_store", op.done_at > time,
+                   "store coalesced into a closed window",
+                   done=op.done_at, time=time)
+        if addr is not None:
+            when, where, __ = op.writes[-1]
+            _check("wb.persist_store",
+                   where == addr and when == self.last_store_durable,
+                   "payload write does not carry the store's durability",
+                   addr=addr, recorded=(when, where))
+        _check("wb.persist_store", op.region_tag == self._region_seq,
+               "covering op untracked by the current region's counter",
+               tag=op.region_tag, region=self._region_seq)
+        return op
+    return persist_store
+
+
+def _wrap_wb_reset_region(original):
+    @functools.wraps(original)
+    def reset_region(self, now=None):
+        if now is not None:
+            pending = self.outstanding(now)
+            _check("wb.reset_region", pending == 0,
+                   "persist counter not zero at region clear",
+                   outstanding=pending, now=now)
+            _check("wb.reset_region", self._region_store_durable <= now,
+                   "late-coalesced store not durable at region clear",
+                   durable=self._region_store_durable, now=now)
+        original(self, now)
+        _check("wb.reset_region", self.pending_count == 0,
+               "region ops survive the region clear")
+    return reset_region
+
+
+def _wrap_csq_push(original):
+    @functools.wraps(original)
+    def push(self, record):
+        original(self, record)
+        _check("csq.push", len(self) <= self.entries,
+               "CSQ occupancy exceeds its capacity",
+               occupancy=len(self), entries=self.entries)
+        mem = _STATE.mem(self)
+        last = mem.get("last_push")
+        if last is not None:
+            _check("csq.push", record.commit_time >= last[0],
+                   "CSQ pushes out of commit order",
+                   commit=record.commit_time, previous=last[0])
+            _check("csq.push", record.seq > last[1],
+                   "CSQ pushes out of program order",
+                   seq=record.seq, previous=last[1])
+            _check("csq.push", record.region_id >= last[2],
+                   "CSQ region ids regressed",
+                   region=record.region_id, previous=last[2])
+        mem["last_push"] = (record.commit_time, record.seq,
+                            record.region_id)
+        return None
+    return push
+
+
+def _wrap_rf_mask(original):
+    @functools.wraps(original)
+    def mask(self, preg):
+        _check("rf.mask", 0 <= preg < self.size,
+               "masked a register outside the PRF", preg=preg)
+        _check("rf.mask", preg not in self._free_now,
+               "masked a register on the free list", preg=preg)
+        return original(self, preg)
+    return mask
+
+
+def _wrap_rf_allocate(original):
+    @functools.wraps(original)
+    def allocate(self, arch, now):
+        preg = original(self, arch, now)
+        _check("rf.allocate", preg not in self.masked,
+               "allocated a masked register", preg=preg)
+        _check("rf.allocate", preg not in self._deferred,
+               "allocated a deferred register", preg=preg)
+        _check("rf.allocate", self.rat[arch] == preg,
+               "RAT does not map the allocated register",
+               arch=arch, preg=preg)
+        return preg
+    return allocate
+
+
+def _wrap_rf_commit_def(original):
+    @functools.wraps(original)
+    def commit_def(self, arch, preg, commit_time):
+        old = self.crt[arch]
+        was_masked = old in self.masked
+        original(self, arch, preg, commit_time)
+        _check("rf.commit_def", self.crt[arch] == preg,
+               "CRT does not track the committed definition")
+        if was_masked:
+            _check("rf.commit_def", self._deferred.count(old) == 1,
+                   "masked register not deferred exactly once at commit",
+                   preg=old, occurrences=self._deferred.count(old))
+        else:
+            _check("rf.commit_def", old not in self._deferred,
+                   "unmasked register parked in the deferred list",
+                   preg=old)
+    return commit_def
+
+
+def _wrap_rf_end_region(original):
+    @functools.wraps(original)
+    def end_region(self, time):
+        try:
+            self.check_invariants()
+        except AssertionError as exc:
+            _fail("rf.end_region", f"pre-clear invariants: {exc}")
+        reclaimed = original(self, time)
+        _STATE.checks["rf.end_region"] += 1
+        if self.masked or self._deferred:
+            _fail("rf.end_region",
+                  "mask/unmask pairing broken: state survives the "
+                  "region end", masked=len(self.masked),
+                  deferred=len(self._deferred))
+        try:
+            self.check_invariants()
+        except AssertionError as exc:
+            _fail("rf.end_region", f"post-clear invariants: {exc}")
+        return reclaimed
+    return end_region
+
+
+def _wrap_region_close(original):
+    @functools.wraps(original)
+    def close(self, end_seq, boundary_time, drain_time, cause):
+        mem = _STATE.mem(self)
+        record = original(self, end_seq, boundary_time, drain_time, cause)
+        _check("region.close", drain_time >= boundary_time,
+               "drain precedes the boundary")
+        _check("region.close", cause in _KNOWN_CAUSES,
+               "unknown region cause", cause=cause)
+        _check("region.close", record.end_seq >= record.start_seq,
+               "region covers a negative instruction range",
+               start=record.start_seq, end=record.end_seq)
+        last = mem.get("last_close")
+        if last is not None:
+            _check("region.close", boundary_time >= last[0],
+                   "region boundaries regressed",
+                   boundary=boundary_time, previous=last[0])
+            _check("region.close", drain_time >= last[1],
+                   "region close times regressed",
+                   drain=drain_time, previous=last[1])
+            _check("region.close", record.region_id == last[2] + 1,
+                   "region ids not sequential",
+                   region=record.region_id, previous=last[2])
+        mem["last_close"] = (boundary_time, drain_time, record.region_id)
+        return record
+    return close
+
+
+def _wrap_ppa_close_region(original):
+    @functools.wraps(original)
+    def _close_region(self, end_seq, boundary_time, cause):
+        drain = original(self, end_seq, boundary_time, cause)
+        _check("ppa.close_region", drain >= boundary_time,
+               "PPA region drained before its boundary",
+               drain=drain, boundary=boundary_time)
+        _check("ppa.close_region", len(self.csq) == 0,
+               "CSQ not cleared at the region boundary",
+               occupancy=len(self.csq))
+        for rf in self.core.rf.values():
+            _check("ppa.close_region",
+                   not rf.masked and rf.deferred_count == 0,
+                   "masked registers survive the region boundary",
+                   regclass=rf.name, masked=len(rf.masked),
+                   deferred=rf.deferred_count)
+        return drain
+    return _close_region
+
+
+# ---------------------------------------------------------------------------
+# Install / uninstall
+# ---------------------------------------------------------------------------
+
+def _patch(cls: type, name: str, factory) -> None:
+    original = cls.__dict__[name]
+    setattr(cls, name, factory(original))
+    _PATCHES.append((cls, name, original))
+
+
+def install() -> None:
+    """Patch the invariant probes onto the timing-model classes.
+
+    Idempotent; resets the check counters. Costs nothing unless called —
+    the model classes are only modified here.
+    """
+    global _STATE
+    if _PATCHES:
+        return
+    _STATE = SanitizerState()
+
+    from repro.core.csq import CommittedStoreQueue
+    from repro.core.region import RegionTracker
+    from repro.memory.nvm import NvmModel
+    from repro.memory.writebuffer import WriteBuffer
+    from repro.persistence.ppa import PpaPolicy
+    from repro.pipeline.regfile import RenamedRegisterFile
+
+    _patch(NvmModel, "write_line", _wrap_nvm_write_line)
+    _patch(NvmModel, "read", _wrap_nvm_read)
+    _patch(WriteBuffer, "persist_store", _wrap_wb_persist_store)
+    _patch(WriteBuffer, "reset_region", _wrap_wb_reset_region)
+    _patch(CommittedStoreQueue, "push", _wrap_csq_push)
+    _patch(RenamedRegisterFile, "mask", _wrap_rf_mask)
+    _patch(RenamedRegisterFile, "allocate", _wrap_rf_allocate)
+    _patch(RenamedRegisterFile, "commit_def", _wrap_rf_commit_def)
+    _patch(RenamedRegisterFile, "end_region", _wrap_rf_end_region)
+    _patch(RegionTracker, "close", _wrap_region_close)
+    _patch(PpaPolicy, "_close_region", _wrap_ppa_close_region)
+
+
+def uninstall() -> None:
+    """Restore every patched method (no-op when not installed)."""
+    while _PATCHES:
+        cls, name, original = _PATCHES.pop()
+        setattr(cls, name, original)
+
+
+@contextmanager
+def sanitized():
+    """Run a block with the probes installed, restoring on exit.
+
+    If the sanitizer was already installed (e.g. via ``REPRO_SANITIZE=1``),
+    it stays installed afterwards."""
+    was_installed = installed()
+    install()
+    try:
+        yield state()
+    finally:
+        if not was_installed:
+            uninstall()

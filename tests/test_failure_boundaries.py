@@ -13,6 +13,7 @@ drawing failure times around every boundary.
 import hypothesis.strategies as st
 from hypothesis import HealthCheck, given, settings
 
+from repro.config import MemoryConfig, NvmConfig, PpaConfig, SystemConfig
 from repro.core.processor import PersistentProcessor
 from repro.failure.consistency import verify_recovery
 from repro.failure.injector import PowerFailureInjector
@@ -135,6 +136,16 @@ class TestBoundaryProperty:
                                  crash.last_committed_seq)
         assert report.consistent, (fail_time, report.mismatches)
 
+    def test_no_region_closes_before_its_stores_are_durable(self):
+        """The persist counter's contract: a region's close instant is at
+        or after the durability of every store it committed."""
+        __, stats = _PpaRun.get()
+        closes = {r.region_id: r.boundary_time + r.drain_wait
+                  for r in stats.regions}
+        for store in stats.stores:
+            assert store.durable_at <= closes[store.region_id] + _EPS, \
+                (store.seq, store.durable_at, closes[store.region_id])
+
     def test_csq_boundary_semantics_on_real_run(self):
         """On a real run: at each region-close instant the region's own
         stores are gone from the CSQ; just before, any store committed by
@@ -157,3 +168,68 @@ class TestBoundaryProperty:
                 assert region.region_id in before_ids
                 checked += 1
         assert checked > 0
+
+
+class _BackpressuredRun:
+    """A PPA run squeezed through a one-slot write buffer over a slow
+    single-entry WPQ, so WB-full backpressure shapes every region drain."""
+
+    _cached = None
+
+    @classmethod
+    def get(cls):
+        if cls._cached is None:
+            config = SystemConfig(
+                ppa=PpaConfig(writebuffer_entries=1),
+                memory=MemoryConfig(nvm=NvmConfig(
+                    wpq_entries=1, write_bandwidth_gbs=0.2)))
+            processor = PersistentProcessor(config)
+            trace = generate_trace(profile_by_name("sps"),
+                                   length=1_200, seed=13)
+            stats = processor.run(trace)
+            cls._cached = (processor, stats)
+        return cls._cached
+
+
+class TestWriteBufferBackpressure:
+    def test_backpressure_actually_occurs(self):
+        __, stats = _BackpressuredRun.get()
+        assert stats.wb_full_stall_cycles > 0
+
+    def test_no_region_drains_before_its_last_store_is_durable(self):
+        """Under WB-full backpressure durability lags commits by a lot;
+        the region protocol must still wait for the delayed admissions."""
+        __, stats = _BackpressuredRun.get()
+        closes = {r.region_id: r.boundary_time + r.drain_wait
+                  for r in stats.regions}
+        lagged = 0
+        for store in stats.stores:
+            assert store.durable_at <= closes[store.region_id] + _EPS
+            if store.durable_at > store.commit_time + 100.0:
+                lagged += 1
+        assert lagged > 0          # the squeeze genuinely delayed persists
+
+    @settings(max_examples=40, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=1.1))
+    def test_recovery_consistent_under_backpressure(self, fraction):
+        processor, stats = _BackpressuredRun.get()
+        fail_time = stats.cycles * fraction
+        crash = processor.crash_at(fail_time)
+        result = processor.recover(crash)
+        report = verify_recovery(stats, result.nvm_image,
+                                 crash.last_committed_seq)
+        assert report.consistent, (fail_time, report.mismatches)
+
+    @settings(max_examples=40, deadline=None)
+    @given(region_index=st.integers(min_value=0, max_value=10 ** 6),
+           offset=st.sampled_from([-1.0, -_EPS, 0.0, _EPS, 1.0]))
+    def test_recovery_consistent_at_backpressured_boundaries(
+            self, region_index, offset):
+        processor, stats = _BackpressuredRun.get()
+        closes = sorted(processor.injector.region_close_times().values())
+        fail_time = max(0.0, closes[region_index % len(closes)] + offset)
+        crash = processor.crash_at(fail_time)
+        result = processor.recover(crash)
+        report = verify_recovery(stats, result.nvm_image,
+                                 crash.last_committed_seq)
+        assert report.consistent, (fail_time, report.mismatches)
