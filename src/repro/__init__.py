@@ -35,9 +35,11 @@ from repro.core import (
     PersistentProcessor,
     recover,
 )
+from repro.facade import SimResult, simulate
 from repro.isa import Instruction, Opcode, RegClass, Register, Trace
 from repro.persistence import make_policy, scheme_backend, scheme_names
 from repro.pipeline import CoreStats, OoOCore
+from repro.statsbase import StatsBase, stats_from_dict, stats_to_dict
 from repro.workloads import (
     ALL_PROFILES,
     WorkloadProfile,
@@ -66,6 +68,8 @@ __all__ = [
     "PpaConfig",
     "RegClass",
     "Register",
+    "SimResult",
+    "StatsBase",
     "SystemConfig",
     "Trace",
     "WorkloadProfile",
@@ -76,7 +80,10 @@ __all__ = [
     "recover",
     "scheme_backend",
     "scheme_names",
+    "simulate",
     "skylake_default",
+    "stats_from_dict",
+    "stats_to_dict",
     "__version__",
 ]
 

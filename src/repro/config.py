@@ -21,6 +21,11 @@ CACHELINE_BYTES = 64
 # persist-path structures. Off by default — the probes then cost nothing
 # because the classes are never touched.
 SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+# Environment switch for the telemetry tracer (repro.telemetry): when set,
+# every run constructs its own Tracer and records structured events. Off by
+# default — the instrumentation sites then see ``tracer is None`` and no
+# Tracer object is ever allocated (the zero-overhead-off contract).
+TRACE_ENV_VAR = "REPRO_TRACE"
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 
 
@@ -28,6 +33,12 @@ def sanitize_requested(environ: dict | None = None) -> bool:
     """Did the environment (``REPRO_SANITIZE=1``) ask for the sanitizer?"""
     env = os.environ if environ is None else environ
     return env.get(SANITIZE_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def trace_requested(environ: dict | None = None) -> bool:
+    """Did the environment (``REPRO_TRACE=1``) ask for event tracing?"""
+    env = os.environ if environ is None else environ
+    return env.get(TRACE_ENV_VAR, "").strip().lower() in _TRUTHY
 
 
 def ns_to_cycles(ns: float, clock_ghz: float) -> int:

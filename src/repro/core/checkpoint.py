@@ -148,8 +148,9 @@ class JitCheckpointController:
     FLIP_FLOPS = 144
     LOGIC_GATES = 88
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(self, config: SystemConfig, tracer=None) -> None:
         self.config = config
+        self.tracer = tracer
         self.state = ControllerState.IDLE
         self.trace: list[ControllerState] = []
 
@@ -163,6 +164,10 @@ class JitCheckpointController:
                    rf_fp: RenamedRegisterFile) -> CheckpointImage:
         """Run the FSM over live core state at the moment of power failure."""
         self.trace = []
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("checkpoint", "power-fail", fail_time,
+                           cat="checkpoint", lcpc=lcpc)
         self._step(ControllerState.STOP_PIPELINE)
 
         preg_values: dict[tuple[int, int], int] = {}
@@ -176,6 +181,7 @@ class JitCheckpointController:
             key = (record.data_cls, record.data_preg)
             rf = rf_int if record.data_cls == 0 else rf_fp
             preg_values[key] = rf.value_at(record.data_preg, fail_time)
+        csq_entries_walked = entries
 
         # CRT entries plus the registers they mark.
         for cls, rf in ((0, rf_int), (1, rf_fp)):
@@ -184,6 +190,7 @@ class JitCheckpointController:
                 self._step(ControllerState.WRITE)
                 entries += 1
                 preg_values[(cls, preg)] = rf.value_at(preg, fail_time)
+        crt_entries_walked = entries - csq_entries_walked
 
         # MaskReg words, LCPC, then the marked registers themselves.
         sizes = structure_sizes(self.config)
@@ -195,6 +202,26 @@ class JitCheckpointController:
             entries += 1
 
         self._step(ControllerState.IDLE)
+        if tracer is not None:
+            # FSM phase spans at one walked entry per cycle after the
+            # one-cycle Stop_Pipeline (the Section 4.5 walk rate).
+            t0 = fail_time
+            t1 = t0 + 1.0
+            tracer.span("checkpoint", "stop-pipeline", t0, t1,
+                        cat="checkpoint")
+            t2 = t1 + csq_entries_walked
+            tracer.span("checkpoint", "walk-csq", t1, t2,
+                        cat="checkpoint", entries=csq_entries_walked)
+            t3 = t2 + crt_entries_walked
+            tracer.span("checkpoint", "walk-crt", t2, t3,
+                        cat="checkpoint", entries=crt_entries_walked)
+            t4 = t3 + mask_words + 1 + reg_words
+            tracer.span("checkpoint", "walk-maskreg+lcpc+prf", t3, t4,
+                        cat="checkpoint",
+                        entries=mask_words + 1 + reg_words)
+            tracer.span("checkpoint", "jit-checkpoint", t0, t4,
+                        cat="checkpoint", entries=entries,
+                        saved_regs=len(preg_values))
         return CheckpointImage(
             fail_time=fail_time,
             lcpc=lcpc,

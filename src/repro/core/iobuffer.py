@@ -14,6 +14,7 @@ commit-time durability, and capacity backpressure.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 
 @dataclass(slots=True)
@@ -32,6 +33,28 @@ class IoBufferStats:
     writes: int = 0
     backpressure_cycles: float = 0.0
     max_occupancy: int = 0
+
+    stats_kind = "iobuffer"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "writes": self.writes,
+            "backpressure_cycles": self.backpressure_cycles,
+            "max_occupancy": self.max_occupancy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "IoBufferStats":
+        return cls(**data)
+
+    def merge(self, other: "IoBufferStats") -> "IoBufferStats":
+        self.writes += other.writes
+        self.backpressure_cycles += other.backpressure_cycles
+        self.max_occupancy = max(self.max_occupancy, other.max_occupancy)
+        return self
+
+    def __iadd__(self, other: "IoBufferStats") -> "IoBufferStats":
+        return self.merge(other)
 
 
 class BatteryBackedIoBuffer:

@@ -45,13 +45,23 @@ class PersistentProcessor:
         self.policy = PpaPolicy(
             enforce_store_integrity=enforce_store_integrity)
         self.core = OoOCore(self.config, self.policy, track_values=True)
-        self.controller = JitCheckpointController(self.config)
+        # One tracer (or None) spans the whole life cycle: run, JIT
+        # checkpoint, and recovery all land on the same timeline.
+        self.tracer = self.core.tracer
+        self.controller = JitCheckpointController(self.config,
+                                                  tracer=self.tracer)
         self.stats: CoreStats | None = None
         self._injector: PowerFailureInjector | None = None
         self._trace: Trace | None = None
 
     def run(self, trace: Trace) -> CoreStats:
-        """Simulate the trace to completion under PPA."""
+        """Simulate the trace to completion under PPA.
+
+        .. deprecated:: kept as a thin delegate — prefer the unified
+           :func:`repro.simulate` facade (``core="ooo"``,
+           ``scheme="ppa"``), which returns a :class:`repro.SimResult`
+           bundling stats, telemetry, and this crash/recover API.
+        """
         self._trace = trace
         self.stats = self.core.run(trace)
         self._injector = PowerFailureInjector(self.stats, self.core.wb.log)
@@ -86,4 +96,5 @@ class PersistentProcessor:
 
     def recover(self, crash: CrashState) -> RecoveryResult:
         """Power is back: restore, replay the CSQ, resume after LCPC."""
-        return run_recovery(crash.checkpoint, crash.nvm_image)
+        return run_recovery(crash.checkpoint, crash.nvm_image,
+                            tracer=self.tracer)

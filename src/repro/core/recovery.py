@@ -34,11 +34,14 @@ class RecoveryResult:
     replay_log: list[tuple[int, int]] = field(default_factory=list)
 
 
-def recover(image: CheckpointImage,
-            nvm_image: dict[int, int]) -> RecoveryResult:
+def recover(image: CheckpointImage, nvm_image: dict[int, int],
+            tracer=None) -> RecoveryResult:
     """Apply the recovery protocol to a post-failure NVM image.
 
     ``nvm_image`` is mutated in place (it *is* the NVM) and also returned.
+    With a tracer, the CSQ replay is recorded as one span on the
+    ``recovery`` track (one replayed store per cycle, starting at the
+    checkpoint's fail time) plus a resume instant.
     """
     replay_log: list[tuple[int, int]] = []
     for record in image.csq:
@@ -50,6 +53,13 @@ def recover(image: CheckpointImage,
         value = image.preg_values[key]
         nvm_image[record.addr] = value
         replay_log.append((record.addr, value))
+    if tracer is not None:
+        start = image.fail_time
+        end = start + len(replay_log)
+        tracer.span("recovery", "csq-replay", start, end, cat="recovery",
+                    replayed=len(replay_log))
+        tracer.instant("recovery", "resume", end, cat="recovery",
+                       resume_pc=image.lcpc + 1)
     return RecoveryResult(
         nvm_image=nvm_image,
         resume_pc=image.lcpc + 1,

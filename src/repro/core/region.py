@@ -5,6 +5,12 @@ before the next region's instructions may commit past the boundary. The
 tracker records, per region, its instruction/store population and the stall
 spent waiting for the persist counter — the raw material of Figures 11, 13,
 and 17.
+
+When constructed with a tracer (:mod:`repro.telemetry`), every close also
+emits the region's span (open→drain), a nested drain span when the persist
+counter was actually waited on, and a region-close instant carrying the
+close reason — plus drain-wait/population histograms in the metrics
+registry. With ``tracer=None`` (the default) none of that code runs.
 """
 
 from __future__ import annotations
@@ -15,11 +21,16 @@ from repro.pipeline.stats import RegionRecord
 class RegionTracker:
     """Builds the list of :class:`RegionRecord` for one core run."""
 
-    def __init__(self, records_out: list[RegionRecord]) -> None:
+    def __init__(self, records_out: list[RegionRecord],
+                 tracer=None, track: str = "regions") -> None:
         self._out = records_out
+        self.tracer = tracer
+        self.track = track
         self.region_id = 0
         self.start_seq = 0
         self.store_count = 0
+        # When the current region opened (the previous region's drain).
+        self.open_since = 0.0
         # Drain (close) time of every region, indexed by region id; used by
         # the failure injector to reconstruct the CSQ at an arbitrary cycle.
         self.close_times: list[float] = []
@@ -47,6 +58,26 @@ class RegionTracker:
         )
         self._out.append(record)
         self.close_times.append(drain_time)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.span(self.track, f"region {record.region_id}",
+                        self.open_since, drain_time, cat="region",
+                        cause=cause, stores=record.store_count,
+                        instrs=record.instr_count,
+                        drain_wait=record.drain_wait)
+            if drain_time > boundary_time:
+                tracer.span(self.track, "drain", boundary_time,
+                            drain_time, cat="region-drain", cause=cause,
+                            region=record.region_id)
+            tracer.instant(self.track, "region-close", boundary_time,
+                           cat="region-close", reason=cause,
+                           region=record.region_id)
+            metrics = tracer.metrics
+            metrics.histogram("region.drain_wait").add(record.drain_wait)
+            metrics.histogram("region.instrs").add(record.instr_count)
+            metrics.histogram("region.stores").add(record.store_count)
+            metrics.counter(f"region.close.{cause}").inc()
+        self.open_since = drain_time
         self.region_id += 1
         self.start_seq = end_seq
         self.store_count = 0

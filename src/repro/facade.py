@@ -1,0 +1,215 @@
+"""The unified run API: one call simulates any core under any scheme.
+
+The legacy entry points — :meth:`repro.core.processor.PersistentProcessor.run`,
+:meth:`repro.inorder.processor.InOrderPersistentProcessor.run`, and
+:meth:`repro.multicore.system.MulticoreSystem.run_profile` — remain as thin
+delegates, but new code should call :func:`simulate`:
+
+>>> result = repro.simulate("gcc", scheme="ppa", trace=True)
+>>> result.stats.ipc
+>>> result.write_chrome_trace("gcc-ppa.json")      # open in Perfetto
+>>> crash = result.crash_api.crash_at(result.stats.cycles / 2)
+
+``trace=True`` attaches a fresh :class:`repro.telemetry.Tracer` for this
+run only (``REPRO_TRACE=1`` and an ambient ``tracing()`` context also
+work); ``trace=False`` leaves the zero-overhead fast path untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.config import SystemConfig, skylake_default
+from repro.isa.trace import Trace
+from repro.statsbase import StatsBase
+from repro.workloads.profiles import WorkloadProfile, profile_by_name
+
+CORES = ("ooo", "inorder", "multicore")
+
+
+@dataclass
+class SimResult:
+    """What one :func:`simulate` call produces.
+
+    ``stats`` is the run's :class:`repro.statsbase.StatsBase` object
+    (:class:`CoreStats`, :class:`InOrderStats`, or
+    :class:`MulticoreStats`); ``telemetry`` is the run's tracer (or
+    ``None`` when tracing was off); ``crash_api`` exposes the
+    crash/recover life cycle when the core/scheme combination supports
+    power-failure injection (``None`` otherwise).
+    """
+
+    stats: StatsBase
+    telemetry: Any = None
+    crash_api: Any = None
+
+    def write_chrome_trace(self, path) -> None:
+        """Export the run's events as a Perfetto-loadable Chrome trace."""
+        from repro.telemetry.export import write_chrome_trace
+
+        self._require_telemetry()
+        write_chrome_trace(self.telemetry, path)
+
+    def write_jsonl(self, path) -> None:
+        """Export the run's events as flat JSONL."""
+        from repro.telemetry.export import write_jsonl
+
+        self._require_telemetry()
+        write_jsonl(self.telemetry, path)
+
+    def _require_telemetry(self) -> None:
+        if self.telemetry is None:
+            raise RuntimeError(
+                "this run was not traced; pass trace=True to simulate() "
+                "or set REPRO_TRACE=1")
+
+
+def _resolve_profile(spec) -> tuple[WorkloadProfile | None, Trace | None]:
+    """``simulate`` accepts a profile, a profile name, or a ready trace."""
+    if isinstance(spec, Trace):
+        return None, spec
+    if isinstance(spec, WorkloadProfile):
+        return spec, None
+    if isinstance(spec, str):
+        return profile_by_name(spec), None
+    raise TypeError(
+        f"expected a Trace, WorkloadProfile, or profile name; "
+        f"got {type(spec).__name__}")
+
+
+def _scheme_config(config: SystemConfig | None, scheme: str) -> SystemConfig:
+    from dataclasses import replace
+
+    from repro.persistence.catalog import scheme_backend
+
+    if config is None:
+        config = skylake_default()
+    backend = scheme_backend(scheme)
+    if config.memory.backend != backend:
+        config = replace(config, memory=replace(config.memory,
+                                                backend=backend))
+    return config
+
+
+def _run_ooo(profile, run_trace, scheme, config, length, warmup,
+             seed) -> SimResult:
+    from repro.memory.hierarchy import MemorySystem
+    from repro.orchestrator.execute import declare_steady_state
+    from repro.persistence.catalog import make_policy
+    from repro.pipeline.core import OoOCore
+    from repro.workloads.synthetic import TraceGenerator
+
+    if scheme == "ppa" and run_trace is None:
+        # The full life cycle (run / crash_at / recover) needs the
+        # value-tracking PPA processor.
+        from repro.core.processor import PersistentProcessor
+
+        generator = TraceGenerator(profile, seed=seed)
+        proc = PersistentProcessor(config)
+        if warmup > 0:
+            declare_steady_state(proc.core.mem, generator)
+            proc.core.mem.prewarm_extents(generator.region_extents())
+        stats = proc.run(generator.generate(length))
+        return SimResult(stats=stats, telemetry=proc.tracer,
+                         crash_api=proc)
+    if scheme == "ppa":
+        from repro.core.processor import PersistentProcessor
+
+        proc = PersistentProcessor(config)
+        stats = proc.run(run_trace)
+        return SimResult(stats=stats, telemetry=proc.tracer,
+                         crash_api=proc)
+
+    if run_trace is None:
+        generator = TraceGenerator(profile, seed=seed)
+        memory = MemorySystem(config.memory)
+        if warmup > 0:
+            declare_steady_state(memory, generator)
+            memory.prewarm_extents(generator.region_extents())
+        run_trace = generator.generate(length)
+    else:
+        memory = MemorySystem(config.memory)
+    core = OoOCore(config, make_policy(scheme), memory=memory)
+    stats = core.run(run_trace)
+    return SimResult(stats=stats, telemetry=core.tracer, crash_api=None)
+
+
+def _run_inorder(profile, run_trace, scheme, config, length,
+                 seed) -> SimResult:
+    from repro.workloads.synthetic import generate_trace
+
+    if run_trace is None:
+        run_trace = generate_trace(profile, length, seed=seed)
+    if scheme == "ppa":
+        from repro.inorder.processor import InOrderPersistentProcessor
+
+        proc = InOrderPersistentProcessor(config)
+        stats = proc.run(run_trace)
+        return SimResult(stats=stats, telemetry=proc.core.tracer,
+                         crash_api=proc)
+    if scheme == "baseline":
+        from repro.inorder.core import InOrderCore
+
+        core = InOrderCore(config, persistent=False)
+        stats = core.run(run_trace)
+        return SimResult(stats=stats, telemetry=core.tracer,
+                         crash_api=None)
+    raise ValueError(
+        f"the in-order core supports scheme 'ppa' or 'baseline', "
+        f"not {scheme!r}")
+
+
+def _run_multicore(profile, scheme, config, length, warmup, seed,
+                   threads) -> SimResult:
+    from repro.multicore.system import MulticoreSystem
+
+    system = MulticoreSystem(config, scheme, threads=threads)
+    stats = system.run_profile(profile, length=length, warmup=warmup,
+                               seed=seed)
+    return SimResult(stats=stats, telemetry=system.tracer, crash_api=None)
+
+
+def simulate(trace_or_profile, *, scheme: str = "ppa", core: str = "ooo",
+             config: SystemConfig | None = None, trace: bool = False,
+             length: int = 20_000, warmup: int = 1, seed: int = 0,
+             threads: int = 8) -> SimResult:
+    """Simulate one workload on one core model under one scheme.
+
+    ``trace_or_profile`` is a :class:`~repro.isa.trace.Trace`, a
+    :class:`~repro.workloads.profiles.WorkloadProfile`, or a profile name
+    (``"gcc"``). ``core`` selects the model — ``"ooo"`` (Section 4),
+    ``"inorder"`` (Section 6's value-CSQ variant, schemes ``ppa`` and
+    ``baseline`` only), or ``"multicore"`` (Section 7.11, profile input
+    only). ``trace=True`` records cycle-level telemetry into
+    ``result.telemetry`` without touching the configured environment.
+    """
+    if core not in CORES:
+        raise ValueError(f"unknown core {core!r}; options: {list(CORES)}")
+    profile, run_trace = _resolve_profile(trace_or_profile)
+    if core == "multicore" and profile is None:
+        raise ValueError(
+            "the multicore system generates per-thread traces itself; "
+            "pass a profile (or profile name), not a Trace")
+    config = _scheme_config(config, scheme)
+
+    if trace:
+        from repro.telemetry import Tracer, tracing
+
+        with tracing(Tracer()):
+            return _dispatch(profile, run_trace, scheme, core, config,
+                             length, warmup, seed, threads)
+    return _dispatch(profile, run_trace, scheme, core, config, length,
+                     warmup, seed, threads)
+
+
+def _dispatch(profile, run_trace, scheme, core, config, length, warmup,
+              seed, threads) -> SimResult:
+    if core == "ooo":
+        return _run_ooo(profile, run_trace, scheme, config, length,
+                        warmup, seed)
+    if core == "inorder":
+        return _run_inorder(profile, run_trace, scheme, config, length,
+                            seed)
+    return _run_multicore(profile, scheme, config, length, warmup, seed,
+                          threads)

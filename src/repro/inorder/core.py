@@ -15,8 +15,10 @@ preservation is needed because the CSQ carries the data itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.config import SystemConfig
+from repro.core.region import RegionTracker
 from repro.isa.instructions import Opcode, RegClass
 from repro.isa.trace import Trace
 from repro.memory.hierarchy import MemorySystem
@@ -42,6 +44,8 @@ class InOrderStats:
     nvm_line_writes: int = 0
     wb_full_stall_cycles: float = 0.0
 
+    stats_kind = "inorder"
+
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
@@ -50,18 +54,71 @@ class InOrderStats:
     def region_end_stall_cycles(self) -> float:
         return sum(r.drain_wait for r in self.regions)
 
+    def to_dict(self) -> dict[str, Any]:
+        """Full-fidelity JSON form (bit-exact round trip)."""
+        return {
+            "name": self.name,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "regions": [r.to_row() for r in self.regions],
+            "entries": [e.to_row() for e in self.entries],
+            "commit_times": list(self.commit_times),
+            "nvm_line_writes": self.nvm_line_writes,
+            "wb_full_stall_cycles": self.wb_full_stall_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "InOrderStats":
+        return cls(
+            name=data["name"],
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            regions=[RegionRecord.from_row(r) for r in data["regions"]],
+            entries=[ValueCsqEntry.from_row(e) for e in data["entries"]],
+            commit_times=list(data["commit_times"]),
+            nvm_line_writes=data["nvm_line_writes"],
+            wb_full_stall_cycles=data["wb_full_stall_cycles"],
+        )
+
+    def merge(self, other: "InOrderStats") -> "InOrderStats":
+        if not self.name:
+            self.name = other.name
+        elif other.name and other.name != self.name:
+            self.name = f"{self.name}+{other.name}"
+        self.instructions += other.instructions
+        self.cycles = max(self.cycles, other.cycles)
+        self.regions.extend(other.regions)
+        self.entries.extend(other.entries)
+        self.commit_times.extend(other.commit_times)
+        self.nvm_line_writes += other.nvm_line_writes
+        self.wb_full_stall_cycles += other.wb_full_stall_cycles
+        return self
+
+    def __iadd__(self, other: "InOrderStats") -> "InOrderStats":
+        return self.merge(other)
+
 
 class InOrderCore:
     """Scalar/in-order timing model with value-CSQ persistence."""
 
     def __init__(self, config: SystemConfig,
                  memory: MemorySystem | None = None,
-                 persistent: bool = True) -> None:
+                 persistent: bool = True, tracer=None) -> None:
         self.config = config
         self.mem = memory if memory is not None else MemorySystem(
             config.memory)
+        if tracer is None:
+            from repro import telemetry
+
+            tracer = telemetry.tracer_for_run()
+        self.tracer = tracer
+        if tracer is not None:
+            from repro.telemetry import attach_nvm_tracer
+
+            attach_nvm_tracer(self.mem.nvm, tracer)
         self.wb = WriteBuffer(config.ppa.writebuffer_entries, self.mem.nvm,
-                              coalescing=config.ppa.persist_coalescing)
+                              coalescing=config.ppa.persist_coalescing,
+                              tracer=tracer)
         self.csq = ValueCsq(config.ppa.csq_entries)
         self.persistent = persistent
         self.issue_bw = BandwidthLimiter(config.core.width, "issue")
@@ -86,31 +143,26 @@ class InOrderCore:
             RegClass.FP: [0] * core.fp_arch_regs,
         }
         self._functional_mem: dict[int, int] = {}
-        self._region_start = 0
-        self._region_stores = 0
-        self._region_id = 0
+        # Region accounting is delegated to the shared RegionTracker
+        # (created per run, since it appends into that run's stats).
+        self.regions: RegionTracker | None = None
 
     def _value_of(self, reg) -> int:
         return self._values[reg.cls][reg.index]
 
-    def _close_region(self, end_seq: int, boundary: float, cause: str,
-                      stats: InOrderStats) -> float:
+    def _close_region(self, end_seq: int, boundary: float,
+                      cause: str) -> float:
+        assert self.regions is not None
         drain = self.wb.region_drain_time(boundary)
         self.wb.reset_region(drain)
         self.csq.clear()
-        stats.regions.append(RegionRecord(
-            region_id=self._region_id, start_seq=self._region_start,
-            end_seq=end_seq, store_count=self._region_stores,
-            boundary_time=boundary, drain_wait=drain - boundary,
-            cause=cause))
-        self._region_id += 1
-        self._region_start = end_seq
-        self._region_stores = 0
+        self.regions.close(end_seq, boundary, drain, cause)
         return drain
 
     def run(self, trace: Trace) -> InOrderStats:
         """Execute the trace in order; returns statistics + store log."""
         stats = InOrderStats(name=trace.name)
+        self.regions = RegionTracker(stats.regions, tracer=self.tracer)
         time = 0.0
         last_commit = 0.0
         penalty = self.config.core.branch_mispredict_penalty
@@ -149,28 +201,36 @@ class InOrderCore:
             commit = max(complete + 1.0, last_commit)
             if opcode is Opcode.STORE and self.persistent:
                 if self.csq.is_full:
-                    commit = max(commit, self._close_region(
-                        seq, commit, "csq", stats) )
+                    commit = max(commit,
+                                 self._close_region(seq, commit, "csq"))
                 assert instr.addr is not None
                 entry = ValueCsqEntry(seq=seq, addr=instr.addr,
                                       value=value, commit_time=commit)
                 self.csq.push(entry)
                 stats.entries.append(entry)
-                self._region_stores += 1
+                self.regions.note_store()
                 merge = self.mem.store_merge(instr.line_addr, commit)
                 # Commits are monotone and merges trail them: a sound
                 # floor for evicting closed coalescing windows.
                 self.wb.advance_floor(commit)
                 self.wb.persist_store(instr.line_addr, merge,
                                       addr=instr.addr, value=value)
+                if self.tracer is not None:
+                    durable = max(commit, self.wb.last_store_durable)
+                    self.tracer.span("stores", f"store {seq}", commit,
+                                     durable, cat="store", pc=instr.pc,
+                                     line=instr.line_addr,
+                                     region=self.regions.region_id)
+                    self.tracer.metrics.histogram(
+                        "store.commit_to_durable").add(durable - commit)
             elif opcode is Opcode.STORE:
                 assert instr.addr is not None
                 self.mem.store_merge(instr.line_addr, commit)
             if opcode is Opcode.STORE:
                 self._functional_mem[instr.addr] = value
             elif opcode is Opcode.SYNC and self.persistent:
-                commit = max(commit, self._close_region(
-                    seq + 1, commit, "sync", stats))
+                commit = max(commit,
+                             self._close_region(seq + 1, commit, "sync"))
 
             if instr.mispredicted:
                 time = max(time, complete + penalty)
@@ -181,7 +241,7 @@ class InOrderCore:
 
         end_time = stats.commit_times[-1] if stats.commit_times else 0.0
         if self.persistent:
-            self._close_region(len(trace), end_time, "end", stats)
+            self._close_region(len(trace), end_time, "end")
         stats.instructions = len(trace)
         stats.cycles = end_time
         stats.nvm_line_writes = self.mem.nvm.stats.line_writes

@@ -46,6 +46,13 @@ class InOrderPersistentProcessor:
         self._region_close: dict[int, float] = {}
 
     def run(self, trace: Trace) -> InOrderStats:
+        """Simulate the trace to completion on the in-order core.
+
+        .. deprecated:: kept as a thin delegate — prefer the unified
+           :func:`repro.simulate` facade (``core="inorder"``), which
+           returns a :class:`repro.SimResult` bundling stats, telemetry,
+           and this crash/recover API.
+        """
         self._trace = trace
         self.stats = self.core.run(trace)
         self._region_close = {

@@ -26,6 +26,15 @@ class ValueCsqEntry:
     value: int
     commit_time: float
 
+    def to_row(self) -> list:
+        """Compact JSON row (field order matches the dataclass)."""
+        return [self.seq, self.addr, self.value, self.commit_time]
+
+    @classmethod
+    def from_row(cls, row: list) -> "ValueCsqEntry":
+        return cls(seq=row[0], addr=row[1], value=row[2],
+                   commit_time=row[3])
+
 
 class ValueCsq:
     """Bounded FIFO of (address, value) pairs for the current region."""

@@ -30,12 +30,31 @@ class NvmStats:
     read_contention_cycles: float = 0.0
     busy_cycles: float = 0.0
 
-    def merge(self, other: "NvmStats") -> None:
+    stats_kind = "nvm"
+
+    def merge(self, other: "NvmStats") -> "NvmStats":
         self.line_writes += other.line_writes
         self.reads += other.reads
         self.write_backpressure_cycles += other.write_backpressure_cycles
         self.read_contention_cycles += other.read_contention_cycles
         self.busy_cycles += other.busy_cycles
+        return self
+
+    def __iadd__(self, other: "NvmStats") -> "NvmStats":
+        return self.merge(other)
+
+    def to_dict(self) -> dict:
+        return {
+            "line_writes": self.line_writes,
+            "reads": self.reads,
+            "write_backpressure_cycles": self.write_backpressure_cycles,
+            "read_contention_cycles": self.read_contention_cycles,
+            "busy_cycles": self.busy_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NvmStats":
+        return cls(**data)
 
 
 @dataclass(slots=True)
@@ -68,6 +87,9 @@ class NvmModel:
         # Completion times of writes still occupying WPQ slots (sorted).
         self._wpq_done: deque[float] = deque()
         self.stats = NvmStats()
+        # Telemetry sink (repro.telemetry); attached per run via
+        # ``telemetry.attach_nvm_tracer`` — None means record nothing.
+        self.tracer = None
 
     def _drain_wpq(self, now: float) -> None:
         done = self._wpq_done
@@ -99,6 +121,16 @@ class NvmModel:
         self.stats.line_writes += 1
         self.stats.write_backpressure_cycles += backpressure
         self.stats.busy_cycles += self.cycles_per_line
+        if self.tracer is not None:
+            # Admission→media-completion: the WPQ slot-residency window.
+            self.tracer.span("nvm", "wpq", accepted_at, done_at,
+                             cat="nvm", line=line_addr,
+                             backpressure=backpressure)
+            self.tracer.counter("nvm", "wpq_occupancy", accepted_at,
+                                len(self._wpq_done))
+            if backpressure > 0:
+                self.tracer.metrics.histogram(
+                    "nvm.wpq_backpressure").add(backpressure)
         return WriteTicket(accepted_at, done_at, backpressure)
 
     def read(self, submit_time: float, line_addr: int = 0) -> float:

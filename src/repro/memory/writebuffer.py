@@ -68,11 +68,12 @@ class WriteBuffer:
 
     def __init__(self, entries: int, nvm: NvmModel,
                  residence_cycles: int = 0, coalescing: bool = True,
-                 path_latency: int | None = None) -> None:
+                 path_latency: int | None = None, tracer=None) -> None:
         if entries <= 0:
             raise ValueError("write buffer needs at least one entry")
         self.entries = entries
         self.nvm = nvm
+        self.tracer = tracer
         self.coalescing = coalescing
         self.path_latency = (nvm.cfg.persist_path_latency
                              if path_latency is None else path_latency)
@@ -156,9 +157,14 @@ class WriteBuffer:
         """Launch (or merge into) the asynchronous persist of one committed
         store's line; returns the covering op."""
         self.stores_seen += 1
+        tracer = self.tracer
         op = self._live.get(line_addr) if self.coalescing else None
         if op is not None and op.done_at > time:
             self.ops_coalesced += 1
+            if tracer is not None:
+                tracer.instant("wb", "coalesce", time, cat="persist",
+                               line=line_addr, into_op=op.created)
+                tracer.metrics.counter("wb.coalesced").inc()
         else:
             admit = self._admit_time(time)
             self.wb_full_stall_cycles += admit - time
@@ -178,8 +184,26 @@ class WriteBuffer:
             self._region_ops.append(op)
             self.ops_issued += 1
             self.log.append(op)
+            if tracer is not None:
+                if admit > time:
+                    tracer.instant("wb", "wb-full", time, cat="persist",
+                                   line=line_addr, wait=admit - time)
+                    tracer.metrics.histogram(
+                        "wb.full_stall").add(admit - time)
+                # Launch→WPQ-admission span: the slot-occupancy window.
+                tracer.span("wb", "persist", time, ticket.accepted_at,
+                            cat="persist", line=line_addr,
+                            done_at=ticket.done_at,
+                            backpressure=ticket.backpressure)
+                tracer.counter("wb", "wb_occupancy", time,
+                               self.wb_occupancy(time))
+                tracer.metrics.gauge("wb.occupancy").set(
+                    self.wb_occupancy(time))
         durable = self.store_durable_at(op, time)
         self.last_store_durable = durable
+        if tracer is not None:
+            tracer.metrics.histogram("wb.store_persist_latency").add(
+                durable - time)
         self._region_store_durable = max(self._region_store_durable,
                                          durable)
         if addr is not None:
@@ -214,6 +238,9 @@ class WriteBuffer:
         """Start accounting a new region (counter cleared). ``now`` is the
         region's drain time — no later event can precede it, so it also
         advances the eviction floor."""
+        if self.tracer is not None and now is not None:
+            self.tracer.instant("wb", "counter-zero", now, cat="persist",
+                                region_ops=len(self._region_ops))
         self._region_ops = []
         self._region_seq += 1
         self._region_store_durable = 0.0

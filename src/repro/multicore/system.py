@@ -25,6 +25,7 @@ the single-core failure tests) composes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.config import SystemConfig
 from repro.isa.instructions import Opcode
@@ -48,6 +49,8 @@ class MulticoreStats:
     barrier_segments: int = 0
     imbalance_cycles: float = 0.0
 
+    stats_kind = "multicore"
+
     @property
     def total_instructions(self) -> int:
         return sum(s.instructions for s in self.per_thread)
@@ -55,6 +58,44 @@ class MulticoreStats:
     @property
     def nvm_line_writes(self) -> int:
         return sum(s.nvm_line_writes for s in self.per_thread)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full-fidelity JSON form (bit-exact round trip)."""
+        return {
+            "scheme": self.scheme,
+            "threads": self.threads,
+            "makespan": self.makespan,
+            "per_thread": [s.to_dict() for s in self.per_thread],
+            "barrier_segments": self.barrier_segments,
+            "imbalance_cycles": self.imbalance_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MulticoreStats":
+        return cls(
+            scheme=data["scheme"],
+            threads=data["threads"],
+            makespan=data["makespan"],
+            per_thread=[CoreStats.from_dict(s)
+                        for s in data["per_thread"]],
+            barrier_segments=data["barrier_segments"],
+            imbalance_cycles=data["imbalance_cycles"],
+        )
+
+    def merge(self, other: "MulticoreStats") -> "MulticoreStats":
+        """StatsBase contract: thread lists concatenate, makespans and
+        imbalance accumulate as if the runs executed back to back."""
+        if not self.scheme:
+            self.scheme = other.scheme
+        self.threads = max(self.threads, other.threads)
+        self.makespan = max(self.makespan, other.makespan)
+        self.per_thread.extend(other.per_thread)
+        self.barrier_segments += other.barrier_segments
+        self.imbalance_cycles += other.imbalance_cycles
+        return self
+
+    def __iadd__(self, other: "MulticoreStats") -> "MulticoreStats":
+        return self.merge(other)
 
 
 class MulticoreSystem:
@@ -77,6 +118,9 @@ class MulticoreSystem:
         self.config = config
         self.scheme = scheme
         self.threads = threads
+        # Set per run_profile() call; each thread's core traces into a
+        # ``core{tid}/`` scope of this tracer.
+        self.tracer = None
 
     def bandwidth_share(self) -> float:
         """Per-thread share of NVM bandwidth on the scaled machine."""
@@ -84,7 +128,7 @@ class MulticoreSystem:
             return 1.0
         return (self.BASE_THREADS / self.threads) ** self.contention_exponent
 
-    def _run_thread(self, trace, generator) -> CoreStats:
+    def _run_thread(self, trace, generator, tracer=None) -> CoreStats:
         nvm = NvmModel(self.config.memory.nvm,
                        bandwidth_share=self.bandwidth_share())
         memory = MemorySystem(self.config.memory, nvm=nvm)
@@ -93,7 +137,7 @@ class MulticoreSystem:
             _declare_steady_state(memory, generator)
         memory.prewarm_extents(generator.region_extents())
         core = OoOCore(self.config, make_policy(self.scheme),
-                       memory=memory, track_values=False)
+                       memory=memory, track_values=False, tracer=tracer)
         return core.run(trace)
 
     @staticmethod
@@ -103,9 +147,17 @@ class MulticoreSystem:
 
     def run_profile(self, profile: WorkloadProfile, length: int = 20_000,
                     warmup: int = 1, seed: int = 0) -> MulticoreStats:
-        """Simulate ``threads`` copies of the profile with barrier sync."""
+        """Simulate ``threads`` copies of the profile with barrier sync.
+
+        .. deprecated:: kept as a thin delegate — prefer the unified
+           :func:`repro.simulate` facade (``core="multicore"``), which
+           returns a :class:`repro.SimResult` bundling stats + telemetry.
+        """
+        from repro import telemetry
         from repro.workloads.synthetic import TraceGenerator
 
+        tracer = telemetry.tracer_for_run()
+        self.tracer = tracer
         traces = generate_thread_traces(profile, length,
                                         threads=self.threads, seed=seed)
         per_thread: list[CoreStats] = []
@@ -114,8 +166,11 @@ class MulticoreSystem:
                            addr_base=0x10_0000 + tid * (1 << 32))
             for tid in range(self.threads)
         ]
-        for trace, generator in zip(traces, generators):
-            per_thread.append(self._run_thread(trace, generator))
+        for tid, (trace, generator) in enumerate(zip(traces, generators)):
+            scope = (tracer.scope(f"core{tid}")
+                     if tracer is not None else None)
+            per_thread.append(self._run_thread(trace, generator,
+                                               tracer=scope))
 
         # Barrier-align the threads: SYNCs are at identical positions.
         sync_points = self._sync_points(traces[0])
@@ -123,7 +178,8 @@ class MulticoreSystem:
         makespan = 0.0
         imbalance = 0.0
         previous = [0.0] * self.threads
-        for boundary in boundaries:
+        segment_start = 0.0
+        for segment, boundary in enumerate(boundaries):
             segment_times = []
             for tid, stats in enumerate(per_thread):
                 arrival = stats.commit_times[boundary]
@@ -132,6 +188,21 @@ class MulticoreSystem:
             slowest = max(segment_times)
             makespan += slowest
             imbalance += slowest * len(segment_times) - sum(segment_times)
+            if tracer is not None:
+                # System-level view: the barrier-aligned makespan segment,
+                # with the straggler and the idle (imbalance) cycles.
+                end = segment_start + slowest
+                tracer.span("system", f"segment {segment}", segment_start,
+                            end, cat="run",
+                            straggler=segment_times.index(slowest),
+                            imbalance=slowest * len(segment_times)
+                            - sum(segment_times))
+                segment_start = end
+        if tracer is not None:
+            tracer.span("system", f"run {profile.name}", 0.0, makespan,
+                        cat="run", scheme=self.scheme,
+                        threads=self.threads,
+                        segments=len(boundaries))
         return MulticoreStats(
             scheme=self.scheme,
             threads=self.threads,

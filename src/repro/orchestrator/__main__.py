@@ -46,10 +46,14 @@ def _make_campaign(args) -> Campaign:
     if not args.no_cache:
         cache = ResultCache(pathlib.Path(args.cache_dir)
                             if args.cache_dir else default_cache_dir())
+    trace_dir = None
+    if args.trace or args.trace_dir:
+        trace_dir = args.trace_dir or "traces"
     return Campaign(cache=cache, jobs=args.jobs, timeout=args.timeout,
                     retries=args.retries,
                     progress=_progress if args.verbose else None,
-                    sanitize=True if args.sanitize else None)
+                    sanitize=True if args.sanitize else None,
+                    trace_dir=trace_dir)
 
 
 def _cmd_run(args) -> int:
@@ -88,6 +92,8 @@ def _cmd_run(args) -> int:
     print(f"[campaign] {telemetry.summary_line()}")
     if campaign.cache is not None:
         print(f"[cache] {campaign.cache.root}")
+    if campaign.trace_dir is not None:
+        print(f"[trace] {campaign.trace_dir}")
     return 0 if telemetry.failures == 0 else 1
 
 
@@ -141,6 +147,12 @@ def main(argv: list[str] | None = None) -> int:
                      help="per-point timeout in seconds")
     run.add_argument("--retries", type=int, default=1,
                      help="retries per point on worker failure")
+    run.add_argument("--trace", action="store_true",
+                     help="capture cycle-level telemetry for every "
+                          "simulated point and write Perfetto-loadable "
+                          "Chrome traces (default directory: ./traces)")
+    run.add_argument("--trace-dir", type=str, default=None,
+                     help="trace output directory (implies --trace)")
     run.add_argument("--sanitize", action="store_true",
                      help="run simulated points under the persistency "
                           "sanitizer (repro.sanitizer); also enabled by "

@@ -100,7 +100,8 @@ class Campaign:
                  timeout: float | None = None, retries: int = 1,
                  progress: ProgressCallback | None = None,
                  fail_fast: bool = False,
-                 sanitize: bool | None = None) -> None:
+                 sanitize: bool | None = None,
+                 trace_dir: str | None = None) -> None:
         self.cache = cache
         self.jobs = max(1, jobs)
         self.timeout = timeout
@@ -113,6 +114,10 @@ class Campaign:
         # execution, not payloads.
         self.sanitize = sanitize_requested() if sanitize is None \
             else sanitize
+        # With a trace_dir, every *simulated* point (cache hits have no
+        # execution to trace) records cycle-level telemetry and drops a
+        # Perfetto-loadable Chrome trace named after the point.
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
         self.points: list[SimPoint] = []
         self.telemetry = CampaignTelemetry(jobs=self.jobs)
 
@@ -230,7 +235,8 @@ class Campaign:
             while True:
                 attempts += 1
                 try:
-                    payload = run_point_payload(point, self.sanitize)
+                    payload = run_point_payload(point, self.sanitize,
+                                              self.trace_dir)
                 except Exception as exc:  # noqa: BLE001 — retried below
                     if attempts <= self.retries:
                         self.telemetry.retries += 1
@@ -254,7 +260,8 @@ class Campaign:
         try:
             for index in misses:
                 futures[index] = pool.submit(
-                    run_point_payload, self.points[index], self.sanitize)
+                    run_point_payload, self.points[index], self.sanitize,
+                    self.trace_dir)
                 attempts[index] = 1
 
             # Collect in submission order so retries keep deterministic
@@ -302,7 +309,8 @@ class Campaign:
             attempts[index] += 1
             self.telemetry.retries += 1
             futures[index] = pool.submit(
-                run_point_payload, self.points[index], self.sanitize)
+                run_point_payload, self.points[index], self.sanitize,
+                    self.trace_dir)
             return None, pool
         return PointResult(index=index, point=self.points[index],
                            attempts=attempts[index], error=error), pool
@@ -316,5 +324,6 @@ class Campaign:
             if not futures[pending].done() or \
                     futures[pending].exception() is not None:
                 futures[pending] = pool.submit(
-                    run_point_payload, self.points[pending], self.sanitize)
+                    run_point_payload, self.points[pending], self.sanitize,
+                    self.trace_dir)
         return pool

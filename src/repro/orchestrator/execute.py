@@ -57,8 +57,8 @@ def simulate_point(point: SimPoint) \
     return stats, log
 
 
-def run_point_payload(point: SimPoint,
-                      sanitize: bool = False) -> dict[str, Any]:
+def run_point_payload(point: SimPoint, sanitize: bool = False,
+                      trace_dir: str | None = None) -> dict[str, Any]:
     """Pool-worker entry: simulate and return a JSON payload.
 
     Returning the serialized form (rather than the live objects) keeps the
@@ -66,7 +66,29 @@ def run_point_payload(point: SimPoint,
     round trip is exercised on every parallel run. With ``sanitize`` (or
     ``REPRO_SANITIZE=1`` in the worker's environment) the run executes
     under the persistency sanitizer's invariant probes; a violation
-    surfaces as an ordinary worker failure carrying the offending event."""
+    surfaces as an ordinary worker failure carrying the offending event.
+    With ``trace_dir``, the point runs under a fresh telemetry tracer and
+    its Chrome trace is written to ``<trace_dir>/<point name>.json`` —
+    including the events of a failed/violating run, which is exactly when
+    the timeline is most wanted."""
+    if trace_dir is None:
+        return _run_point_payload(point, sanitize)
+    import pathlib
+
+    from repro.telemetry import Tracer, tracing
+    from repro.telemetry.export import write_chrome_trace
+
+    tracer = Tracer()
+    trace_path = pathlib.Path(trace_dir) / (
+        point.name.replace(":", "-").replace("/", "-") + ".json")
+    try:
+        with tracing(tracer):
+            return _run_point_payload(point, sanitize)
+    finally:
+        write_chrome_trace(tracer, trace_path)
+
+
+def _run_point_payload(point: SimPoint, sanitize: bool) -> dict[str, Any]:
     if sanitize:
         from repro.sanitizer import sanitized
 

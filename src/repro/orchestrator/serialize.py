@@ -27,7 +27,8 @@ from repro.config import (
     SystemConfig,
 )
 from repro.memory.writebuffer import PersistOp
-from repro.pipeline.stats import CoreStats, decode_float, encode_float
+from repro.pipeline.stats import decode_float, encode_float
+from repro.statsbase import StatsBase, stats_from_dict, stats_to_dict
 from repro.workloads.profiles import MemRegion, WorkloadProfile
 
 from repro.orchestrator.points import SimPoint
@@ -108,19 +109,34 @@ def persist_log_from_list(data: list[dict[str, Any]]) -> list[PersistOp]:
 # Worker payloads
 # ---------------------------------------------------------------------------
 
-def payload_from_run(stats: CoreStats, persist_log: list[PersistOp] | None,
+def payload_from_run(stats: StatsBase, persist_log: list[PersistOp] | None,
                      wall_clock: float) -> dict[str, Any]:
-    """What a worker returns (and the disk cache stores) for one point."""
+    """What a worker returns (and the disk cache stores) for one point.
+
+    The stats travel as a :func:`repro.statsbase.stats_to_dict` tagged
+    envelope, so any :class:`~repro.statsbase.StatsBase` kind round-trips
+    through workers and the disk cache without this module knowing the
+    concrete class.
+    """
     return {
-        "stats": stats.to_dict(),
+        "schema": CACHE_SCHEMA_VERSION,
+        "stats": stats_to_dict(stats),
         "persist_log": (persist_log_to_list(persist_log)
                         if persist_log is not None else None),
         "wall_clock": wall_clock,
     }
 
 
-def stats_from_payload(payload: dict[str, Any]) -> CoreStats:
-    return CoreStats.from_dict(payload["stats"])
+def stats_from_payload(payload: dict[str, Any]) -> StatsBase:
+    """Decode a payload's stats; rejects payloads from other schema
+    versions (the cache key already embeds the schema, so this firing
+    means a corrupted or hand-fed payload)."""
+    schema = payload.get("schema")
+    if schema != CACHE_SCHEMA_VERSION:
+        raise ValueError(
+            f"stale result payload: schema {schema!r}, expected "
+            f"{CACHE_SCHEMA_VERSION}")
+    return stats_from_dict(payload["stats"])
 
 
 def persist_log_from_payload(payload: dict[str, Any]) \
@@ -135,7 +151,10 @@ def persist_log_from_payload(payload: dict[str, Any]) \
 
 # v2: CoreStats grew wb_full_stall_cycles and the write-buffer capacity
 # model changed; v1 payloads must not alias the new results.
-CACHE_SCHEMA_VERSION = 2
+# v3: payloads carry an explicit "schema" field and the stats moved into
+# the tagged StatsBase envelope ({"kind", "data"}); v2 payloads must not
+# alias (their "stats" is a bare CoreStats dict).
+CACHE_SCHEMA_VERSION = 3
 
 
 def point_key_material(point: SimPoint, salt: str) -> str:

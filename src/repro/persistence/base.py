@@ -100,3 +100,26 @@ class PersistencePolicy:
 
     def finish(self, end_time: float) -> None:
         """The trace is exhausted."""
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    def _trace_store(self, record: "StoreRecord") -> None:
+        """Emit the store's commit→durable span on the core's tracer.
+
+        Call after ``record.durable_at`` is final; a no-op without a
+        tracer (one attribute load + one ``is None`` test).
+        """
+        core = self.core
+        if core is None or core.tracer is None:
+            return
+        end = record.durable_at
+        if end == float("inf") or end < record.commit_time:
+            end = record.commit_time
+        core.tracer.span("stores", f"store {record.seq}",
+                         record.commit_time, end, cat="store",
+                         pc=record.pc, line=record.line_addr,
+                         region=record.region_id)
+        core.tracer.metrics.histogram("store.commit_to_durable").add(
+            end - record.commit_time)

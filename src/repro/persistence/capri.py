@@ -66,10 +66,16 @@ class CapriPolicy(PersistencePolicy):
                            wpq_entries=REDO_BUFFER_BYTES // 64,
                            persist_path_latency=0)
         self.path = NvmModel(path_cfg)
+        if core.tracer is not None:
+            from repro.telemetry import attach_nvm_tracer
+
+            attach_nvm_tracer(self.path, core.tracer)
         # The redo buffer coalesces same-line stores while the line is
         # queued for its drain to NVM, like PPA's write buffer.
-        self.redo = WriteBuffer(REDO_BUFFER_BYTES // 64, self.path)
-        self.regions = RegionTracker(core.stats.regions)
+        self.redo = WriteBuffer(REDO_BUFFER_BYTES // 64, self.path,
+                                tracer=core.tracer)
+        self.regions = RegionTracker(core.stats.regions,
+                                     tracer=core.tracer)
         self._next_boundary = self._draw_region_length()
 
     def _draw_region_length(self) -> int:
@@ -118,6 +124,7 @@ class CapriPolicy(PersistencePolicy):
         # Durable on redo-buffer entry (battery-backed).
         record.durable_at = record.commit_time
         self.regions.note_store()
+        self._trace_store(record)
 
     def finish(self, end_time: float) -> None:
         assert self.core is not None and self.regions is not None

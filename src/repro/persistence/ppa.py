@@ -41,7 +41,8 @@ class PpaPolicy(PersistencePolicy):
     def attach(self, core) -> None:
         super().attach(core)
         self.csq = CommittedStoreQueue(core.config.ppa.csq_entries)
-        self.regions = RegionTracker(core.stats.regions)
+        self.regions = RegionTracker(core.stats.regions,
+                                     tracer=core.tracer)
         self._async = core.config.ppa.async_writeback
 
     # ------------------------------------------------------------------
@@ -133,6 +134,7 @@ class PpaPolicy(PersistencePolicy):
         self.core.wb.persist_store(
             record.line_addr, merge_time, record.addr, record.value)
         record.durable_at = self.core.wb.last_store_durable
+        self._trace_store(record)
 
     def finish(self, end_time: float) -> None:
         assert self.core is not None

@@ -52,7 +52,8 @@ class ReplayCachePolicy(PersistencePolicy):
 
     def attach(self, core) -> None:
         super().attach(core)
-        self.regions = RegionTracker(core.stats.regions)
+        self.regions = RegionTracker(core.stats.regions,
+                                     tracer=core.tracer)
         self._next_boundary = self._draw_region_length()
         self._region_durable = 0.0
 
@@ -98,6 +99,7 @@ class ReplayCachePolicy(PersistencePolicy):
         record.durable_at = ticket.accepted_at
         core.sq.allocate(record.durable_at)
         self._region_durable = max(self._region_durable, record.durable_at)
+        self._trace_store(record)
 
     def finish(self, end_time: float) -> None:
         assert self.core is not None and self.regions is not None

@@ -33,7 +33,8 @@ class SbGatePolicy(PersistencePolicy):
 
     def attach(self, core) -> None:
         super().attach(core)
-        self.regions = RegionTracker(core.stats.regions)
+        self.regions = RegionTracker(core.stats.regions,
+                                     tracer=core.tracer)
         self._last_durable = 0.0
 
     def store_queue_release(self, instr: Instruction, seq: int,
@@ -56,6 +57,7 @@ class SbGatePolicy(PersistencePolicy):
         record.region_id = self.regions.region_id
         self.regions.note_store()
         record.durable_at = self._last_durable
+        self._trace_store(record)
 
     def finish(self, end_time: float) -> None:
         assert self.core is not None and self.regions is not None

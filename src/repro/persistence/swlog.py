@@ -53,7 +53,8 @@ class _SoftwareLogPolicy(PersistencePolicy):
 
     def attach(self, core) -> None:
         super().attach(core)
-        self.regions = RegionTracker(core.stats.regions)
+        self.regions = RegionTracker(core.stats.regions,
+                                     tracer=core.tracer)
         self._txn_stores = 0
         self._txn_durable = 0.0
         self._commit_floor = 0.0
@@ -105,6 +106,7 @@ class UndoLogPolicy(_SoftwareLogPolicy):
         self.regions.note_store()
         # Flush the data line itself, asynchronously until the fence.
         record.durable_at = self._log_write(merge_time, record.line_addr)
+        self._trace_store(record)
         self._txn_durable = max(self._txn_durable, record.durable_at)
         self._txn_stores += 1
         if self._txn_stores >= self.transaction_stores:
@@ -124,6 +126,7 @@ class RedoLogPolicy(_SoftwareLogPolicy):
         # Append to the redo log (asynchronous, sequential log lines).
         record.durable_at = self._log_write(merge_time,
                                             0x8000_0000 + 64 * self.log_writes)
+        self._trace_store(record)
         self._txn_durable = max(self._txn_durable, record.durable_at)
         self._txn_stores += 1
         if self._txn_stores >= self.transaction_stores:

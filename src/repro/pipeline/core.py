@@ -47,12 +47,24 @@ class OoOCore:
     def __init__(self, config: SystemConfig, policy: "PersistencePolicy",
                  memory: MemorySystem | None = None,
                  nvm: NvmModel | None = None,
-                 track_values: bool = True) -> None:
+                 track_values: bool = True, tracer=None) -> None:
         self.config = config
         self.policy = policy
         self.mem = memory if memory is not None else MemorySystem(
             config.memory, nvm=nvm)
         self.nvm = self.mem.nvm
+        # Telemetry: an explicit tracer wins; otherwise consult the ambient
+        # tracing() context / REPRO_TRACE. None keeps every instrumentation
+        # site on its zero-cost path.
+        if tracer is None:
+            from repro import telemetry
+
+            tracer = telemetry.tracer_for_run()
+        self.tracer = tracer
+        if tracer is not None:
+            from repro.telemetry import attach_nvm_tracer
+
+            attach_nvm_tracer(self.nvm, tracer)
         core = config.core
         self.rf: dict[RegClass, RenamedRegisterFile] = {
             RegClass.INT: RenamedRegisterFile(
@@ -65,7 +77,8 @@ class OoOCore:
         self.wb = WriteBuffer(
             config.ppa.writebuffer_entries, self.nvm,
             residence_cycles=config.ppa.wb_residence_cycles,
-            coalescing=config.ppa.persist_coalescing)
+            coalescing=config.ppa.persist_coalescing,
+            tracer=tracer)
         self.rob = ResourceWindow(core.rob_size, "rob")
         self.lq = ResourceWindow(core.lq_size, "lq")
         self.sq = ResourceWindow(core.sq_size, "sq")
@@ -127,10 +140,20 @@ class OoOCore:
             preg = -1
             if instr.dest is not None:
                 rf = self.rf[instr.dest.cls]
-                while rf.free_count(t) == 0:
-                    resume = policy.rename_blocked(instr.dest.cls, t, seq)
-                    stats.rename_oor_stall_cycles += max(0.0, resume - t)
-                    t = max(t, resume)
+                if rf.free_count(t) == 0:
+                    stall_from = t
+                    while rf.free_count(t) == 0:
+                        resume = policy.rename_blocked(
+                            instr.dest.cls, t, seq)
+                        stats.rename_oor_stall_cycles += max(0.0,
+                                                             resume - t)
+                        t = max(t, resume)
+                    if self.tracer is not None and t > stall_from:
+                        # One span per out-of-registers episode (possibly
+                        # covering several stall-retry iterations).
+                        self.tracer.span("core", "rename-oor", stall_from,
+                                         t, cat="stall", cls=rf.name,
+                                         seq=seq)
 
             rename_time = self.rename_bw.take(t)
             self._sample_free_regs(rename_time,
@@ -237,4 +260,10 @@ class OoOCore:
         stats.wb_full_stall_cycles = self.wb.wb_full_stall_cycles
         stats.extra["l2_miss_rate"] = self.mem.l2_miss_rate()
         stats.extra["eviction_writebacks"] = self.mem.eviction_writebacks
+        if self.tracer is not None:
+            self.tracer.span("core", f"run {stats.name}", 0.0,
+                             stats.cycles, cat="run",
+                             scheme=stats.scheme,
+                             instructions=stats.instructions,
+                             ipc=stats.ipc)
         return stats

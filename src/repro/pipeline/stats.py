@@ -120,6 +120,8 @@ class CoreStats:
     load_level_counts: Counter = field(default_factory=Counter)
     extra: dict[str, Any] = field(default_factory=dict)
 
+    stats_kind = "core"
+
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
@@ -223,6 +225,42 @@ class CoreStats:
             load_level_counts=Counter(data["load_level_counts"]),
             extra=dict(data["extra"]),
         )
+
+    def merge(self, other: "CoreStats") -> "CoreStats":
+        """Accumulate ``other`` into this run (the StatsBase contract):
+        counts and cycle accumulators sum, end times take the max, logs
+        concatenate, and histograms add."""
+        if not self.name:
+            self.name = other.name
+        elif other.name and other.name != self.name:
+            self.name = f"{self.name}+{other.name}"
+        if not self.scheme:
+            self.scheme = other.scheme
+        self.instructions += other.instructions
+        self.cycles = max(self.cycles, other.cycles)
+        self.rename_oor_stall_cycles += other.rename_oor_stall_cycles
+        self.regions.extend(other.regions)
+        self.stores.extend(other.stores)
+        self.free_reg_hist_int.update(other.free_reg_hist_int)
+        self.free_reg_hist_fp.update(other.free_reg_hist_fp)
+        self.commit_times.extend(other.commit_times)
+        self.nvm_line_writes += other.nvm_line_writes
+        self.nvm_reads += other.nvm_reads
+        self.persist_ops += other.persist_ops
+        self.persist_coalesced += other.persist_coalesced
+        self.wb_full_stall_cycles += other.wb_full_stall_cycles
+        self.load_level_counts.update(other.load_level_counts)
+        for key, value in other.extra.items():
+            mine = self.extra.get(key)
+            if isinstance(mine, (int, float)) and not isinstance(
+                    mine, bool) and isinstance(value, (int, float)):
+                self.extra[key] = mine + value
+            else:
+                self.extra[key] = value
+        return self
+
+    def __iadd__(self, other: "CoreStats") -> "CoreStats":
+        return self.merge(other)
 
     def free_reg_cdf(self, fp: bool = False) -> list[tuple[int, float]]:
         """Cumulative distribution of free registers over time (Fig 5)."""

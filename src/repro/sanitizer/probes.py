@@ -99,9 +99,31 @@ def installed() -> bool:
 
 def _fail(probe: str, message: str, **context) -> None:
     details = ", ".join(f"{k}={v!r}" for k, v in context.items())
+    _trace_violation(probe, message, context)
     raise SanitizerError(
         f"[sanitizer:{probe}] {message}" + (f" ({details})" if details
                                             else ""))
+
+
+def _trace_violation(probe: str, message: str, context: dict) -> None:
+    """Pin the violation onto whatever run is being traced right now, so
+    the failing event is visible in the exported timeline."""
+    from repro.telemetry import active_tracer
+
+    tracer = active_tracer()
+    if tracer is None:
+        return
+    ts = 0.0
+    for key in ("time", "now", "submit", "commit", "boundary", "drain"):
+        value = context.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            ts = float(value)
+            break
+    safe = {k: repr(v) for k, v in context.items()
+            if k not in ("track", "name", "ts", "cat", "message")}
+    safe["message"] = message
+    tracer.instant("sanitizer", f"violation:{probe}", ts, cat="violation",
+                   **safe)
 
 
 def _check(probe: str, condition: bool, message: str, **context) -> None:

@@ -1,0 +1,121 @@
+"""repro.telemetry — zero-overhead-when-off event tracing + metrics.
+
+Three ways a run acquires a tracer, in precedence order:
+
+1. **Explicit** — pass ``tracer=`` to the component (what the
+   :func:`repro.simulate` facade and the orchestrator's ``--trace`` do,
+   via the :func:`tracing` context below).
+2. **Ambient** — inside a ``with tracing() as tracer:`` block,
+   :func:`tracer_for_run` returns the active tracer, so every core/
+   write buffer/policy constructed in the block records into it.
+3. **Environment** — with ``REPRO_TRACE=1``, each top-level run gets a
+   *fresh* tracer of its own (kept per-run so a long test session stays
+   memory-bounded); the most recent one is reachable through
+   :func:`last_tracer` for ad-hoc inspection.
+
+With none of the three, :func:`tracer_for_run` returns ``None`` and the
+instrumentation sites reduce to one ``is None`` test — no Tracer object
+is ever allocated (guarded by a CI regression test).
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.config import trace_requested
+from repro.telemetry.events import Span, TraceEvent
+from repro.telemetry.metrics import (
+    MetricCounter,
+    MetricGauge,
+    MetricHistogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import Tracer, TracerScope
+
+__all__ = [
+    "MetricCounter",
+    "MetricGauge",
+    "MetricHistogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "TracerScope",
+    "active_tracer",
+    "attach_nvm_tracer",
+    "last_tracer",
+    "tracer_for_run",
+    "tracing",
+]
+
+_AMBIENT: Tracer | TracerScope | None = None
+_LAST_REF: "weakref.ref[Tracer] | None" = None
+
+
+def tracer_for_run() -> Tracer | TracerScope | None:
+    """The tracer a newly constructed run should record into (or None).
+
+    Precedence: the ambient :func:`tracing` context, then a fresh
+    per-run tracer if ``REPRO_TRACE=1``, else ``None``.
+    """
+    global _LAST_REF
+    if _AMBIENT is not None:
+        return _AMBIENT
+    if trace_requested():
+        tracer = Tracer()
+        _LAST_REF = weakref.ref(tracer)
+        return tracer
+    return None
+
+
+def active_tracer() -> Tracer | TracerScope | None:
+    """The tracer current events should attach to, without creating one.
+
+    Used by observers (e.g. sanitizer probes) that annotate whatever run
+    is being traced right now — the ambient tracer if a :func:`tracing`
+    block is active, else the most recent env-created one, else None.
+    """
+    if _AMBIENT is not None:
+        return _AMBIENT
+    if _LAST_REF is not None:
+        return _LAST_REF()
+    return None
+
+
+def last_tracer() -> Tracer | None:
+    """The most recent ``REPRO_TRACE=1`` per-run tracer still alive."""
+    return _LAST_REF() if _LAST_REF is not None else None
+
+
+@contextmanager
+def tracing(tracer: Tracer | TracerScope | None = None) \
+        -> Iterator[Tracer | TracerScope]:
+    """Make ``tracer`` (or a fresh one) ambient for the ``with`` body.
+
+    Every component constructed inside the block that consults
+    :func:`tracer_for_run` records into it; nesting restores the outer
+    tracer on exit.
+    """
+    global _AMBIENT
+    active = tracer if tracer is not None else Tracer()
+    previous = _AMBIENT
+    _AMBIENT = active
+    try:
+        yield active
+    finally:
+        _AMBIENT = previous
+
+
+def attach_nvm_tracer(nvm, tracer: Tracer | TracerScope | None) -> None:
+    """Point an NVM model (or every controller of a multi-controller
+    wrapper) at ``tracer`` so WPQ spans are recorded."""
+    if tracer is None:
+        return
+    controllers = getattr(nvm, "controllers", None)
+    if controllers is not None:
+        for controller in controllers:
+            controller.tracer = tracer
+    else:
+        nvm.tracer = tracer

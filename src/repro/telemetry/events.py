@@ -1,0 +1,88 @@
+"""Trace-event primitives: one structured event, one open-span handle.
+
+The event vocabulary deliberately mirrors Chrome's ``trace_event`` format
+(the JSON Perfetto and ``chrome://tracing`` load) so the exporter is a
+projection, not a translation:
+
+* ``phase == "X"`` — a *complete* span ``[ts, ts + dur]`` on one track;
+* ``phase == "i"`` — an instant (a point event, e.g. a region close or a
+  sanitizer violation);
+* ``phase == "C"`` — a counter sample (e.g. write-buffer occupancy).
+
+``ts``/``dur`` are simulated core cycles (the scoreboard model's event
+times, which are floats); the exporter maps one cycle to one microsecond
+for display. ``track`` names the horizontal lane ("regions", "stores",
+"wb", "nvm", "checkpoint", ... — prefixed per core in multicore runs) and
+``cat`` is a machine-readable category used by queries ("region",
+"store", "persist", ...), stable even when tracks are scoped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+PHASE_SPAN = "X"
+PHASE_INSTANT = "i"
+PHASE_COUNTER = "C"
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One recorded event (see the module docstring for the vocabulary)."""
+
+    name: str
+    track: str
+    phase: str
+    ts: float
+    dur: float = 0.0
+    cat: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    def to_jsonl_dict(self) -> dict[str, Any]:
+        """Flat JSONL form (one event per line; cycles, not µs)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "track": self.track,
+            "ph": self.phase,
+            "ts": self.ts,
+        }
+        if self.phase == PHASE_SPAN:
+            out["dur"] = self.dur
+        if self.cat:
+            out["cat"] = self.cat
+        if self.args:
+            out["args"] = self.args
+        return out
+
+
+class Span:
+    """Handle for a span opened with :meth:`Tracer.begin`.
+
+    The event is appended to the tracer only when the span closes, so a
+    crash mid-span leaves it visible via ``Tracer.open_span_count`` (the
+    well-formedness tests assert every opened span was closed).
+    """
+
+    __slots__ = ("_tracer", "event", "closed")
+
+    def __init__(self, tracer, event: TraceEvent) -> None:
+        self._tracer = tracer
+        self.event = event
+        self.closed = False
+
+    def close(self, end: float, **args: Any) -> TraceEvent:
+        """Close the span at cycle ``end`` (clamped to the start)."""
+        if self.closed:
+            raise RuntimeError(f"span {self.event.name!r} already closed")
+        self.closed = True
+        event = self.event
+        event.dur = max(0.0, end - event.ts)
+        if args:
+            event.args.update(args)
+        self._tracer._finish_span(self)
+        return event

@@ -1,0 +1,138 @@
+"""Exporters: Chrome trace_event JSON, flat JSONL, derived summaries.
+
+The Chrome form is the ``{"traceEvents": [...]}`` object format both
+Perfetto and ``chrome://tracing`` accept. Mapping decisions:
+
+* one simulated cycle renders as one microsecond (``ts``/``dur`` are in
+  µs by the spec, and cycle numbers make the timeline directly readable);
+* every track becomes a thread (``tid``) of one process (``pid`` 1),
+  named via ``M``/``thread_name`` metadata events and ordered by first
+  appearance via ``thread_sort_index``;
+* events are emitted sorted by timestamp (per track they are monotone in
+  the file — the well-formedness tests rely on this, and sorted streams
+  load faster in Perfetto).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.telemetry.events import PHASE_SPAN, TraceEvent
+from repro.telemetry.tracer import Tracer
+
+_PID = 1
+
+
+def _safe_args(args: dict[str, Any]) -> dict[str, Any]:
+    """JSON-safe argument dict (inf/nan become strings)."""
+    out: dict[str, Any] = {}
+    for key, value in args.items():
+        if isinstance(value, float) and (value != value
+                                         or value in (float("inf"),
+                                                      float("-inf"))):
+            out[key] = repr(value)
+        elif isinstance(value, (int, float, str, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict[str, Any]]:
+    """Project the tracer's events into Chrome trace_event dicts."""
+    tids: dict[str, int] = {}
+    for event in tracer.events:
+        if event.track not in tids:
+            tids[event.track] = len(tids) + 1
+
+    out: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0, "ts": 0,
+        "args": {"name": "repro simulation"},
+    }]
+    for track, tid in tids.items():
+        out.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                    "tid": tid, "ts": 0, "args": {"name": track}})
+        out.append({"name": "thread_sort_index", "ph": "M", "pid": _PID,
+                    "tid": tid, "ts": 0, "args": {"sort_index": tid}})
+
+    for event in sorted(tracer.events, key=lambda e: (e.ts, e.track)):
+        entry: dict[str, Any] = {
+            "name": event.name,
+            "ph": event.phase,
+            "pid": _PID,
+            "tid": tids[event.track],
+            "ts": event.ts,
+        }
+        if event.cat:
+            entry["cat"] = event.cat
+        if event.phase == PHASE_SPAN:
+            entry["dur"] = event.dur
+        elif event.phase == "i":
+            entry["s"] = "t"          # thread-scoped instant
+        if event.phase == "C":
+            entry["args"] = {event.name: event.args.get("value", 0.0)}
+        elif event.args:
+            entry["args"] = _safe_args(event.args)
+        out.append(entry)
+    return out
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path) -> Path:
+    """Write the Perfetto-loadable JSON object form; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.telemetry",
+                      "time_unit": "1 ts = 1 core cycle"},
+    }
+    path.write_text(json.dumps(document, allow_nan=False))
+    return path
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    """Write one event per line (cycles, unprojected); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for event in sorted(tracer.events, key=lambda e: (e.ts, e.track)):
+            handle.write(json.dumps(event.to_jsonl_dict(),
+                                    default=repr, allow_nan=False))
+            handle.write("\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Derived summaries (the CLI's raw material)
+# ---------------------------------------------------------------------------
+
+def top_regions(tracer: Tracer, n: int = 10) -> list[TraceEvent]:
+    """The ``n`` longest region spans, longest first."""
+    regions = tracer.spans(cat="region")
+    regions.sort(key=lambda e: e.dur, reverse=True)
+    return regions[:n]
+
+
+def timeline_summary(tracer: Tracer) -> dict[str, Any]:
+    """Digest of the run's timeline: track populations, span totals,
+    region close causes, and the metric registry's histograms."""
+    per_track: dict[str, int] = {}
+    for event in tracer.events:
+        per_track[event.track] = per_track.get(event.track, 0) + 1
+    causes: dict[str, int] = {}
+    for event in tracer.instants(cat="region-close"):
+        reason = str(event.args.get("reason", "?"))
+        causes[reason] = causes.get(reason, 0) + 1
+    spans = tracer.spans()
+    return {
+        "events": len(tracer.events),
+        "open_spans": tracer.open_span_count,
+        "tracks": per_track,
+        "spans": len(spans),
+        "span_cycles": sum(event.dur for event in spans),
+        "region_close_causes": causes,
+        "metrics": tracer.metrics.to_dict(),
+    }

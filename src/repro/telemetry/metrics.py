@@ -1,0 +1,143 @@
+"""The metrics registry: counters, gauges, and sample histograms.
+
+Instrumentation sites record *derived* quantities here — per-region drain
+waits, store commit→durable latencies, write-buffer occupancy — without
+touching the legacy stats dataclasses, which stay bit-exact for the
+figures and the cache. A registry lives on each :class:`Tracer`, so with
+tracing off none of this is ever allocated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+class MetricCounter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class MetricGauge:
+    """A last-written value plus its observed maximum."""
+
+    __slots__ = ("name", "value", "max_value", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = -math.inf
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+        self.samples += 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value,
+                "max": self.max_value if self.samples else 0.0,
+                "samples": self.samples}
+
+
+class MetricHistogram:
+    """A latency/size distribution keeping its raw samples.
+
+    Runs are bounded (tens of thousands of events), so raw samples are
+    affordable and keep percentiles exact; the summary form buckets only
+    at export time.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[float] = []
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    def to_dict(self) -> dict[str, Any]:
+        if not self.samples:
+            return {"type": "histogram", "count": 0}
+        ordered = sorted(self.samples)
+        return {
+            "type": "histogram",
+            "count": len(ordered),
+            "sum": self.total,
+            "mean": self.mean,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named metrics."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, MetricCounter] = {}
+        self._gauges: dict[str, MetricGauge] = {}
+        self._histograms: dict[str, MetricHistogram] = {}
+
+    def counter(self, name: str) -> MetricCounter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = MetricCounter(name)
+        return metric
+
+    def gauge(self, name: str) -> MetricGauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = MetricGauge(name)
+        return metric
+
+    def histogram(self, name: str) -> MetricHistogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = MetricHistogram(name)
+        return metric
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON summary of every registered metric, sorted by name."""
+        out: dict[str, Any] = {}
+        for group in (self._counters, self._gauges, self._histograms):
+            for name in sorted(group):
+                out[name] = group[name].to_dict()
+        return out

@@ -1,0 +1,156 @@
+"""The Tracer: the object every instrumentation site talks to.
+
+A :class:`Tracer` is a flat append-only event list plus a
+:class:`~repro.telemetry.metrics.MetricsRegistry`. Instrumentation sites
+hold either a ``Tracer`` or ``None`` — the *only* cost with tracing off is
+one ``is None`` test per site, and no Tracer is ever constructed (the CI
+guard test asserts exactly that).
+
+Multicore runs share one tracer across cores through
+:meth:`Tracer.scope`, which returns a view prefixing every track name
+("core0/regions", "core1/wb", ...) while events, open-span accounting,
+and metrics all land in the parent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.telemetry.events import (
+    PHASE_COUNTER,
+    PHASE_INSTANT,
+    PHASE_SPAN,
+    Span,
+    TraceEvent,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class Tracer:
+    """Records structured events and metrics for one simulation run."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.metrics = MetricsRegistry()
+        self._open: list[Span] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def span(self, track: str, name: str, start: float, end: float,
+             cat: str = "", **args: Any) -> TraceEvent:
+        """Record a complete span ``[start, end]`` (end clamped to start)."""
+        event = TraceEvent(name=name, track=track, phase=PHASE_SPAN,
+                           ts=start, dur=max(0.0, end - start), cat=cat,
+                           args=dict(args))
+        self.events.append(event)
+        return event
+
+    def begin(self, track: str, name: str, start: float,
+              cat: str = "", **args: Any) -> Span:
+        """Open a span whose end is not yet known; close via
+        :meth:`Span.close`."""
+        event = TraceEvent(name=name, track=track, phase=PHASE_SPAN,
+                           ts=start, cat=cat, args=dict(args))
+        span = Span(self, event)
+        self._open.append(span)
+        return span
+
+    def _finish_span(self, span: Span) -> None:
+        self._open.remove(span)
+        self.events.append(span.event)
+
+    def instant(self, track: str, name: str, ts: float,
+                cat: str = "", **args: Any) -> TraceEvent:
+        event = TraceEvent(name=name, track=track, phase=PHASE_INSTANT,
+                           ts=ts, cat=cat, args=dict(args))
+        self.events.append(event)
+        return event
+
+    def counter(self, track: str, name: str, ts: float,
+                value: float) -> TraceEvent:
+        event = TraceEvent(name=name, track=track, phase=PHASE_COUNTER,
+                           ts=ts, cat="counter", args={"value": value})
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Scoping (multicore)
+    # ------------------------------------------------------------------
+
+    def scope(self, prefix: str) -> "TracerScope":
+        """A view of this tracer with every track name prefixed."""
+        return TracerScope(self, prefix)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def open_span_count(self) -> int:
+        return len(self._open)
+
+    def tracks(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.track, None)
+        return list(seen)
+
+    def iter_events(self, cat: str | None = None,
+                    phase: str | None = None) -> Iterator[TraceEvent]:
+        for event in self.events:
+            if cat is not None and event.cat != cat:
+                continue
+            if phase is not None and event.phase != phase:
+                continue
+            yield event
+
+    def spans(self, cat: str | None = None) -> list[TraceEvent]:
+        return list(self.iter_events(cat=cat, phase=PHASE_SPAN))
+
+    def instants(self, cat: str | None = None) -> list[TraceEvent]:
+        return list(self.iter_events(cat=cat, phase=PHASE_INSTANT))
+
+
+class TracerScope:
+    """Track-prefixing view of a :class:`Tracer` (shares its storage)."""
+
+    __slots__ = ("_tracer", "prefix")
+
+    def __init__(self, tracer: Tracer, prefix: str) -> None:
+        self._tracer = tracer
+        self.prefix = prefix
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._tracer.metrics
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return self._tracer.events
+
+    def _track(self, track: str) -> str:
+        return f"{self.prefix}/{track}"
+
+    def span(self, track: str, name: str, start: float, end: float,
+             cat: str = "", **args: Any) -> TraceEvent:
+        return self._tracer.span(self._track(track), name, start, end,
+                                 cat=cat, **args)
+
+    def begin(self, track: str, name: str, start: float,
+              cat: str = "", **args: Any) -> Span:
+        return self._tracer.begin(self._track(track), name, start,
+                                  cat=cat, **args)
+
+    def instant(self, track: str, name: str, ts: float,
+                cat: str = "", **args: Any) -> TraceEvent:
+        return self._tracer.instant(self._track(track), name, ts,
+                                    cat=cat, **args)
+
+    def counter(self, track: str, name: str, ts: float,
+                value: float) -> TraceEvent:
+        return self._tracer.counter(self._track(track), name, ts, value)
+
+    def scope(self, prefix: str) -> "TracerScope":
+        return TracerScope(self._tracer, self._track(prefix))

@@ -107,6 +107,45 @@ class TestSerialCampaign:
         assert warm_result.persist_log == result.persist_log
 
 
+class TestTraceCapture:
+    def test_trace_dir_writes_per_point_chrome_traces(self, tmp_path):
+        import json
+
+        trace_dir = tmp_path / "traces"
+        campaign = Campaign(cache=ResultCache(tmp_path / "cache"),
+                            trace_dir=trace_dir)
+        campaign.add_run("gcc", "ppa", length=LENGTH, warmup=0)
+        campaign.add_run("rb", "baseline", length=LENGTH, warmup=0)
+        results = campaign.run()
+        assert all(r.ok for r in results)
+
+        traces = sorted(trace_dir.glob("*.json"))
+        assert len(traces) == 2
+        for path in traces:
+            document = json.loads(path.read_text())
+            events = document["traceEvents"]
+            assert any(e.get("ph") == "X" for e in events)
+
+        # Tracing must not perturb the model: an untraced run of the
+        # same points produces bit-identical stats.
+        plain = Campaign(cache=None)
+        plain.add_run("gcc", "ppa", length=LENGTH, warmup=0)
+        plain.add_run("rb", "baseline", length=LENGTH, warmup=0)
+        for traced, untraced in zip(results, plain.run()):
+            assert traced.stats == untraced.stats
+
+        # Cache hits replay stored payloads without re-simulating, so a
+        # warm rerun writes no new traces.
+        for path in traces:
+            path.unlink()
+        warm = Campaign(cache=ResultCache(tmp_path / "cache"),
+                        trace_dir=trace_dir)
+        warm.add_run("gcc", "ppa", length=LENGTH, warmup=0)
+        warm.add_run("rb", "baseline", length=LENGTH, warmup=0)
+        assert all(r.cache_hit for r in warm.run())
+        assert not list(trace_dir.glob("*.json"))
+
+
 class TestParallelCampaign:
     def test_pool_matches_serial(self, tmp_path):
         serial = Campaign(cache=None)

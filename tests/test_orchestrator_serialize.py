@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.config import skylake_default
 from repro.orchestrator.execute import simulate_point
 from repro.orchestrator.points import make_point
@@ -101,6 +103,45 @@ class TestStatsRoundTrip:
         stats = CoreStats(name="x", scheme="ppa")
         payload = _json_round_trip(payload_from_run(stats, None, 0.0))
         assert persist_log_from_payload(payload) is None
+
+
+class TestSchemaInvalidation:
+    """v3 payloads carry an explicit schema tag; anything else is stale."""
+
+    def test_v2_style_payload_rejected(self):
+        # v2 payloads had no "schema" field and stored a bare CoreStats
+        # dict; decoding must refuse rather than misparse.
+        payload = {"stats": CoreStats(name="x", scheme="ppa").to_dict(),
+                   "persist_log": None, "wall_clock": 0.0}
+        with pytest.raises(ValueError, match="stale result payload"):
+            stats_from_payload(payload)
+
+    def test_old_schema_number_rejected(self):
+        payload = payload_from_run(CoreStats(name="x", scheme="ppa"),
+                                   None, 0.0)
+        payload["schema"] = 2
+        with pytest.raises(ValueError, match="stale result payload"):
+            stats_from_payload(payload)
+
+    def test_current_payload_carries_schema_and_envelope(self):
+        from repro.orchestrator.serialize import CACHE_SCHEMA_VERSION
+
+        payload = payload_from_run(CoreStats(name="x", scheme="ppa"),
+                                   None, 0.0)
+        assert payload["schema"] == CACHE_SCHEMA_VERSION
+        assert payload["stats"]["kind"] == "core"
+
+    def test_schema_bump_orphans_cache_keys(self, monkeypatch):
+        """The schema version is part of the key material, so a bump
+        orphans every old disk-cache entry (digest never aliases)."""
+        from repro.orchestrator import serialize
+        from repro.orchestrator.cache import point_digest
+
+        point = make_point("gcc", "ppa", length=500, warmup=0)
+        current = point_digest(point, salt="fixed")
+        monkeypatch.setattr(serialize, "CACHE_SCHEMA_VERSION", 2)
+        previous = point_digest(point, salt="fixed")
+        assert current != previous
 
 
 class TestConfigAndProfileRoundTrip:
