@@ -82,6 +82,28 @@ def grade(results: dict[str, ExperimentResult]) -> list[DigestLine]:
     return lines
 
 
+def markdown_table(columns: list[str], rows: list[list]) -> str:
+    """A GitHub-flavored markdown table (bench/fidelity reports embed
+    these in PR comments and CI summaries)."""
+    def render(value) -> str:
+        return f"{value:.3f}" if isinstance(value, float) else str(value)
+
+    out = ["| " + " | ".join(columns) + " |",
+           "|" + "|".join("---" for _ in columns) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(render(v) for v in row) + " |")
+    return "\n".join(out)
+
+
+def render_digest_markdown(lines: list[DigestLine]) -> str:
+    """Markdown form of :func:`render_digest`."""
+    rows = [["✅" if line.holds else "❌", line.experiment_id, line.claim]
+            for line in lines]
+    passed = sum(1 for line in lines if line.holds)
+    return (f"### Reproduction digest ({passed}/{len(lines)})\n\n"
+            + markdown_table(["", "exp", "claim"], rows))
+
+
 def render_digest(lines: list[DigestLine]) -> str:
     """Human-readable digest table."""
     out = ["reproduction digest (claim -> holds?)", "-" * 60]

@@ -1,0 +1,70 @@
+"""Environment fingerprint stamped into every BENCH artifact.
+
+Wall-clock numbers are only comparable when the environment is known, so
+each artifact records the interpreter, platform, CPU, and the exact
+simulator sources (the orchestrator cache's code salt — a hash over every
+``repro/**/*.py``) plus the git revision when one is available.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import asdict, dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class EnvFingerprint:
+    """Where (and on what sources) a BENCH artifact was measured."""
+
+    python: str            # e.g. "3.12.1"
+    implementation: str    # e.g. "cpython"
+    platform: str          # platform.platform()
+    machine: str           # e.g. "x86_64"
+    processor: str         # may be "" on minimal containers
+    cpu_count: int
+    source_hash: str       # hash of every repro/**/*.py (cache code salt)
+    git_sha: str | None    # short HEAD revision, None outside a checkout
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "EnvFingerprint":
+        return cls(**data)
+
+    @property
+    def short_sha(self) -> str:
+        """Revision tag for artifact names: git sha, else source hash."""
+        return self.git_sha or self.source_hash[:8]
+
+
+def _git_short_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def collect_fingerprint() -> EnvFingerprint:
+    """Fingerprint the current interpreter, host, and simulator sources."""
+    from repro.orchestrator.cache import code_salt
+
+    return EnvFingerprint(
+        python=platform.python_version(),
+        implementation=sys.implementation.name,
+        platform=platform.platform(),
+        machine=platform.machine(),
+        processor=platform.processor(),
+        cpu_count=os.cpu_count() or 1,
+        source_hash=code_salt(),
+        git_sha=_git_short_sha(),
+    )

@@ -1,0 +1,230 @@
+"""The deterministic benchmark harness and the BENCH artifact format.
+
+A measurement is min-of-N wall-clock around one benchmark execution after
+an uncounted warmup pass (first runs pay import, allocator, and branch
+warmup costs that say nothing about the simulator). Simulated cycle and
+instruction counts must be bit-identical across repetitions — the suite
+pins every seed — so the harness also doubles as a determinism check:
+a drifting count is reported on the result and fails the bench gate.
+
+Artifacts are schema-versioned JSON written as
+``BENCH_<yyyymmdd>_<shortsha>.json`` so a repo accumulates a perf
+trajectory that ``repro.bench.compare`` can diff and gate on.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.bench.fingerprint import EnvFingerprint, collect_fingerprint
+from repro.bench.suite import Benchmark, suite_benchmarks
+
+BENCH_SCHEMA = 1
+
+DEFAULT_REPETITIONS = 3
+DEFAULT_WARMUP = 1
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's measurement: timings plus simulated volume."""
+
+    name: str
+    group: str
+    description: str
+    wall_clocks: list[float]      # one per counted repetition, in order
+    cycles: float                 # simulated cycles of one execution
+    instructions: int             # retired instructions of one execution
+    deterministic: bool           # counts identical across repetitions
+
+    @property
+    def wall_clock(self) -> float:
+        """Min-of-N: the least-noisy estimate of the true cost."""
+        return min(self.wall_clocks)
+
+    @property
+    def cycles_per_sec(self) -> float:
+        wall = self.wall_clock
+        return self.cycles / wall if wall > 0 else 0.0
+
+    @property
+    def instrs_per_sec(self) -> float:
+        wall = self.wall_clock
+        return self.instructions / wall if wall > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "group": self.group,
+            "description": self.description,
+            "wall_clock": self.wall_clock,
+            "wall_clocks": list(self.wall_clocks),
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "cycles_per_sec": self.cycles_per_sec,
+            "instrs_per_sec": self.instrs_per_sec,
+            "deterministic": self.deterministic,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BenchResult":
+        return cls(
+            name=data["name"], group=data["group"],
+            description=data.get("description", ""),
+            wall_clocks=list(data["wall_clocks"]),
+            cycles=data["cycles"], instructions=data["instructions"],
+            deterministic=data["deterministic"],
+        )
+
+
+@dataclass
+class BenchReport:
+    """A full suite run: fingerprint + per-benchmark results."""
+
+    suite: str
+    repetitions: int
+    warmup: int
+    fingerprint: EnvFingerprint
+    results: list[BenchResult] = field(default_factory=list)
+    created: str = ""              # ISO-8601 UTC timestamp
+    schema: int = BENCH_SCHEMA
+
+    @property
+    def deterministic(self) -> bool:
+        return all(r.deterministic for r in self.results)
+
+    def result(self, name: str) -> BenchResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(f"no benchmark {name!r} in this report")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "kind": "repro-bench",
+            "created": self.created,
+            "suite": self.suite,
+            "repetitions": self.repetitions,
+            "warmup": self.warmup,
+            "fingerprint": self.fingerprint.to_dict(),
+            "benchmarks": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BenchReport":
+        schema = data.get("schema")
+        if schema != BENCH_SCHEMA:
+            raise ValueError(
+                f"unsupported BENCH artifact: schema {schema!r}, "
+                f"expected {BENCH_SCHEMA}")
+        return cls(
+            suite=data["suite"],
+            repetitions=data["repetitions"],
+            warmup=data["warmup"],
+            fingerprint=EnvFingerprint.from_dict(data["fingerprint"]),
+            results=[BenchResult.from_dict(b)
+                     for b in data["benchmarks"]],
+            created=data.get("created", ""),
+            schema=schema,
+        )
+
+    def write(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, allow_nan=False)
+            handle.write("\n")
+        return path
+
+    def artifact_name(self) -> str:
+        return artifact_name(self.created, self.fingerprint.short_sha)
+
+    def to_text(self) -> str:
+        """Human-readable suite table."""
+        lines = [
+            f"== bench suite {self.suite!r}: {len(self.results)} "
+            f"benchmarks, min of {self.repetitions} "
+            f"(+{self.warmup} warmup) ==",
+            f"   host: python {self.fingerprint.python} on "
+            f"{self.fingerprint.platform} "
+            f"({self.fingerprint.cpu_count} cpus), sources "
+            f"{self.fingerprint.source_hash}",
+            f"{'benchmark':<30} {'wall s':>8} {'cycles/s':>12} "
+            f"{'instrs/s':>12} {'det':>4}",
+        ]
+        for r in self.results:
+            lines.append(
+                f"{r.name:<30} {r.wall_clock:>8.3f} "
+                f"{r.cycles_per_sec:>12.0f} {r.instrs_per_sec:>12.0f} "
+                f"{'ok' if r.deterministic else 'DRIFT':>5}")
+        total = sum(r.wall_clock for r in self.results)
+        lines.append(f"total measured wall-clock: {total:.2f}s"
+                     + ("" if self.deterministic
+                        else "  [NON-DETERMINISTIC COUNTS]"))
+        return "\n".join(lines)
+
+
+def artifact_name(created: str, short_sha: str) -> str:
+    """``BENCH_<yyyymmdd>_<shortsha>.json`` from an ISO timestamp."""
+    stamp = created[:10].replace("-", "") or "unknown"
+    return f"BENCH_{stamp}_{short_sha}.json"
+
+
+def load_report(path: str | pathlib.Path) -> BenchReport:
+    with pathlib.Path(path).open("r", encoding="utf-8") as handle:
+        return BenchReport.from_dict(json.load(handle))
+
+
+ProgressFn = Callable[[str, int, int], None]
+
+
+def run_benchmark(benchmark: Benchmark,
+                  repetitions: int = DEFAULT_REPETITIONS,
+                  warmup: int = DEFAULT_WARMUP) -> BenchResult:
+    """Measure one benchmark: warmup passes, then min-of-N timing."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    for _ in range(max(0, warmup)):
+        benchmark.run()
+    wall_clocks: list[float] = []
+    volumes: list[tuple[float, int]] = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        volume = benchmark.run()
+        wall_clocks.append(time.perf_counter() - start)
+        volumes.append(volume)
+    cycles, instructions = volumes[0]
+    return BenchResult(
+        name=benchmark.name, group=benchmark.group,
+        description=benchmark.description, wall_clocks=wall_clocks,
+        cycles=cycles, instructions=instructions,
+        deterministic=all(v == volumes[0] for v in volumes),
+    )
+
+
+def run_suite(suite: str = "quick",
+              repetitions: int = DEFAULT_REPETITIONS,
+              warmup: int = DEFAULT_WARMUP,
+              progress: ProgressFn | None = None) -> BenchReport:
+    """Measure every benchmark in a suite; the report is ready to write.
+    """
+    benchmarks = suite_benchmarks(suite)
+    report = BenchReport(
+        suite=suite, repetitions=repetitions, warmup=warmup,
+        fingerprint=collect_fingerprint(),
+        created=datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    )
+    for index, benchmark in enumerate(benchmarks):
+        if progress is not None:
+            progress(benchmark.name, index, len(benchmarks))
+        report.results.append(
+            run_benchmark(benchmark, repetitions=repetitions,
+                          warmup=warmup))
+    return report

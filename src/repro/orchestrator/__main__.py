@@ -17,6 +17,7 @@ resolves everything from the disk cache and simulates nothing.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -59,36 +60,56 @@ def _make_campaign(args) -> Campaign:
 def _cmd_run(args) -> int:
     campaign = _make_campaign(args)
     apps = args.apps.split(",") if args.apps else None
+    summary_rows: list[tuple[str, float]] = []
 
     if args.campaign == "matrix":
         if not apps or not args.schemes:
-            print("matrix campaigns need --apps and --schemes")
+            print("matrix campaigns need --apps and --schemes",
+                  file=sys.stderr)
             return 2
         points = build_matrix(apps, args.schemes.split(","),
                               length=args.length or 12_000)
         campaign.extend(points)
         results = campaign.run()
-        print(f"{'point':32s} {'cycles':>12s} {'ipc':>6s} {'src':>5s}")
-        for result in results:
-            if result.stats is None:
-                print(f"{result.point.name:32s} FAILED: {result.error}")
-                continue
-            print(f"{result.point.name:32s} {result.stats.cycles:12.0f} "
-                  f"{result.stats.ipc:6.2f} "
-                  f"{'cache' if result.cache_hit else 'sim':>5s}")
+        if not args.json:
+            print(f"{'point':32s} {'cycles':>12s} {'ipc':>6s} {'src':>5s}")
+            for result in results:
+                if result.stats is None:
+                    print(f"{result.point.name:32s} FAILED: "
+                          f"{result.error}")
+                    continue
+                print(f"{result.point.name:32s} "
+                      f"{result.stats.cycles:12.0f} "
+                      f"{result.stats.ipc:6.2f} "
+                      f"{'cache' if result.cache_hit else 'sim':>5s}")
     elif args.campaign in SWEEPS:
         spec = sweep_spec(args.campaign, apps=apps, length=args.length)
         campaign.extend(build_sweep(spec))
         results = campaign.run()
-        print(f"== {spec.name}: {spec.title} ==")
-        for label, mean in summarize_sweep(spec, results):
-            print(f"  {label:12s} {mean:.3f}")
+        summary_rows = summarize_sweep(spec, results)
+        if not args.json:
+            print(f"== {spec.name}: {spec.title} ==")
+            for label, mean in summary_rows:
+                print(f"  {label:12s} {mean:.3f}")
     else:
         known = ", ".join(sorted(SWEEPS)) + ", matrix"
-        print(f"unknown campaign {args.campaign!r} (known: {known})")
+        print(f"unknown campaign {args.campaign!r} (known: {known})",
+              file=sys.stderr)
         return 2
 
     telemetry = campaign.telemetry
+    if args.json:
+        print(json.dumps({
+            "campaign": args.campaign,
+            "results": [result.to_dict() for result in results],
+            "summary": [{"label": label, "gmean_slowdown": mean}
+                        for label, mean in summary_rows],
+            "telemetry": telemetry.to_dict(),
+            "cache_root": (str(campaign.cache.root)
+                           if campaign.cache is not None else None),
+            "trace_dir": campaign.trace_dir,
+        }, indent=2, allow_nan=False))
+        return 0 if telemetry.failures == 0 else 1
     print(f"[campaign] {telemetry.summary_line()}")
     if campaign.cache is not None:
         print(f"[cache] {campaign.cache.root}")
@@ -101,6 +122,9 @@ def _cmd_status(args) -> int:
     cache = ResultCache(pathlib.Path(args.cache_dir)
                         if args.cache_dir else default_cache_dir())
     info = cache.inventory()
+    if args.json:
+        print(json.dumps(info, indent=2, allow_nan=False))
+        return 0
     print(f"cache root:    {info['root']}")
     print(f"entries:       {info['entries']}")
     print(f"bytes:         {info['bytes']}")
@@ -108,6 +132,14 @@ def _cmd_status(args) -> int:
     for salt, count in sorted(info["salts"].items()):
         marker = " (current)" if salt == info["current_salt"] else " (stale)"
         print(f"  salt {salt}: {count} entries{marker}")
+    seconds = info["sim_seconds"]
+    print(f"banked sim:    {info['sim_cycles']:.0f} cycles, "
+          f"{info['sim_instructions']} instructions, "
+          f"{seconds:.2f}s simulation time")
+    if seconds > 0:
+        print(f"throughput:    {info['sim_cycles'] / seconds:.0f} "
+              f"cycles/s, {info['sim_instructions'] / seconds:.0f} "
+              f"instrs/s (over current-salt entries)")
     return 0
 
 
@@ -159,10 +191,15 @@ def main(argv: list[str] | None = None) -> int:
                           "REPRO_SANITIZE=1")
     run.add_argument("--verbose", action="store_true",
                      help="print per-point progress lines")
+    run.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON (per-point results "
+                          "+ campaign telemetry) instead of tables")
     run.set_defaults(func=_cmd_run)
 
     status = sub.add_parser("status", help="show cache inventory")
     status.add_argument("--cache-dir", type=str, default=None)
+    status.add_argument("--json", action="store_true",
+                        help="emit the inventory as JSON")
     status.set_defaults(func=_cmd_status)
 
     gc = sub.add_parser("gc", help="drop stale cache entries")

@@ -144,24 +144,44 @@ class ResultCache:
         return sorted(self.root.glob("*/*.json"))
 
     def inventory(self) -> dict[str, Any]:
-        """Entry count, total bytes, and per-salt breakdown."""
+        """Entry count, total bytes, per-salt breakdown, and the simulated
+        volume banked under the current salt.
+
+        ``sim_seconds``/``sim_cycles``/``sim_instructions`` sum the
+        original worker wall-clock and the (schema >= 4) top-level
+        cycle/instruction counts of every current-salt entry, so campaign
+        throughput (cycles/s) is derivable straight from the cache.
+        """
         salts: dict[str, int] = {}
         total_bytes = 0
+        sim_seconds = sim_cycles = 0.0
+        sim_instructions = 0
+        current = code_salt()
         paths = self.entries()
         for path in paths:
             total_bytes += path.stat().st_size
             try:
                 with path.open("r", encoding="utf-8") as handle:
-                    salt = json.load(handle).get("salt", "?")
+                    entry = json.load(handle)
+                salt = entry.get("salt", "?")
             except (OSError, ValueError):
                 salt = "?"
+                entry = {}
             salts[salt] = salts.get(salt, 0) + 1
+            if salt == current:
+                payload = entry.get("payload") or {}
+                sim_seconds += payload.get("wall_clock", 0.0)
+                sim_cycles += payload.get("cycles", 0.0)
+                sim_instructions += int(payload.get("instructions", 0))
         return {
             "root": str(self.root),
             "entries": len(paths),
             "bytes": total_bytes,
             "salts": salts,
-            "current_salt": code_salt(),
+            "current_salt": current,
+            "sim_seconds": sim_seconds,
+            "sim_cycles": sim_cycles,
+            "sim_instructions": sim_instructions,
         }
 
     def gc(self, all_entries: bool = False) -> int:

@@ -42,13 +42,38 @@ class PointResult:
     stats: CoreStats | None = None
     persist_log: list[PersistOp] | None = None
     cache_hit: bool = False
-    wall_clock: float = 0.0          # simulation time inside the worker
+    # Simulation time spent inside a worker *during this campaign*; a
+    # cache hit costs no simulation, so it reports 0.0 here and carries
+    # the original run's time in cached_wall_clock instead. Throughput
+    # and utilization math must only ever aggregate wall_clock over
+    # simulated (non-hit) points.
+    wall_clock: float = 0.0
+    cached_wall_clock: float = 0.0   # original sim time of a cache hit
     attempts: int = 0                # simulation attempts (0 for cache hits)
     error: str | None = None
 
     @property
     def ok(self) -> bool:
         return self.stats is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable digest of the result (no stats payload)."""
+        from repro.statsbase import sim_volume
+
+        cycles, instructions = (sim_volume(self.stats)
+                                if self.stats is not None else (0.0, 0))
+        return {
+            "index": self.index,
+            "point": self.point.name,
+            "ok": self.ok,
+            "cache_hit": self.cache_hit,
+            "wall_clock": self.wall_clock,
+            "cached_wall_clock": self.cached_wall_clock,
+            "attempts": self.attempts,
+            "error": self.error,
+            "cycles": cycles,
+            "instructions": instructions,
+        }
 
 
 @dataclass
@@ -75,6 +100,21 @@ class CampaignTelemetry:
         """Fraction of the pool's wall-clock capacity spent simulating."""
         wall = self.elapsed * max(1, self.jobs)
         return self.busy_seconds / wall if wall > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "done": self.done,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "simulated": self.simulated,
+            "failures": self.failures,
+            "retries": self.retries,
+            "jobs": self.jobs,
+            "busy_seconds": self.busy_seconds,
+            "elapsed": self.elapsed,
+            "worker_utilization": self.worker_utilization,
+        }
 
     def summary_line(self) -> str:
         return (f"{self.done}/{self.total} points, "
@@ -183,7 +223,7 @@ class Campaign:
             stats=stats_from_payload(payload),
             persist_log=persist_log_from_payload(payload),
             cache_hit=True,
-            wall_clock=payload.get("wall_clock", 0.0),
+            cached_wall_clock=payload.get("wall_clock", 0.0),
         )
 
     def _store(self, point: SimPoint, payload: dict[str, Any]) -> None:

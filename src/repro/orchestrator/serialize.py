@@ -28,7 +28,12 @@ from repro.config import (
 )
 from repro.memory.writebuffer import PersistOp
 from repro.pipeline.stats import decode_float, encode_float
-from repro.statsbase import StatsBase, stats_from_dict, stats_to_dict
+from repro.statsbase import (
+    StatsBase,
+    sim_volume,
+    stats_from_dict,
+    stats_to_dict,
+)
 from repro.workloads.profiles import MemRegion, WorkloadProfile
 
 from repro.orchestrator.points import SimPoint
@@ -116,14 +121,20 @@ def payload_from_run(stats: StatsBase, persist_log: list[PersistOp] | None,
     The stats travel as a :func:`repro.statsbase.stats_to_dict` tagged
     envelope, so any :class:`~repro.statsbase.StatsBase` kind round-trips
     through workers and the disk cache without this module knowing the
-    concrete class.
+    concrete class. Simulated cycles and retired instructions are also
+    lifted to the top level, so cache inventories and the bench harness
+    can derive campaign throughput (cycles/s, instrs/s) without decoding
+    the full stats envelope.
     """
+    cycles, instructions = sim_volume(stats)
     return {
         "schema": CACHE_SCHEMA_VERSION,
         "stats": stats_to_dict(stats),
         "persist_log": (persist_log_to_list(persist_log)
                         if persist_log is not None else None),
         "wall_clock": wall_clock,
+        "cycles": cycles,
+        "instructions": instructions,
     }
 
 
@@ -154,7 +165,10 @@ def persist_log_from_payload(payload: dict[str, Any]) \
 # v3: payloads carry an explicit "schema" field and the stats moved into
 # the tagged StatsBase envelope ({"kind", "data"}); v2 payloads must not
 # alias (their "stats" is a bare CoreStats dict).
-CACHE_SCHEMA_VERSION = 3
+# v4: payloads lift "cycles" and "instructions" to the top level so
+# campaign throughput is derivable from cached results without decoding
+# the stats envelope; v3 payloads lack them and must not alias.
+CACHE_SCHEMA_VERSION = 4
 
 
 def point_key_material(point: SimPoint, salt: str) -> str:

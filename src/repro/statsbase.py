@@ -76,3 +76,18 @@ def stats_to_dict(stats: StatsBase) -> dict[str, Any]:
 def stats_from_dict(envelope: dict[str, Any]) -> StatsBase:
     """Inverse of :func:`stats_to_dict` — dispatches on the tag."""
     return stats_class(envelope["kind"]).from_dict(envelope["data"])
+
+
+def sim_volume(stats: StatsBase) -> tuple[float, int]:
+    """(simulated cycles, retired instructions) of any stats kind.
+
+    Single-core kinds report their own ``cycles``/``instructions``; a
+    multicore run reports its makespan and the instructions summed over
+    threads. Kinds with no notion of either (``nvm``, ``iobuffer``)
+    report zeros — callers treat those as "no volume", not as errors.
+    """
+    if hasattr(stats, "makespan"):
+        return float(stats.makespan), int(stats.total_instructions)
+    cycles = getattr(stats, "cycles", 0.0)
+    instructions = getattr(stats, "instructions", 0)
+    return float(cycles), int(instructions)

@@ -13,6 +13,7 @@ exports the Perfetto-loadable Chrome trace and/or the flat JSONL stream::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.facade import CORES, simulate
@@ -46,6 +47,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write the flat JSONL event stream here")
     parser.add_argument("--top", type=int, default=10,
                         help="longest regions to list (default: 10)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the timeline digest as machine-readable "
+                             "JSON instead of tables")
     return parser
 
 
@@ -65,6 +69,24 @@ def main(argv: list[str] | None = None) -> int:
 
     tracer = result.telemetry
     summary = timeline_summary(tracer)
+    if args.json:
+        regions = top_regions(tracer, n=args.top)
+        print(json.dumps({
+            "run": {"profile": args.profile, "scheme": args.scheme,
+                    "core": args.core, "length": args.length,
+                    "seed": args.seed},
+            "summary": summary,
+            "top_regions": [
+                {"name": event.name, "track": event.track,
+                 "open": event.ts, "cycles": event.dur,
+                 "args": dict(event.args)}
+                for event in regions],
+        }, indent=2, allow_nan=False))
+        if args.out:
+            result.write_chrome_trace(args.out)
+        if args.jsonl:
+            result.write_jsonl(args.jsonl)
+        return 0
     print(f"run: {args.profile} scheme={args.scheme} core={args.core} "
           f"length={args.length}")
     print(f"events: {summary['events']}  spans: {summary['spans']}  "

@@ -1,0 +1,143 @@
+"""Trajectory diffing: compare flags exactly what changed, gate exits
+nonzero on it."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import DEFAULT_THRESHOLD, compare_reports
+from repro.bench.fingerprint import EnvFingerprint
+from repro.bench.harness import BenchReport, BenchResult
+
+
+def _fingerprint() -> EnvFingerprint:
+    return EnvFingerprint(
+        python="3.11.7", implementation="cpython", platform="linux",
+        machine="x86_64", processor="", cpu_count=1,
+        source_hash="0123456789abcdef", git_sha="abc1234")
+
+
+def _result(name: str, wall: float, cycles: float = 1000.0,
+            instructions: int = 500,
+            deterministic: bool = True) -> BenchResult:
+    return BenchResult(name=name, group="simulate", description="",
+                       wall_clocks=[wall, wall * 1.05], cycles=cycles,
+                       instructions=instructions,
+                       deterministic=deterministic)
+
+
+def _report(results: list[BenchResult]) -> BenchReport:
+    return BenchReport(suite="quick", repetitions=2, warmup=1,
+                       fingerprint=_fingerprint(), results=results,
+                       created="2026-08-05T00:00:00Z")
+
+
+class TestCompare:
+    def test_identical_reports_are_ok(self):
+        base = _report([_result("a", 1.0), _result("b", 2.0)])
+        new = _report([_result("a", 1.0), _result("b", 2.0)])
+        report = compare_reports(base, new)
+        assert report.ok
+        assert not report.regressions and not report.drifted
+        assert [d.ratio for d in report.deltas] == [1.0, 1.0]
+
+    def test_synthetic_2x_slowdown_flags_exactly_that_benchmark(self):
+        """The ISSUE acceptance check: double one benchmark's wall-clock
+        and only that one is flagged."""
+        names = ["a", "b", "c", "d"]
+        base = _report([_result(n, 1.0) for n in names])
+        new = _report([_result(n, 2.0 if n == "c" else 1.0)
+                       for n in names])
+        report = compare_reports(base, new, threshold=DEFAULT_THRESHOLD)
+        assert [d.name for d in report.regressions] == ["c"]
+        assert not report.ok
+        assert not report.drifted
+        assert "REGRESSION" in report.to_text()
+
+    def test_improvement_flagged_but_passes_gate(self):
+        base = _report([_result("a", 2.0)])
+        new = _report([_result("a", 0.5)])
+        report = compare_reports(base, new)
+        assert report.ok
+        assert [d.name for d in report.improvements] == ["a"]
+
+    def test_noise_within_threshold_ignored(self):
+        base = _report([_result("a", 1.0)])
+        new = _report([_result("a", 1.2)])
+        report = compare_reports(base, new, threshold=0.25)
+        assert report.ok and not report.regressions
+
+    def test_model_drift_fails_regardless_of_timing(self):
+        """Changed simulated counts fail the gate even with identical
+        wall-clock — timing noise can't explain them."""
+        base = _report([_result("a", 1.0, cycles=1000.0)])
+        new = _report([_result("a", 1.0, cycles=1001.0)])
+        report = compare_reports(base, new)
+        assert not report.ok
+        assert [d.name for d in report.drifted] == ["a"]
+        assert "MODEL-DRIFT" in report.to_text()
+
+        base = _report([_result("a", 1.0, instructions=500)])
+        new = _report([_result("a", 1.0, instructions=501)])
+        assert not compare_reports(base, new).ok
+
+    def test_nondeterministic_new_result_is_drift(self):
+        base = _report([_result("a", 1.0)])
+        new = _report([_result("a", 1.0, deterministic=False)])
+        assert compare_reports(base, new).drifted
+
+    def test_missing_benchmarks_reported(self):
+        base = _report([_result("a", 1.0), _result("gone", 1.0)])
+        new = _report([_result("a", 1.0), _result("added", 1.0)])
+        report = compare_reports(base, new)
+        assert report.only_in_base == ["gone"]
+        assert report.only_in_new == ["added"]
+        assert report.ok  # membership changes inform, they don't gate
+
+    def test_to_dict_round_trips_through_json(self):
+        base = _report([_result("a", 1.0)])
+        new = _report([_result("a", 3.0)])
+        data = json.loads(json.dumps(compare_reports(base, new).to_dict()))
+        assert data["ok"] is False
+        assert data["deltas"][0]["ratio"] == 3.0
+
+
+class TestGateCli:
+    def _write(self, tmp_path, name, results):
+        path = tmp_path / name
+        _report(results).write(path)
+        return str(path)
+
+    @pytest.fixture
+    def pair(self, tmp_path):
+        base = self._write(tmp_path, "base.json",
+                           [_result("a", 1.0), _result("b", 1.0)])
+        new = self._write(tmp_path, "new.json",
+                          [_result("a", 1.0), _result("b", 2.0)])
+        return base, new
+
+    def test_gate_fails_on_regression(self, pair, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["gate", *pair]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_gate_warn_only_passes(self, pair, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["gate", *pair, "--warn-only"]) == 0
+        assert "downgraded to warning" in capsys.readouterr().out
+
+    def test_gate_passes_with_loose_threshold(self, pair):
+        from repro.bench.__main__ import main
+
+        assert main(["gate", *pair, "--threshold", "1.5"]) == 0
+
+    def test_compare_json_output(self, pair, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["compare", *pair, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        assert [d["name"] for d in data["deltas"]
+                if d["regressed"]] == ["b"]

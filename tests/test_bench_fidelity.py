@@ -1,0 +1,124 @@
+"""The paper-fidelity scoreboard: grading, error paths, rendering, and a
+real quick-tier row."""
+
+import json
+
+import pytest
+
+from repro.bench.fidelity import (
+    QUICK_CHECKS,
+    FidelityCheck,
+    FidelityReport,
+    run_fidelity,
+)
+
+
+def _check(experiment_id="tab4", claim="synthetic",
+           check=lambda s: True, **kwargs) -> FidelityCheck:
+    return FidelityCheck(experiment_id, claim, check, kwargs)
+
+
+class TestGrading:
+    def test_passing_check(self):
+        report = run_fidelity(checks=(_check(),))
+        assert report.ok and report.passed == 1
+        line = report.lines[0]
+        assert line.holds and line.error is None
+        assert line.summary  # the experiment's summary is preserved
+        assert line.elapsed >= 0.0
+
+    def test_failing_check(self):
+        report = run_fidelity(checks=(
+            _check(check=lambda s: False, claim="always fails"),))
+        assert not report.ok and report.passed == 0
+
+    def test_missing_summary_key_is_failure_not_crash(self):
+        report = run_fidelity(checks=(
+            _check(check=lambda s: s["no_such_key"] > 0),))
+        assert not report.ok
+        assert "missing summary key" in report.lines[0].error
+
+    def test_mixed_checks_counted(self):
+        report = run_fidelity(checks=(
+            _check(claim="pass"),
+            _check(check=lambda s: False, claim="fail"),
+        ))
+        assert report.passed == 1 and len(report.lines) == 2
+        assert not report.ok
+
+    def test_empty_report_not_ok(self):
+        assert not FidelityReport(tier="quick").ok
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown fidelity tier"):
+            run_fidelity(tier="nope")
+
+    def test_full_tier_mirrors_paper_expectations(self):
+        from repro.analysis.report import PAPER_EXPECTATIONS
+        from repro.bench.fidelity import _full_checks
+
+        checks = _full_checks()
+        assert [(c.experiment_id, c.claim) for c in checks] \
+            == [(e.experiment_id, e.claim) for e in PAPER_EXPECTATIONS]
+        assert all(not c.kwargs for c in checks)
+
+
+class TestQuickTier:
+    def test_quick_checks_use_reduced_workloads(self):
+        experiment_checks = [c for c in QUICK_CHECKS if c.kwargs]
+        assert experiment_checks, "quick tier must reduce some workloads"
+        for check in experiment_checks:
+            assert check.kwargs.get("length", 0) <= 2_000
+
+    def test_one_real_quick_row_passes(self):
+        """Anchor: a real reduced experiment graded against its shape
+        claim (the full quick tier runs in CI; one row keeps this test
+        fast)."""
+        fig13 = next(c for c in QUICK_CHECKS if c.experiment_id == "fig13")
+        report = run_fidelity(checks=(fig13,))
+        assert report.ok, report.to_text()
+        assert report.lines[0].summary["mean_others"] > 0
+
+
+class TestRendering:
+    @pytest.fixture
+    def report(self):
+        return run_fidelity(checks=(
+            _check(claim="pass claim"),
+            _check(check=lambda s: False, claim="fail claim"),
+        ))
+
+    def test_to_text_scoreboard(self, report):
+        text = report.to_text()
+        assert "[OK ]" in text and "[FAIL]" in text
+        assert "1/2 claims hold -> FAIL" in text
+
+    def test_to_markdown_table(self, report):
+        markdown = report.to_markdown()
+        assert "✅" in markdown and "❌" in markdown
+        assert "|---|---|---|---|" in markdown
+        assert "(quick: 1/2)" in markdown
+
+    def test_to_dict_json_safe(self, report):
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["ok"] is False
+        assert data["passed"] == 1 and data["total"] == 2
+        assert data["lines"][0]["holds"] is True
+
+
+class TestDigestMarkdown:
+    def test_render_digest_markdown(self):
+        from repro.analysis.report import DigestLine, render_digest_markdown
+
+        lines = [DigestLine("fig8", "PPA cheap", True),
+                 DigestLine("fig10", "PSP costly", False)]
+        markdown = render_digest_markdown(lines)
+        assert "Reproduction digest (1/2)" in markdown
+        assert "| ✅ | fig8 | PPA cheap |" in markdown
+
+    def test_markdown_table_formats_floats(self):
+        from repro.analysis.report import markdown_table
+
+        table = markdown_table(["a", "b"], [["x", 1.23456], ["y", 2]])
+        assert "| x | 1.235 |" in table
+        assert "| y | 2 |" in table

@@ -218,3 +218,98 @@ class TestSweepCampaigns:
 
         with pytest.raises(ValueError):
             sweep_spec("fig99")
+
+
+class TestCacheHitAccounting:
+    """Cache hits are free in *this* campaign: wall_clock stays 0.0 and
+    the original worker cost lives in cached_wall_clock instead, so
+    busy_seconds / utilization / bench throughput never count banked
+    simulation time as current work."""
+
+    def test_hit_reports_cached_wall_clock_not_wall_clock(self, tmp_path):
+        cold = Campaign(cache=ResultCache(tmp_path))
+        _populate(cold)
+        cold_results = cold.run()
+        assert all(r.wall_clock > 0 and r.cached_wall_clock == 0.0
+                   for r in cold_results)
+
+        warm = Campaign(cache=ResultCache(tmp_path))
+        _populate(warm)
+        warm_results = warm.run()
+        for cold_result, warm_result in zip(cold_results, warm_results):
+            assert warm_result.cache_hit
+            assert warm_result.wall_clock == 0.0
+            assert warm_result.cached_wall_clock \
+                == pytest.approx(cold_result.wall_clock)
+
+    def test_warm_busy_seconds_exclude_banked_time(self, tmp_path):
+        cold = Campaign(cache=ResultCache(tmp_path))
+        _populate(cold)
+        cold.run()
+        warm = Campaign(cache=ResultCache(tmp_path))
+        _populate(warm)
+        warm.run()
+        assert warm.telemetry.busy_seconds == 0.0
+
+    def test_result_to_dict_carries_volume_and_cache_cost(self, tmp_path):
+        cold = Campaign(cache=ResultCache(tmp_path))
+        _populate(cold)
+        cold.run()
+        warm = Campaign(cache=ResultCache(tmp_path))
+        _populate(warm)
+        data = warm.run()[0].to_dict()
+        assert data["cache_hit"] is True
+        assert data["wall_clock"] == 0.0
+        assert data["cached_wall_clock"] > 0
+        assert data["cycles"] > 0 and data["instructions"] > 0
+
+    def test_telemetry_to_dict(self, tmp_path):
+        campaign = Campaign(cache=ResultCache(tmp_path))
+        _populate(campaign)
+        campaign.run()
+        data = campaign.telemetry.to_dict()
+        assert data["done"] == data["total"] == len(POINTS)
+        assert data["cache_misses"] == len(POINTS)
+        assert data["busy_seconds"] > 0
+        assert 0.0 <= data["worker_utilization"] <= 1.0
+
+
+class TestCliJson:
+    def test_run_json_emits_results_and_telemetry(self, tmp_path, capsys):
+        import json
+
+        from repro.orchestrator.__main__ import main
+
+        code = main(["run", "fig16", "--apps", "rb", "--length",
+                     str(LENGTH), "--cache-dir", str(tmp_path), "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["campaign"] == "fig16"
+        assert data["telemetry"]["failures"] == 0
+        assert data["summary"] and all(
+            row["gmean_slowdown"] > 0 for row in data["summary"])
+        assert all(r["cycles"] > 0 for r in data["results"])
+        assert data["cache_root"] == str(tmp_path)
+
+    def test_status_json_and_banked_throughput(self, tmp_path, capsys):
+        import json
+
+        from repro.orchestrator.__main__ import main
+
+        campaign = Campaign(cache=ResultCache(tmp_path))
+        _populate(campaign)
+        campaign.run()
+        capsys.readouterr()
+
+        assert main(["status", "--cache-dir", str(tmp_path),
+                     "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["entries"] == len(POINTS)
+        assert info["sim_cycles"] > 0
+        assert info["sim_instructions"] > 0
+        assert info["sim_seconds"] > 0
+
+        assert main(["status", "--cache-dir", str(tmp_path)]) == 0
+        text = capsys.readouterr().out
+        assert "banked sim:" in text
+        assert "throughput:" in text

@@ -98,6 +98,25 @@ class TestStatsRoundTrip:
         assert stats_from_payload(payload) == stats
         assert persist_log_from_payload(payload) == log
         assert payload["wall_clock"] == 1.5
+        # v4: simulated volume lifted to the top level, so cache
+        # inventory and status can sum without decoding stats.
+        assert payload["cycles"] == stats.cycles
+        assert payload["instructions"] == stats.instructions
+
+    def test_payload_volume_for_multicore_stats(self):
+        from repro.multicore.system import MulticoreStats
+        from repro.statsbase import sim_volume
+
+        stats = MulticoreStats(
+            scheme="ppa", threads=2, makespan=123.5,
+            per_thread=[CoreStats(name="t0", scheme="ppa",
+                                  instructions=40),
+                        CoreStats(name="t1", scheme="ppa",
+                                  instructions=60)])
+        payload = _json_round_trip(payload_from_run(stats, None, 0.1))
+        cycles, instructions = sim_volume(stats)
+        assert payload["cycles"] == cycles == 123.5
+        assert payload["instructions"] == instructions == 100
 
     def test_payload_without_persist_log(self):
         stats = CoreStats(name="x", scheme="ppa")

@@ -351,3 +351,19 @@ class TestExportEdgeCases:
 
 def test_span_helper_class_reexported():
     assert telemetry.Span is Span
+
+
+class TestCliJson:
+    def test_json_mode_emits_run_summary_and_regions(self, capsys):
+        from repro.telemetry.__main__ import main
+
+        code = main(["rb", "--scheme", "ppa", "--length", "2000",
+                     "--top", "2", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["run"]["scheme"] == "ppa"
+        assert data["run"]["length"] == 2000
+        assert data["summary"]["events"] > 0
+        assert len(data["top_regions"]) <= 2
+        for region in data["top_regions"]:
+            assert region["cycles"] >= 0 and region["track"]
