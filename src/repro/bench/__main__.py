@@ -10,6 +10,11 @@ Usage::
         [--json]
     python -m repro.bench gate BASE.json NEW.json [--threshold F]
         [--warn-only]
+
+``compare``/``gate`` also accept a *directory* as BASE (e.g. the repo
+root): the committed ``BENCH_*.json`` with the best aggregate instrs/s
+becomes the base, so the gate measures against the strongest recorded
+trajectory point.
     python -m repro.bench fidelity [--tier quick|full] [--json]
         [--markdown]
 
@@ -26,7 +31,12 @@ import json
 import pathlib
 import sys
 
-from repro.bench.compare import DEFAULT_THRESHOLD, compare_reports
+from repro.bench.compare import (
+    DEFAULT_THRESHOLD,
+    aggregate_instrs_per_sec,
+    compare_reports,
+    resolve_base,
+)
 from repro.bench.fidelity import run_fidelity
 from repro.bench.harness import (
     DEFAULT_REPETITIONS,
@@ -75,22 +85,31 @@ def _cmd_profile(args) -> int:
 
 
 def _compare(args):
-    return compare_reports(load_report(args.base), load_report(args.new),
-                           threshold=args.threshold)
+    base_path = resolve_base(args.base)
+    base = load_report(base_path)
+    new = load_report(args.new)
+    report = compare_reports(base, new, threshold=args.threshold)
+    aggregate = (f"aggregate instrs/s: base "
+                 f"{aggregate_instrs_per_sec(base):,.0f} "
+                 f"({base_path}) -> new "
+                 f"{aggregate_instrs_per_sec(new):,.0f}")
+    return report, aggregate
 
 
 def _cmd_compare(args) -> int:
-    report = _compare(args)
+    report, aggregate = _compare(args)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, allow_nan=False))
     else:
         print(report.to_text())
+        print(aggregate)
     return 0
 
 
 def _cmd_gate(args) -> int:
-    report = _compare(args)
+    report, aggregate = _compare(args)
     print(report.to_text())
+    print(aggregate)
     if report.ok:
         return 0
     if args.warn_only:
@@ -151,7 +170,9 @@ def main(argv: list[str] | None = None) -> int:
     prof.set_defaults(func=_cmd_profile)
 
     comp = sub.add_parser("compare", help="diff two BENCH artifacts")
-    comp.add_argument("base")
+    comp.add_argument("base",
+                      help="base artifact, or a directory of BENCH_*.json "
+                           "(the best aggregate-throughput point wins)")
     comp.add_argument("new")
     comp.add_argument("--threshold", type=float,
                       default=DEFAULT_THRESHOLD,
@@ -162,7 +183,9 @@ def main(argv: list[str] | None = None) -> int:
 
     gate = sub.add_parser("gate", help="compare and exit nonzero on "
                                        "regressions or model drift")
-    gate.add_argument("base")
+    gate.add_argument("base",
+                      help="base artifact, or a directory of BENCH_*.json "
+                           "(the best aggregate-throughput point wins)")
     gate.add_argument("new")
     gate.add_argument("--threshold", type=float,
                       default=DEFAULT_THRESHOLD)

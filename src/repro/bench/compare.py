@@ -14,16 +14,51 @@ flags, per benchmark:
 ``gate`` mode exits nonzero on regressions/drift; warn-only mode reports
 but passes, for repos that don't yet have two trustworthy trajectory
 points.
+
+The base of a comparison may also be a *directory* of committed
+``BENCH_*.json`` artifacts: :func:`resolve_base` picks the strongest
+trajectory point (highest aggregate instrs/s), so the CI gate always
+measures against the best the repo has ever recorded on comparable
+hardware rather than an arbitrary ancestor.
 """
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.bench.harness import BenchReport
+from repro.bench.harness import BenchReport, load_report
 
 DEFAULT_THRESHOLD = 0.25
+
+
+def aggregate_instrs_per_sec(report: BenchReport) -> float:
+    """Suite-level throughput: total retired instructions per second of
+    measured wall-clock — the headline number a perf PR moves."""
+    wall = sum(r.wall_clock for r in report.results)
+    instrs = sum(r.instructions for r in report.results)
+    return instrs / wall if wall > 0 else 0.0
+
+
+def best_artifact(directory: str | pathlib.Path) -> pathlib.Path:
+    """The committed ``BENCH_*.json`` with the highest aggregate
+    instrs/s — the strongest trajectory point to gate against."""
+    directory = pathlib.Path(directory)
+    candidates = sorted(directory.glob("BENCH_*.json"))
+    if not candidates:
+        raise FileNotFoundError(
+            f"no BENCH_*.json artifacts in {directory}")
+    return max(candidates,
+               key=lambda p: aggregate_instrs_per_sec(load_report(p)))
+
+
+def resolve_base(path: str | pathlib.Path) -> pathlib.Path:
+    """Accept either one artifact or a directory of them (best wins)."""
+    path = pathlib.Path(path)
+    if path.is_dir():
+        return best_artifact(path)
+    return path
 
 
 @dataclass

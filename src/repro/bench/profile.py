@@ -26,6 +26,7 @@ COMPONENTS: tuple[tuple[str, str], ...] = (
     ("repro/memory/nvm", "NvmModel"),
     ("repro/memory/cache", "CacheModel"),
     ("repro/memory/hierarchy", "MemorySystem"),
+    ("repro/memory/prewarm", "WarmTemplates"),
     ("repro/pipeline/regfile", "Rename/PRF"),
     ("repro/pipeline/resources", "PipelineResources"),
     ("repro/pipeline/core", "OoOCore"),
@@ -36,7 +37,9 @@ COMPONENTS: tuple[tuple[str, str], ...] = (
     ("repro/core/region", "RegionTracker"),
     ("repro/core/", "PersistentProcessor"),
     ("repro/persistence/", "PersistencePolicy"),
+    ("repro/workloads/interning", "TraceInterning"),
     ("repro/workloads/", "TraceGenerator"),
+    ("repro/isa/decoded", "Predecode"),
     ("repro/isa/", "ISA"),
     ("repro/inorder/", "InOrderCore"),
     ("repro/multicore/", "Multicore"),

@@ -40,11 +40,15 @@ class PersistentProcessor:
     """A PPA-equipped core with checkpoint/recovery support."""
 
     def __init__(self, config: SystemConfig | None = None,
-                 enforce_store_integrity: bool = True) -> None:
+                 enforce_store_integrity: bool = True,
+                 memory=None) -> None:
         self.config = config if config is not None else skylake_default()
         self.policy = PpaPolicy(
             enforce_store_integrity=enforce_store_integrity)
-        self.core = OoOCore(self.config, self.policy, track_values=True)
+        # ``memory`` lets callers inject a prepared MemorySystem (e.g. one
+        # cloned from a prewarmed template); None builds a cold one.
+        self.core = OoOCore(self.config, self.policy, memory=memory,
+                            track_values=True)
         # One tracer (or None) spans the whole life cycle: run, JIT
         # checkpoint, and recovery all land on the same timeline.
         self.tracer = self.core.tracer

@@ -95,41 +95,32 @@ def _scheme_config(config: SystemConfig | None, scheme: str) -> SystemConfig:
 def _run_ooo(profile, run_trace, scheme, config, length, warmup,
              seed) -> SimResult:
     from repro.memory.hierarchy import MemorySystem
-    from repro.orchestrator.execute import declare_steady_state
     from repro.persistence.catalog import make_policy
     from repro.pipeline.core import OoOCore
-    from repro.workloads.synthetic import TraceGenerator
 
-    if scheme == "ppa" and run_trace is None:
+    if run_trace is None:
+        # Profile runs intern the generated trace and clone prewarmed
+        # cache state from a shared template — both deterministic, so
+        # repeated runs are bit-identical to cold ones.
+        from repro.memory.prewarm import warmed_memory
+        from repro.workloads.interning import interned_trace, region_extents
+
+        run_trace = interned_trace(profile, length, seed=seed)
+        if warmup > 0:
+            memory = warmed_memory(config.memory, region_extents(profile))
+        else:
+            memory = MemorySystem(config.memory)
+    else:
+        memory = MemorySystem(config.memory)
+    if scheme == "ppa":
         # The full life cycle (run / crash_at / recover) needs the
         # value-tracking PPA processor.
         from repro.core.processor import PersistentProcessor
 
-        generator = TraceGenerator(profile, seed=seed)
-        proc = PersistentProcessor(config)
-        if warmup > 0:
-            declare_steady_state(proc.core.mem, generator)
-            proc.core.mem.prewarm_extents(generator.region_extents())
-        stats = proc.run(generator.generate(length))
-        return SimResult(stats=stats, telemetry=proc.tracer,
-                         crash_api=proc)
-    if scheme == "ppa":
-        from repro.core.processor import PersistentProcessor
-
-        proc = PersistentProcessor(config)
+        proc = PersistentProcessor(config, memory=memory)
         stats = proc.run(run_trace)
         return SimResult(stats=stats, telemetry=proc.tracer,
                          crash_api=proc)
-
-    if run_trace is None:
-        generator = TraceGenerator(profile, seed=seed)
-        memory = MemorySystem(config.memory)
-        if warmup > 0:
-            declare_steady_state(memory, generator)
-            memory.prewarm_extents(generator.region_extents())
-        run_trace = generator.generate(length)
-    else:
-        memory = MemorySystem(config.memory)
     core = OoOCore(config, make_policy(scheme), memory=memory)
     stats = core.run(run_trace)
     return SimResult(stats=stats, telemetry=core.tracer, crash_api=None)
@@ -137,10 +128,10 @@ def _run_ooo(profile, run_trace, scheme, config, length, warmup,
 
 def _run_inorder(profile, run_trace, scheme, config, length,
                  seed) -> SimResult:
-    from repro.workloads.synthetic import generate_trace
+    from repro.workloads.interning import interned_trace
 
     if run_trace is None:
-        run_trace = generate_trace(profile, length, seed=seed)
+        run_trace = interned_trace(profile, length, seed=seed)
     if scheme == "ppa":
         from repro.inorder.processor import InOrderPersistentProcessor
 

@@ -19,6 +19,7 @@ from typing import Any
 
 from repro.config import SystemConfig
 from repro.core.region import RegionTracker
+from repro.isa.decoded import OP_LOAD, OP_STORE, OP_SYNC
 from repro.isa.instructions import Opcode, RegClass
 from repro.isa.trace import Trace
 from repro.memory.hierarchy import MemorySystem
@@ -160,84 +161,119 @@ class InOrderCore:
         return drain
 
     def run(self, trace: Trace) -> InOrderStats:
-        """Execute the trace in order; returns statistics + store log."""
+        """Execute the trace in order; returns statistics + store log.
+
+        Like the out-of-order core, the loop consumes the trace's
+        predecoded flat arrays and aliases hot callables — representation
+        only; the event order and arithmetic of the instruction-object
+        loop are preserved bit-exactly.
+        """
         stats = InOrderStats(name=trace.name)
         self.regions = RegionTracker(stats.regions, tracer=self.tracer)
+        regions = self.regions
         time = 0.0
         last_commit = 0.0
         penalty = self.config.core.branch_mispredict_penalty
-        for seq, instr in enumerate(trace):
-            ready = time
-            for src in instr.srcs:
-                ready = max(ready, self._ready[src.cls][src.index])
-            issue = self.issue_bw.take(ready)
+        tracer = self.tracer
+        persistent = self.persistent
 
-            opcode = instr.opcode
-            if opcode is Opcode.LOAD:
-                result = self.mem.load(instr.line_addr, issue)
+        dec = trace.decoded()
+        opcode_ids = dec.opcode_ids
+        dest_cls = dec.dest_cls
+        dest_idx = dec.dest_idx
+        all_srcs = dec.srcs
+        addrs = dec.addrs
+        line_addrs = dec.line_addrs
+        pcs = dec.pcs
+        mispredicted = dec.mispredicted
+        latencies = dec.latency_table(self._latency)
+
+        ready_times = (self._ready[RegClass.INT], self._ready[RegClass.FP])
+        values = (self._values[RegClass.INT], self._values[RegClass.FP])
+        issue_take = self.issue_bw.take
+        mem_load = self.mem.load
+        store_merge = self.mem.store_merge
+        wb = self.wb
+        csq = self.csq
+        functional_mem = self._functional_mem
+        entries_append = stats.entries.append
+        commit_append = stats.commit_times.append
+
+        for seq in range(dec.length):
+            srcs = all_srcs[seq]
+            ready = time
+            for cls, index in srcs:
+                src_ready = ready_times[cls][index]
+                if src_ready > ready:
+                    ready = src_ready
+            issue = issue_take(ready)
+
+            opcode = opcode_ids[seq]
+            if opcode == OP_LOAD:
+                result = mem_load(line_addrs[seq], issue)
                 complete = issue + 1 + result.latency
-                value = self._functional_mem.get(instr.addr, 0)
-            elif opcode is Opcode.STORE:
+                value = functional_mem.get(addrs[seq], 0)
+            elif opcode == OP_STORE:
                 complete = issue + 1
-                value = self._value_of(instr.data_reg)
-            elif opcode is Opcode.SYNC:
+                data_cls, data_idx = srcs[0]
+                value = values[data_cls][data_idx]
+            elif opcode == OP_SYNC:
                 complete = issue + _SYNC_LATENCY
                 value = 0
             else:
-                complete = issue + self._latency[opcode]
+                complete = issue + latencies[opcode]
                 value = 0
-                if instr.dest is not None:
-                    acc = (instr.pc * 0x9E3779B97F4A7C15) & _VALUE_MASK
-                    for src in instr.srcs:
-                        acc = (acc ^ self._value_of(src)) \
+                if dest_cls[seq] >= 0:
+                    acc = (pcs[seq] * 0x9E3779B97F4A7C15) & _VALUE_MASK
+                    for cls, index in srcs:
+                        acc = (acc ^ values[cls][index]) \
                             * 0x100000001B3 & _VALUE_MASK
                     value = acc
 
-            if instr.dest is not None:
-                self._ready[instr.dest.cls][instr.dest.index] = complete
-                self._values[instr.dest.cls][instr.dest.index] = value
+            dcls = dest_cls[seq]
+            if dcls >= 0:
+                ready_times[dcls][dest_idx[seq]] = complete
+                values[dcls][dest_idx[seq]] = value
 
             # In-order retirement: commits never reorder.
             commit = max(complete + 1.0, last_commit)
-            if opcode is Opcode.STORE and self.persistent:
-                if self.csq.is_full:
+            if opcode == OP_STORE and persistent:
+                if csq.is_full:
                     commit = max(commit,
                                  self._close_region(seq, commit, "csq"))
-                assert instr.addr is not None
-                entry = ValueCsqEntry(seq=seq, addr=instr.addr,
+                entry = ValueCsqEntry(seq=seq, addr=addrs[seq],
                                       value=value, commit_time=commit)
-                self.csq.push(entry)
-                stats.entries.append(entry)
-                self.regions.note_store()
-                merge = self.mem.store_merge(instr.line_addr, commit)
+                csq.push(entry)
+                entries_append(entry)
+                regions.note_store()
+                merge = store_merge(line_addrs[seq], commit)
                 # Commits are monotone and merges trail them: a sound
                 # floor for evicting closed coalescing windows.
-                self.wb.advance_floor(commit)
-                self.wb.persist_store(instr.line_addr, merge,
-                                      addr=instr.addr, value=value)
-                if self.tracer is not None:
-                    durable = max(commit, self.wb.last_store_durable)
-                    self.tracer.span("stores", f"store {seq}", commit,
-                                     durable, cat="store", pc=instr.pc,
-                                     line=instr.line_addr,
-                                     region=self.regions.region_id)
-                    self.tracer.metrics.histogram(
+                wb.advance_floor(commit)
+                wb.persist_store(line_addrs[seq], merge,
+                                 addr=addrs[seq], value=value)
+                if tracer is not None:
+                    durable = max(commit, wb.last_store_durable)
+                    tracer.span("stores", f"store {seq}", commit,
+                                durable, cat="store", pc=pcs[seq],
+                                line=line_addrs[seq],
+                                region=regions.region_id)
+                    tracer.metrics.histogram(
                         "store.commit_to_durable").add(durable - commit)
-            elif opcode is Opcode.STORE:
-                assert instr.addr is not None
-                self.mem.store_merge(instr.line_addr, commit)
-            if opcode is Opcode.STORE:
-                self._functional_mem[instr.addr] = value
-            elif opcode is Opcode.SYNC and self.persistent:
+            elif opcode == OP_STORE:
+                store_merge(line_addrs[seq], commit)
+            if opcode == OP_STORE:
+                functional_mem[addrs[seq]] = value
+            elif opcode == OP_SYNC and persistent:
                 commit = max(commit,
                              self._close_region(seq + 1, commit, "sync"))
 
-            if instr.mispredicted:
+            if mispredicted[seq]:
                 time = max(time, complete + penalty)
             else:
                 time = max(time, issue)
             last_commit = commit
-            stats.commit_times.append(commit)
+            commit_append(commit)
 
         end_time = stats.commit_times[-1] if stats.commit_times else 0.0
         if self.persistent:

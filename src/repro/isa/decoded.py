@@ -1,0 +1,96 @@
+"""Predecoded traces: the flat, array-backed form the hot loops consume.
+
+The core models are O(n) scoreboards, so on long runs the per-instruction
+cost is dominated by Python attribute chasing: ``instr.opcode`` (an Enum),
+``instr.dest.cls``/``instr.dest.index`` (a frozen dataclass), and the
+``line_addr`` property recomputing ``addr & ~0x3F`` on every reference.
+:class:`DecodedTrace` pays that cost exactly once per trace — each
+:class:`~repro.isa.instructions.Instruction` is decoded into parallel flat
+lists of small ints — and is cached on the :class:`~repro.isa.trace.Trace`,
+so repetitions, campaign points, and benchmark passes over the same trace
+share one decode.
+
+Decoding is pure representation: opcodes map to dense ints
+(:data:`OPCODE_ID`), registers to ``(class, index)`` int pairs, and memory
+operands to precomputed ``addr``/``line_addr`` values. No timing or
+functional semantics live here, which is what keeps the optimized loops
+bit-exact with the instruction-object loops they replaced.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, Opcode
+
+# Dense opcode ids, in declaration order of the Opcode enum. The core
+# loops compare against these module constants instead of enum members.
+OP_INT_ALU = 0
+OP_INT_MUL = 1
+OP_INT_DIV = 2
+OP_FP_ALU = 3
+OP_FP_MUL = 4
+OP_FP_DIV = 5
+OP_CMP = 6
+OP_LOAD = 7
+OP_STORE = 8
+OP_BRANCH = 9
+OP_SYNC = 10
+
+ID_TO_OPCODE: tuple[Opcode, ...] = tuple(Opcode)
+OPCODE_ID: dict[Opcode, int] = {op: i for i, op in enumerate(ID_TO_OPCODE)}
+
+assert OPCODE_ID[Opcode.LOAD] == OP_LOAD
+assert OPCODE_ID[Opcode.STORE] == OP_STORE
+assert OPCODE_ID[Opcode.SYNC] == OP_SYNC
+
+
+class DecodedTrace:
+    """Parallel flat arrays over one trace (read-only, shared freely).
+
+    ``dest_cls[i]`` is ``-1`` for instructions without a destination;
+    ``srcs[i]`` is a tuple of ``(reg_class, reg_index)`` int pairs;
+    ``addrs``/``line_addrs`` are ``0`` for non-memory instructions (the
+    loops only read them behind an opcode check).
+    """
+
+    __slots__ = ("length", "opcode_ids", "dest_cls", "dest_idx", "srcs",
+                 "addrs", "line_addrs", "pcs", "mispredicted")
+
+    def __init__(self, instructions: list[Instruction]) -> None:
+        n = len(instructions)
+        self.length = n
+        opcode_ids = [0] * n
+        dest_cls = [-1] * n
+        dest_idx = [-1] * n
+        srcs: list[tuple[tuple[int, int], ...]] = [()] * n
+        addrs = [0] * n
+        line_addrs = [0] * n
+        pcs = [0] * n
+        mispredicted = [False] * n
+        opcode_id = OPCODE_ID
+        for i, instr in enumerate(instructions):
+            opcode_ids[i] = opcode_id[instr.opcode]
+            dest = instr.dest
+            if dest is not None:
+                dest_cls[i] = int(dest.cls)
+                dest_idx[i] = dest.index
+            if instr.srcs:
+                srcs[i] = tuple((int(s.cls), s.index) for s in instr.srcs)
+            addr = instr.addr
+            if addr is not None:
+                addrs[i] = addr
+                line_addrs[i] = addr & ~0x3F
+            pcs[i] = instr.pc
+            if instr.mispredicted:
+                mispredicted[i] = True
+        self.opcode_ids = opcode_ids
+        self.dest_cls = dest_cls
+        self.dest_idx = dest_idx
+        self.srcs = srcs
+        self.addrs = addrs
+        self.line_addrs = line_addrs
+        self.pcs = pcs
+        self.mispredicted = mispredicted
+
+    def latency_table(self, by_opcode: dict[Opcode, float]) -> list[float]:
+        """Re-key an ``{Opcode: latency}`` map as an id-indexed list."""
+        return [by_opcode.get(op, 0.0) for op in ID_TO_OPCODE]

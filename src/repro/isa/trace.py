@@ -39,14 +39,16 @@ class TraceStats:
 class Trace:
     """A dynamic instruction stream fed to the core model.
 
-    Traces are immutable after construction; the simulator never mutates the
-    instruction objects apart from the rename-stage scratch field.
+    Traces are immutable after construction; the simulator never mutates
+    the instruction objects, which is what lets interned traces and their
+    predecoded form be shared across runs and campaign points.
     """
 
     def __init__(self, instructions: Iterable[Instruction],
                  name: str = "anonymous") -> None:
         self.name = name
         self._instructions: list[Instruction] = list(instructions)
+        self._decoded = None
 
     def __len__(self) -> int:
         return len(self._instructions)
@@ -60,6 +62,15 @@ class Trace:
     @property
     def instructions(self) -> list[Instruction]:
         return self._instructions
+
+    def decoded(self):
+        """The flat array form of this trace, decoded once and memoized."""
+        dec = self._decoded
+        if dec is None:
+            from repro.isa.decoded import DecodedTrace
+
+            dec = self._decoded = DecodedTrace(self._instructions)
+        return dec
 
     def stats(self) -> TraceStats:
         return TraceStats.measure(self._instructions)

@@ -34,11 +34,27 @@ class Cache:
         self.cfg = cfg
         self.name = name
         self._sets: dict[int, OrderedDict[int, bool]] = {}
+        # Geometry cached as plain ints: num_sets is a derived property on
+        # the config and too slow to recompute per access.
+        self._line_bytes = cfg.line_bytes
+        self._num_sets = cfg.num_sets
+        self._assoc = cfg.assoc
         self.hits = 0
         self.misses = 0
 
     def _set_index(self, line_addr: int) -> int:
-        return (line_addr // self.cfg.line_bytes) % self.cfg.num_sets
+        return (line_addr // self._line_bytes) % self._num_sets
+
+    def copy_state_from(self, other: "Cache") -> None:
+        """Adopt another (same-config) cache's resident lines and counters.
+
+        Used to clone prewarmed template state instead of re-running the
+        fill stream; per-set ordered dicts are copied so replacement state
+        is identical and the template stays untouched.
+        """
+        self._sets = {index: s.copy() for index, s in other._sets.items()}
+        self.hits = other.hits
+        self.misses = other.misses
 
     def lookup(self, line_addr: int) -> bool:
         """Probe without modifying replacement state."""
@@ -67,7 +83,7 @@ class Cache:
             s[line_addr] = s[line_addr] or dirty
             return None
         victim = None
-        if len(s) >= self.cfg.assoc:
+        if len(s) >= self._assoc:
             victim_addr, victim_dirty = s.popitem(last=False)
             victim = Eviction(victim_addr, victim_dirty)
         s[line_addr] = dirty
@@ -109,8 +125,17 @@ class DirectMappedDramCache:
         self._slots: dict[int, tuple[int, bool]] = {}
         # Steady-state resident address ranges (see add_resident_range).
         self._resident: list[tuple[int, int, float]] = []
+        self._line_bytes = cfg.line_bytes
+        self._num_sets = cfg.num_sets
         self.hits = 0
         self.misses = 0
+
+    def copy_state_from(self, other: "DirectMappedDramCache") -> None:
+        """Adopt a template's slots, resident ranges, and counters."""
+        self._slots = dict(other._slots)
+        self._resident = list(other._resident)
+        self.hits = other.hits
+        self.misses = other.misses
 
     def add_resident_range(self, base: int, size: int,
                            conflict_frac: float = 0.0) -> None:
@@ -142,7 +167,7 @@ class DirectMappedDramCache:
         return False
 
     def _set_index(self, line_addr: int) -> int:
-        return (line_addr // self.cfg.line_bytes) % self.cfg.num_sets
+        return (line_addr // self._line_bytes) % self._num_sets
 
     def access(self, line_addr: int, write: bool) -> bool:
         index = self._set_index(line_addr)

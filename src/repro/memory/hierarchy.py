@@ -203,6 +203,24 @@ class MemorySystem:
         fill_level(self.l2, warm)
         fill_level(self.l1d, hot)
 
+    def copy_warm_state_from(self, template: "MemorySystem") -> None:
+        """Clone a prewarmed template's cache contents into this system.
+
+        Equivalent to replaying the exact declare/prewarm sequence the
+        template went through, at the cost of dict copies instead of tens
+        of thousands of fill calls. Only cache-side state moves; this
+        system keeps its own NVM model and counters (prewarming generates
+        no NVM traffic, so the template's backend was never touched).
+        """
+        self.l1d.copy_state_from(template.l1d)
+        self.l2.copy_state_from(template.l2)
+        if self.l3 is not None and template.l3 is not None:
+            self.l3.copy_state_from(template.l3)
+        if self.dram_cache is not None and template.dram_cache is not None:
+            self.dram_cache.copy_state_from(template.dram_cache)
+        self.eviction_writebacks = template.eviction_writebacks
+        self.demand_loads = template.demand_loads
+
     def prewarm(self, accesses) -> None:
         """Functionally replay ``(line_addr, is_write)`` pairs to establish
         steady-state cache contents before a measured run.

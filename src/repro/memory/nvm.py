@@ -86,15 +86,23 @@ class NvmModel:
         self._read_port_free: float = 0.0
         # Completion times of writes still occupying WPQ slots (sorted).
         self._wpq_done: deque[float] = deque()
+        # Cached deque head: the earliest pending completion. ``write_line``
+        # appends nondecreasing times, so the head only changes on a pop or
+        # an append into an empty queue — drain calls between completions
+        # are a single comparison.
+        self._wpq_head = float("inf")
         self.stats = NvmStats()
         # Telemetry sink (repro.telemetry); attached per run via
         # ``telemetry.attach_nvm_tracer`` — None means record nothing.
         self.tracer = None
 
     def _drain_wpq(self, now: float) -> None:
+        if now < self._wpq_head:
+            return
         done = self._wpq_done
         while done and done[0] <= now:
             done.popleft()
+        self._wpq_head = done[0] if done else float("inf")
 
     def wpq_occupancy(self, now: float) -> int:
         """Writes still pending in the WPQ at ``now``."""
@@ -117,6 +125,8 @@ class NvmModel:
         self._port_free = start + self.cycles_per_line
         done_at = start + self.write_latency
         self._wpq_done.append(done_at)
+        if done_at < self._wpq_head:
+            self._wpq_head = done_at
         backpressure = accepted_at - submit_time
         self.stats.line_writes += 1
         self.stats.write_backpressure_cycles += backpressure

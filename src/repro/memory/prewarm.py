@@ -1,0 +1,81 @@
+"""Warm-memory templates: prewarm each (config, extents) pair once.
+
+``MemorySystem.prewarm_extents`` stride-fills every SRAM level — ~70k
+``Cache.fill`` calls for the default hierarchy — and every simulation
+point over the same profile repeats it on identical inputs. The sequence
+is deterministic (no RNG anywhere in declare/prewarm), so the resulting
+cache state is a pure function of ``(memory config, region extents)``.
+This module runs it once per process into a *template* system and clones
+the template's cache dicts into each fresh :class:`MemorySystem`.
+
+Bit-exactness: cloning copies the per-set ordered dicts (replacement
+order included), the DRAM-cache slots and resident ranges, and the
+hit/miss counters, so a cloned system is indistinguishable from one that
+replayed the fills itself. The template's own NVM model is never touched
+— prewarm fills generate no backend traffic — and clones always get
+their own backend.
+"""
+
+from __future__ import annotations
+
+from repro.config import MemoryConfig
+from repro.memory.hierarchy import MemorySystem
+from repro.memory.nvm import NvmModel
+
+# Capped like the trace intern pool; a template is a few hundred KB.
+_MAX_TEMPLATES = 32
+
+_templates: dict[tuple, MemorySystem] = {}
+
+stats = {"hits": 0, "builds": 0}
+
+
+def declare_resident_extents(memory: MemorySystem, extents) -> None:
+    """Mark non-streaming regions DRAM-cache resident: after the billions
+    of instructions the paper fast-forwards, a sub-4 GB reused footprint
+    sits in the direct-mapped DRAM cache, while streaming data outruns it."""
+    if memory.dram_cache is None:
+        return
+    dram_bytes = memory.cfg.dram_cache.size_bytes if memory.cfg.dram_cache \
+        else 4 << 30
+    for name, base, size in extents:
+        if name == "stream":
+            # Large streaming data suffers direct-mapped aliasing under OS
+            # page scatter; the conflict share grows with the footprint.
+            conflict = min(0.6, 2.5 * size / dram_bytes)
+        else:
+            conflict = min(0.1, size / dram_bytes)
+        memory.dram_cache.add_resident_range(base, size, conflict)
+
+
+def warmed_memory(cfg: MemoryConfig, extents,
+                  nvm: NvmModel | None = None) -> MemorySystem:
+    """A fresh MemorySystem carrying declared+prewarmed steady state.
+
+    Equivalent to ``declare_resident_extents(m, extents);
+    m.prewarm_extents(extents)`` on a new system, but the fill stream runs
+    only on the first call per ``(cfg, extents)`` key.
+    """
+    extents = tuple(extents)
+    key = (cfg, extents)
+    template = _templates.get(key)
+    if template is None:
+        stats["builds"] += 1
+        template = MemorySystem(cfg)
+        declare_resident_extents(template, extents)
+        template.prewarm_extents(extents)
+        if len(_templates) >= _MAX_TEMPLATES:
+            _templates.pop(next(iter(_templates)))
+        _templates[key] = template
+    else:
+        stats["hits"] += 1
+    memory = MemorySystem(cfg, nvm=nvm)
+    memory.copy_warm_state_from(template)
+    return memory
+
+
+def clear() -> None:
+    """Drop all templates (tests use this to isolate counters)."""
+    _templates.clear()
+    stats["hits"] = 0
+    stats["builds"] = 0

@@ -83,6 +83,11 @@ class WriteBuffer:
         # Media-completion heap over live ops, so finished coalescing
         # windows are evicted instead of accumulating over the whole run.
         self._live_done: list[tuple[float, int]] = []
+        # Cached heap head: the earliest media completion among live ops.
+        # Lets ``advance_floor`` skip the heap entirely between events —
+        # the common case, since commits advance far more often than
+        # media writes finish.
+        self._next_live_done = float("inf")
         # WPQ-admission times of in-flight ops (sorted): the slot-occupancy
         # model behind WB-full backpressure.
         self._slot_free: list[float] = []
@@ -139,6 +144,8 @@ class WriteBuffer:
         if time <= self._floor:
             return
         self._floor = time
+        if time < self._next_live_done:
+            return
         heap = self._live_done
         live = self._live
         while heap and heap[0][0] <= time:
@@ -146,6 +153,7 @@ class WriteBuffer:
             op = live.get(line_addr)
             if op is not None and op.done_at <= time:
                 del live[line_addr]
+        self._next_live_done = heap[0][0] if heap else float("inf")
 
     # ------------------------------------------------------------------
     # The persist path
@@ -181,6 +189,8 @@ class WriteBuffer:
             if self.coalescing:
                 self._live[line_addr] = op
                 heapq.heappush(self._live_done, (op.done_at, line_addr))
+                if op.done_at < self._next_live_done:
+                    self._next_live_done = op.done_at
             self._region_ops.append(op)
             self.ops_issued += 1
             self.log.append(op)

@@ -34,7 +34,6 @@ from repro.memory.nvm import NvmModel
 from repro.persistence.catalog import make_policy, scheme_backend
 from repro.pipeline.core import OoOCore
 from repro.pipeline.stats import CoreStats
-from repro.workloads.multithreaded import generate_thread_traces
 from repro.workloads.profiles import WorkloadProfile
 
 
@@ -128,14 +127,15 @@ class MulticoreSystem:
             return 1.0
         return (self.BASE_THREADS / self.threads) ** self.contention_exponent
 
-    def _run_thread(self, trace, generator, tracer=None) -> CoreStats:
+    def _run_thread(self, trace, extents, tracer=None) -> CoreStats:
+        from repro.memory.prewarm import warmed_memory
+
         nvm = NvmModel(self.config.memory.nvm,
                        bandwidth_share=self.bandwidth_share())
-        memory = MemorySystem(self.config.memory, nvm=nvm)
-        if memory.dram_cache is not None:
-            from repro.experiments.runner import _declare_steady_state
-            _declare_steady_state(memory, generator)
-        memory.prewarm_extents(generator.region_extents())
+        # Declared-resident + prewarmed state comes from a shared template
+        # per (config, extents); each thread keeps its own NVM model so
+        # bandwidth-share accounting stays per-core.
+        memory = warmed_memory(self.config.memory, extents, nvm=nvm)
         core = OoOCore(self.config, make_policy(self.scheme),
                        memory=memory, track_values=False, tracer=tracer)
         return core.run(trace)
@@ -154,22 +154,22 @@ class MulticoreSystem:
            returns a :class:`repro.SimResult` bundling stats + telemetry.
         """
         from repro import telemetry
-        from repro.workloads.synthetic import TraceGenerator
+        from repro.workloads.interning import (
+            interned_thread_traces,
+            region_extents,
+        )
 
         tracer = telemetry.tracer_for_run()
         self.tracer = tracer
-        traces = generate_thread_traces(profile, length,
+        traces = interned_thread_traces(profile, length,
                                         threads=self.threads, seed=seed)
         per_thread: list[CoreStats] = []
-        generators = [
-            TraceGenerator(profile, seed=seed * 1000 + tid,
-                           addr_base=0x10_0000 + tid * (1 << 32))
-            for tid in range(self.threads)
-        ]
-        for tid, (trace, generator) in enumerate(zip(traces, generators)):
+        for tid, trace in enumerate(traces):
             scope = (tracer.scope(f"core{tid}")
                      if tracer is not None else None)
-            per_thread.append(self._run_thread(trace, generator,
+            extents = region_extents(
+                profile, addr_base=0x10_0000 + tid * (1 << 32))
+            per_thread.append(self._run_thread(trace, extents,
                                                tracer=scope))
 
         # Barrier-align the threads: SYNCs are at identical positions.

@@ -25,7 +25,7 @@ from repro.memory.writebuffer import PersistOp
 from repro.pipeline.stats import CoreStats
 
 from repro.orchestrator.cache import ResultCache, point_digest
-from repro.orchestrator.execute import run_point_payload
+from repro.orchestrator.execute import run_point_payload, worker_init
 from repro.orchestrator.points import SimPoint
 from repro.orchestrator.serialize import (
     persist_log_from_payload,
@@ -51,6 +51,10 @@ class PointResult:
     cached_wall_clock: float = 0.0   # original sim time of a cache hit
     attempts: int = 0                # simulation attempts (0 for cache hits)
     error: str | None = None
+    # Worker accounting the payload carried ({"pid", "imports",
+    # "preloaded"}); None for cache hits. Stripped from the payload before
+    # caching — pids are not deterministic.
+    worker: dict[str, int] | None = None
 
     @property
     def ok(self) -> bool:
@@ -89,6 +93,10 @@ class CampaignTelemetry:
     retries: int = 0                # extra attempts after a failure
     jobs: int = 1
     busy_seconds: float = 0.0       # summed worker simulation time
+    # pid -> number of `repro` imports that worker performed (via its
+    # initializer). A warm pool shows exactly 1 per worker no matter how
+    # many points it ran; serial in-process runs record nothing.
+    worker_imports: dict[int, int] = field(default_factory=dict)
     started_at: float = field(default_factory=time.perf_counter)
 
     @property
@@ -112,6 +120,8 @@ class CampaignTelemetry:
             "retries": self.retries,
             "jobs": self.jobs,
             "busy_seconds": self.busy_seconds,
+            "worker_imports": {str(pid): count for pid, count
+                               in sorted(self.worker_imports.items())},
             "elapsed": self.elapsed,
             "worker_utilization": self.worker_utilization,
         }
@@ -240,6 +250,9 @@ class Campaign:
             telemetry.cache_hits += 1
         else:
             telemetry.cache_misses += 1
+            if result.worker is not None and "pid" in result.worker:
+                telemetry.worker_imports[result.worker["pid"]] = \
+                    result.worker["imports"]
             if result.ok:
                 telemetry.simulated += 1
                 telemetry.busy_seconds += result.wall_clock
@@ -255,12 +268,17 @@ class Campaign:
     def _result_from_payload(self, index: int, point: SimPoint,
                              payload: dict[str, Any],
                              attempts: int) -> PointResult:
+        # Strip worker accounting before the payload reaches the cache:
+        # cached payloads must stay deterministic, and a future cache hit
+        # ran in no worker at all.
+        worker = payload.pop("worker", None)
         result = PointResult(
             index=index, point=point,
             stats=stats_from_payload(payload),
             persist_log=persist_log_from_payload(payload),
             wall_clock=payload.get("wall_clock", 0.0),
             attempts=attempts,
+            worker=worker,
         )
         self._store(point, payload)
         return result
@@ -292,9 +310,26 @@ class Campaign:
 
     # -- pool path ------------------------------------------------------
 
+    def _preload_specs(self, misses: list[int]) -> tuple:
+        """Trace specs worth interning in every worker up front: the
+        ``(profile, length, seed)`` combinations shared by two or more
+        submitted points (a sweep varies config/scheme, not the trace)."""
+        from collections import Counter
+
+        counts = Counter(
+            (self.points[i].profile, self.points[i].length,
+             self.points[i].seed) for i in misses)
+        return tuple(spec for spec, count in counts.most_common(8)
+                     if count >= 2)
+
+    def _make_pool(self, misses: list[int]) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=worker_init,
+            initargs=(self._preload_specs(misses),))
+
     def _run_pool(self, misses: list[int],
                   results: list[PointResult | None]) -> None:
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        pool = self._make_pool(misses)
         futures: dict[int, Future] = {}
         attempts: dict[int, int] = {}
         try:
@@ -359,7 +394,7 @@ class Campaign:
                       futures: dict[int, Future], queue: list[int],
                       position: int) -> ProcessPoolExecutor:
         pool.shutdown(wait=False, cancel_futures=True)
-        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        pool = self._make_pool(queue[position:])
         for pending in queue[position + 1:]:
             if not futures[pending].done() or \
                     futures[pending].exception() is not None:

@@ -3,22 +3,59 @@
 This is the single place that turns a :class:`SimPoint` into a finished
 :class:`CoreStats`; ``repro.experiments.runner`` and the campaign workers
 both delegate here so the serial and parallel paths cannot drift apart.
+
+Traces are interned (:mod:`repro.workloads.interning`) and steady-state
+cache contents cloned from prewarmed templates (:mod:`repro.memory.prewarm`),
+so sweeping many points over one profile pays trace generation and cache
+warmup once per process. Pool workers run :func:`worker_init` on spawn,
+which counts the (single) ``repro`` import per worker and pre-interns the
+traces the campaign is about to sweep; the counter travels back in each
+payload and surfaces in the campaign telemetry.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any
 
 from repro.memory.hierarchy import MemorySystem
+from repro.memory.prewarm import declare_resident_extents, warmed_memory
 from repro.memory.writebuffer import PersistOp
 from repro.persistence.catalog import make_policy
 from repro.pipeline.core import OoOCore
 from repro.pipeline.stats import CoreStats
+from repro.workloads.interning import interned_trace, region_extents
 from repro.workloads.synthetic import TraceGenerator
 
 from repro.orchestrator.points import SimPoint
 from repro.orchestrator.serialize import payload_from_run
+
+# Per-process worker accounting. ``imports`` counts worker_init calls in
+# THIS process: exactly 1 in a pool worker whose initializer ran, 0 in the
+# parent (serial runs never spawn).
+_WORKER_STATE = {"imports": 0, "preloaded": 0}
+
+
+def worker_init(preload_specs: tuple = ()) -> None:
+    """Process-pool initializer: one ``repro`` import per worker, plus
+    up-front interning of the traces shared by the submitted points.
+
+    Merely unpickling this function reference already imported the heavy
+    ``repro`` modules (this module pulls in the core, memory, and policy
+    stacks), so per-point submissions start hot.
+    """
+    from repro.workloads.interning import preload
+
+    _WORKER_STATE["imports"] += 1
+    _WORKER_STATE["preloaded"] += preload(preload_specs)
+
+
+def worker_info() -> dict[str, int]:
+    """This process's worker accounting, for payload/telemetry plumbing."""
+    return {"pid": os.getpid(),
+            "imports": _WORKER_STATE["imports"],
+            "preloaded": _WORKER_STATE["preloaded"]}
 
 
 def declare_steady_state(memory: MemorySystem,
@@ -26,30 +63,19 @@ def declare_steady_state(memory: MemorySystem,
     """Mark non-streaming regions DRAM-cache resident: after the billions
     of instructions the paper fast-forwards, a sub-4 GB reused footprint
     sits in the direct-mapped DRAM cache, while streaming data outruns it."""
-    if memory.dram_cache is None:
-        return
-    dram_bytes = memory.cfg.dram_cache.size_bytes if memory.cfg.dram_cache \
-        else 4 << 30
-    for name, base, size in generator.region_extents():
-        if name == "stream":
-            # Large streaming data suffers direct-mapped aliasing under OS
-            # page scatter; the conflict share grows with the footprint.
-            conflict = min(0.6, 2.5 * size / dram_bytes)
-        else:
-            conflict = min(0.1, size / dram_bytes)
-        memory.dram_cache.add_resident_range(base, size, conflict)
+    declare_resident_extents(memory, generator.region_extents())
 
 
 def simulate_point(point: SimPoint) \
         -> tuple[CoreStats, list[PersistOp] | None]:
     """Run one point to completion; returns the stats and, when the point
     asks for it, the write buffer's persist-op log."""
-    generator = TraceGenerator(point.profile, seed=point.seed)
-    memory = MemorySystem(point.config.memory)
+    trace = interned_trace(point.profile, point.length, seed=point.seed)
     if point.warmup > 0:
-        declare_steady_state(memory, generator)
-        memory.prewarm_extents(generator.region_extents())
-    trace = generator.generate(point.length)
+        memory = warmed_memory(point.config.memory,
+                               region_extents(point.profile))
+    else:
+        memory = MemorySystem(point.config.memory)
     core = OoOCore(point.config, make_policy(point.scheme), memory=memory,
                    track_values=point.track_values)
     stats = core.run(trace)
@@ -101,4 +127,11 @@ def _run_point_payload(point: SimPoint, sanitize: bool) -> dict[str, Any]:
     else:
         start = time.perf_counter()
         stats, log = simulate_point(point)
-    return payload_from_run(stats, log, time.perf_counter() - start)
+    payload = payload_from_run(stats, log, time.perf_counter() - start)
+    # Worker accounting rides along and is stripped before the payload is
+    # cached (pids are not deterministic; cached payloads must be). Only
+    # initialized pool workers report — a serial in-process run is not a
+    # worker and would always read 0 imports.
+    if _WORKER_STATE["imports"]:
+        payload["worker"] = worker_info()
+    return payload

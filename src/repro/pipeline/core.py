@@ -16,6 +16,7 @@ injector (:mod:`repro.failure`) ground truth for crash-consistency checks.
 from __future__ import annotations
 
 from repro.config import SystemConfig
+from repro.isa.decoded import OP_LOAD, OP_STORE, OP_SYNC
 from repro.isa.instructions import Instruction, Opcode, RegClass
 from repro.isa.trace import Trace
 from repro.memory.hierarchy import MemorySystem
@@ -31,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
 
 _SYNC_LATENCY = 20
 _VALUE_MASK = (1 << 64) - 1
+_REGCLASSES = (RegClass.INT, RegClass.FP)
 
 
 def def_value(pc: int, src_values: tuple[int, ...]) -> int:
@@ -39,6 +41,20 @@ def def_value(pc: int, src_values: tuple[int, ...]) -> int:
     for value in src_values:
         acc = (acc ^ value) * 0x100000001B3 & _VALUE_MASK
     return acc
+
+
+def specialized_hook(policy, name: str):
+    """The policy's bound ``name`` hook, or None when it is the base-class
+    no-op — letting the main loop skip the call entirely. Checked through
+    ``__func__`` so both subclass overrides and instance-level patches
+    (tests monkeypatching a bound hook) are honored.
+    """
+    from repro.persistence.base import PersistencePolicy
+
+    hook = getattr(policy, name)
+    if getattr(hook, "__func__", None) is getattr(PersistencePolicy, name):
+        return None
+    return hook
 
 
 class OoOCore:
@@ -120,136 +136,209 @@ class OoOCore:
     # ------------------------------------------------------------------
 
     def run(self, trace: Trace) -> CoreStats:
-        """Simulate the whole trace; returns the collected statistics."""
+        """Simulate the whole trace; returns the collected statistics.
+
+        The loop walks the trace's predecoded flat arrays
+        (:meth:`Trace.decoded`) and aliases hot callables into locals;
+        policy hooks the scheme does not override are skipped outright
+        (:func:`specialized_hook`). Pure representation changes — the
+        event order and arithmetic are those of the instruction-object
+        loop, so results are bit-exact with it.
+        """
         policy = self.policy
         stats = self.stats
         stats.name = trace.name
         fetch_ready = 0.0
         last_sample_time = 0.0
+        last_commit = self.last_commit_time
         penalty = self.config.core.branch_mispredict_penalty
+        lat_agen = self.config.core.lat_agen
+        tracer = self.tracer
+        track_values = self.track_values
 
-        for seq, instr in enumerate(trace):
+        dec = trace.decoded()
+        opcode_ids = dec.opcode_ids
+        dest_cls = dec.dest_cls
+        dest_idx = dec.dest_idx
+        all_srcs = dec.srcs
+        addrs = dec.addrs
+        line_addrs = dec.line_addrs
+        pcs = dec.pcs
+        mispredicted = dec.mispredicted
+        instructions = trace.instructions
+        latencies = dec.latency_table(self._latency)
+
+        rf_int = self.rf[RegClass.INT]
+        rf_fp = self.rf[RegClass.FP]
+        rfs = (rf_int, rf_fp)
+        rats = (rf_int.rat, rf_fp.rat)
+        ready_times = (rf_int._ready, rf_fp._ready)
+        hist_int = stats.free_reg_hist_int
+        hist_fp = stats.free_reg_hist_fp
+        free_count_int = rf_int.free_count
+        free_count_fp = rf_fp.free_count
+
+        rob_earliest = self.rob.earliest_allocate
+        rob_allocate = self.rob.allocate
+        lq_earliest = self.lq.earliest_allocate
+        lq_allocate = self.lq.allocate
+        sq_earliest = self.sq.earliest_allocate
+        sq_allocate = self.sq.allocate
+        rename_take = self.rename_bw.take
+        commit_take = self.commit_bw.take
+        mem_load = self.mem.load
+        store_rfo = self.mem.store_rfo
+        store_merge = self.mem.store_merge
+        functional_mem = self._functional_mem
+        commit_append = stats.commit_times.append
+        stores_append = stats.stores.append
+        load_level_counts = stats.load_level_counts
+
+        # Hooks the policy leaves at the base-class no-op are not called.
+        pre_rename = specialized_hook(policy, "pre_rename")
+        adjust_commit = specialized_hook(policy, "adjust_commit")
+        store_commit_time = specialized_hook(policy, "store_commit_time")
+        sync_commit_time = specialized_hook(policy, "sync_commit_time")
+        store_queue_release = specialized_hook(policy,
+                                               "store_queue_release")
+        store_committed = specialized_hook(policy, "store_committed")
+
+        rfo_done = 0.0
+        for seq in range(dec.length):
+            opcode = opcode_ids[seq]
             # ---------------- rename stage ----------------
-            t = self.rob.earliest_allocate(fetch_ready)
-            if instr.opcode is Opcode.LOAD:
-                t = self.lq.earliest_allocate(t)
-            elif instr.opcode is Opcode.STORE:
-                t = self.sq.earliest_allocate(t)
-            t = policy.pre_rename(seq, instr, t)
+            t = rob_earliest(fetch_ready)
+            if opcode == OP_LOAD:
+                t = lq_earliest(t)
+            elif opcode == OP_STORE:
+                t = sq_earliest(t)
+            if pre_rename is not None:
+                t = pre_rename(seq, instructions[seq], t)
 
             preg = -1
-            if instr.dest is not None:
-                rf = self.rf[instr.dest.cls]
+            dcls = dest_cls[seq]
+            if dcls >= 0:
+                rf = rfs[dcls]
                 if rf.free_count(t) == 0:
                     stall_from = t
                     while rf.free_count(t) == 0:
                         resume = policy.rename_blocked(
-                            instr.dest.cls, t, seq)
+                            _REGCLASSES[dcls], t, seq)
                         stats.rename_oor_stall_cycles += max(0.0,
                                                              resume - t)
                         t = max(t, resume)
-                    if self.tracer is not None and t > stall_from:
+                    if tracer is not None and t > stall_from:
                         # One span per out-of-registers episode (possibly
                         # covering several stall-retry iterations).
-                        self.tracer.span("core", "rename-oor", stall_from,
-                                         t, cat="stall", cls=rf.name,
-                                         seq=seq)
+                        tracer.span("core", "rename-oor", stall_from,
+                                    t, cat="stall", cls=rf.name,
+                                    seq=seq)
 
-            rename_time = self.rename_bw.take(t)
-            self._sample_free_regs(rename_time,
-                                   rename_time - last_sample_time)
+            rename_time = rename_take(t)
+            weight = rename_time - last_sample_time
+            if weight > 0:
+                hist_int[free_count_int(rename_time)] += weight
+                hist_fp[free_count_fp(rename_time)] += weight
             last_sample_time = rename_time
 
-            src_pregs = self._src_pregs(instr)
-            if instr.dest is not None:
-                preg = self.rf[instr.dest.cls].allocate(
-                    instr.dest.index, rename_time)
-                instr._phys_dest = preg
+            src_pregs = [(cls, rats[cls][index])
+                         for cls, index in all_srcs[seq]]
+            if dcls >= 0:
+                preg = rf.allocate(dest_idx[seq], rename_time)
 
             # ---------------- execute ----------------
             ready = rename_time + 1.0
             for cls, src in src_pregs:
-                ready = max(ready, self.rf[cls].ready_time(src))
+                src_ready = ready_times[cls][src]
+                if src_ready > ready:
+                    ready = src_ready
 
-            opcode = instr.opcode
-            if opcode is Opcode.LOAD:
-                issue = ready + self.config.core.lat_agen
-                result = self.mem.load(instr.line_addr, issue)
+            if opcode == OP_LOAD:
+                issue = ready + lat_agen
+                result = mem_load(line_addrs[seq], issue)
                 complete = issue + result.latency
-                stats.load_level_counts[result.level] += 1
-            elif opcode is Opcode.STORE:
-                complete = ready + self.config.core.lat_agen
+                load_level_counts[result.level] += 1
+            elif opcode == OP_STORE:
+                complete = ready + lat_agen
                 # Read-for-ownership prefetch: fetch the line now so it is
                 # (usually) resident by commit time.
-                rfo_done = self.mem.store_rfo(instr.line_addr, complete)
-            elif opcode is Opcode.SYNC:
+                rfo_done = store_rfo(line_addrs[seq], complete)
+            elif opcode == OP_SYNC:
                 complete = ready + _SYNC_LATENCY
             else:
-                complete = ready + self._latency[opcode]
+                complete = ready + latencies[opcode]
 
             value = 0
-            if self.track_values:
+            if track_values:
                 src_values = tuple(
-                    self.rf[cls].value_at(src, complete)
+                    rfs[cls].value_at(src, complete)
                     for cls, src in src_pregs)
-                if opcode is Opcode.LOAD:
-                    value = self._functional_mem.get(instr.addr, 0)
-                elif opcode is Opcode.STORE:
+                if opcode == OP_LOAD:
+                    value = functional_mem.get(addrs[seq], 0)
+                elif opcode == OP_STORE:
                     value = src_values[0]
                 else:
-                    value = def_value(instr.pc, src_values)
+                    value = def_value(pcs[seq], src_values)
 
-            if instr.dest is not None:
-                rf = self.rf[instr.dest.cls]
-                rf.set_ready(preg, complete)
-                if self.track_values:
+            if dcls >= 0:
+                ready_times[dcls][preg] = complete   # rf.set_ready inline
+                if track_values:
                     rf.write_value(preg, complete, value)
 
             # ---------------- commit ----------------
-            tentative = max(complete + 1.0, self.last_commit_time)
-            tentative = policy.adjust_commit(seq, tentative)
-            if opcode is Opcode.STORE:
-                tentative = policy.store_commit_time(instr, seq, tentative)
-            elif opcode is Opcode.SYNC:
-                tentative = policy.sync_commit_time(tentative, seq)
-            commit = self.commit_bw.take(tentative)
-            self.last_commit_time = commit
-            self.lcpc = instr.pc
-            stats.commit_times.append(commit)
-            self.rob.allocate(commit)
+            tentative = complete + 1.0
+            if tentative < last_commit:
+                tentative = last_commit
+            if adjust_commit is not None:
+                tentative = adjust_commit(seq, tentative)
+            if opcode == OP_STORE:
+                if store_commit_time is not None:
+                    tentative = store_commit_time(instructions[seq], seq,
+                                                  tentative)
+            elif opcode == OP_SYNC:
+                if sync_commit_time is not None:
+                    tentative = sync_commit_time(tentative, seq)
+            commit = commit_take(tentative)
+            last_commit = self.last_commit_time = commit
+            commit_append(commit)
+            rob_allocate(commit)
 
-            if instr.dest is not None:
-                self.rf[instr.dest.cls].commit_def(
-                    instr.dest.index, preg, commit)
+            if dcls >= 0:
+                rf.commit_def(dest_idx[seq], preg, commit)
 
-            if opcode is Opcode.LOAD:
-                self.lq.allocate(commit)
-            elif opcode is Opcode.STORE:
-                merge_time = self.mem.store_merge(
-                    instr.line_addr, max(commit, rfo_done))
-                self.sq.allocate(
-                    policy.store_queue_release(instr, seq, merge_time))
-                if self.track_values:
-                    assert instr.addr is not None
-                    self._functional_mem[instr.addr] = value
+            if opcode == OP_LOAD:
+                lq_allocate(commit)
+            elif opcode == OP_STORE:
+                merge_time = store_merge(
+                    line_addrs[seq], max(commit, rfo_done))
+                if store_queue_release is not None:
+                    sq_allocate(store_queue_release(instructions[seq],
+                                                    seq, merge_time))
+                else:
+                    sq_allocate(merge_time)
+                if track_values:
+                    functional_mem[addrs[seq]] = value
                 data_cls, data_preg = src_pregs[0]
                 record = StoreRecord(
                     seq=seq,
-                    pc=instr.pc,
-                    addr=instr.addr if instr.addr is not None else 0,
-                    line_addr=instr.line_addr,
+                    pc=pcs[seq],
+                    addr=addrs[seq],
+                    line_addr=line_addrs[seq],
                     value=value,
                     data_preg=data_preg,
-                    data_cls=int(data_cls),
+                    data_cls=data_cls,
                     commit_time=commit,
                     region_id=-1,
                 )
-                stats.stores.append(record)
-                policy.store_committed(record, merge_time)
+                stores_append(record)
+                if store_committed is not None:
+                    store_committed(record, merge_time)
 
-            if instr.mispredicted:
+            if mispredicted[seq]:
                 fetch_ready = max(fetch_ready, complete + penalty)
 
+        if dec.length:
+            self.lcpc = pcs[dec.length - 1]
         stats.instructions = len(trace)
         policy.finish(self.last_commit_time)
         stats.cycles = self.last_commit_time

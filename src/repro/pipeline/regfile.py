@@ -38,7 +38,12 @@ class RenamedRegisterFile:
         self.crt: list[int] = list(range(arch_regs))
         self._free_now: list[int] = list(range(arch_regs, size))
         self._scheduled: list[tuple[float, int]] = []   # min-heap
-        self._ready: dict[int, float] = {}
+        # Per-preg ready cycle, preallocated and indexed by preg. A list
+        # entry behaves exactly like the old dict's .get(preg, 0.0): a
+        # never-defined preg reads 0.0, and a reallocated preg is always
+        # redefined (set_ready) before any consumer can read it through
+        # the RAT, so stale values are unobservable either way.
+        self._ready: list[float] = [0.0] * size
         self.masked: set[int] = set()
         self._deferred: list[int] = []
         self.track_values = track_values
@@ -117,7 +122,7 @@ class RenamedRegisterFile:
     # ------------------------------------------------------------------
 
     def ready_time(self, preg: int) -> float:
-        return self._ready.get(preg, 0.0)
+        return self._ready[preg]
 
     def set_ready(self, preg: int, time: float) -> None:
         self._ready[preg] = time

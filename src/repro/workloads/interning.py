@@ -1,0 +1,102 @@
+"""Process-wide trace interning.
+
+Trace generation is deterministic: :class:`TraceGenerator` seeds its RNG
+from ``(profile.name, seed)`` and neither the constructor nor
+``region_extents()`` draws from it, so the trace produced for a given
+``(profile, length, seed, addr_base, sync_interval)`` tuple is a pure
+function of that key. Generating ~12k instructions costs ~0.3 s — about as
+much as simulating them — and the bench harness, campaign sweeps, and
+repeated ``simulate()`` calls all replay identical traces. Interning
+builds each trace once per process and hands out the shared (immutable)
+:class:`~repro.isa.trace.Trace`, whose predecoded flat-array form
+(:meth:`Trace.decoded`) is memoized on the object and therefore also
+shared.
+
+Pool workers call :func:`preload` from their initializer so the traces a
+campaign is about to sweep are interned once per worker instead of once
+per point.
+"""
+
+from __future__ import annotations
+
+from repro.isa.trace import Trace
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.synthetic import TraceGenerator
+
+_DEFAULT_ADDR_BASE = 0x10_0000
+
+# FIFO-capped so pathological sweeps over many (profile, length) combos
+# cannot grow memory without bound. 64 traces ≈ a full figure campaign.
+_MAX_TRACES = 64
+
+_traces: dict[tuple, Trace] = {}
+_thread_traces: dict[tuple, list[Trace]] = {}
+
+stats = {"hits": 0, "builds": 0}
+
+
+def interned_trace(profile: WorkloadProfile, length: int, seed: int = 0,
+                   addr_base: int = _DEFAULT_ADDR_BASE,
+                   sync_interval: int | None = None) -> Trace:
+    """The shared trace for this key; generated on first request."""
+    key = (profile, length, seed, addr_base, sync_interval)
+    trace = _traces.get(key)
+    if trace is None:
+        stats["builds"] += 1
+        generator = TraceGenerator(profile, seed=seed, addr_base=addr_base)
+        trace = generator.generate(length, sync_interval=sync_interval)
+        if len(_traces) >= _MAX_TRACES:
+            _traces.pop(next(iter(_traces)))
+        _traces[key] = trace
+    else:
+        stats["hits"] += 1
+    return trace
+
+
+def interned_thread_traces(profile: WorkloadProfile, length: int,
+                           threads: int | None = None,
+                           seed: int = 0) -> list[Trace]:
+    """Shared per-thread traces for a multicore run (disjoint heaps)."""
+    from repro.workloads.multithreaded import generate_thread_traces
+
+    count = profile.threads if threads is None else threads
+    key = (profile, length, count, seed)
+    traces = _thread_traces.get(key)
+    if traces is None:
+        stats["builds"] += 1
+        traces = generate_thread_traces(profile, length, threads=count,
+                                        seed=seed)
+        if len(_thread_traces) >= _MAX_TRACES:
+            _thread_traces.pop(next(iter(_thread_traces)))
+        _thread_traces[key] = traces
+    else:
+        stats["hits"] += 1
+    return traces
+
+
+def region_extents(profile: WorkloadProfile,
+                   addr_base: int = _DEFAULT_ADDR_BASE
+                   ) -> tuple[tuple[str, int, int], ...]:
+    """Region extents for a profile without generating any instructions.
+
+    Constructing a generator draws nothing from its RNG, so this is cheap
+    and exactly matches the extents of any trace interned for the same
+    ``(profile, addr_base)``.
+    """
+    generator = TraceGenerator(profile, seed=0, addr_base=addr_base)
+    return tuple(generator.region_extents())
+
+
+def preload(specs) -> int:
+    """Intern traces for ``(profile, length, seed)`` specs; returns count."""
+    for profile, length, seed in specs:
+        interned_trace(profile, length, seed=seed)
+    return len(specs)
+
+
+def clear() -> None:
+    """Drop all interned traces (tests use this to isolate counters)."""
+    _traces.clear()
+    _thread_traces.clear()
+    stats["hits"] = 0
+    stats["builds"] = 0

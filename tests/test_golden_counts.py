@@ -1,0 +1,89 @@
+"""Golden-count pins: exact model outputs frozen per (core, scheme).
+
+Perf work on the simulator must be *bit-exact*: only data representation
+and access patterns may change, never the event order or arithmetic.
+These tests pin exact cycle, instruction, and persist totals for one
+(core x scheme x workload) configuration per scheme — captured from the
+pre-optimization tree — so any accidental model drift fails loudly with
+the numbers in hand, long before the bench gate's artifact diff runs.
+
+Every value here is a *model output*, deterministic across machines and
+Python versions (seeded RNG, pure-float timing math); a legitimate model
+change must update these pins explicitly and say why.
+"""
+
+import pytest
+
+from repro import simulate
+
+# (scheme, cycles, nvm_line_writes, persist_ops, persist_coalesced,
+#  regions, stores) for gcc at length 3000 on the OoO core.
+OOO_GOLDEN = [
+    ("baseline", 2156.0, 0, 0, 0, 0, 155),
+    ("ppa", 2170.0, 32, 32, 123, 4, 155),
+    ("replaycache", 13053.0, 155, 0, 0, 257, 155),
+    ("capri", 2543.0, 0, 0, 0, 85, 155),
+    ("eadr", 2776.0, 0, 0, 0, 0, 155),
+    ("dram-only", 1860.0, 0, 0, 0, 0, 155),
+    ("psp-undolog", 16885.0, 310, 0, 0, 20, 155),
+    ("psp-redolog", 16636.0, 307, 0, 0, 20, 155),
+    ("sb-gate", 4921.0, 155, 0, 0, 1, 155),
+]
+
+
+class TestOoOGoldenCounts:
+    @pytest.mark.parametrize(
+        "scheme,cycles,line_writes,persist_ops,coalesced,regions,stores",
+        OOO_GOLDEN, ids=[row[0] for row in OOO_GOLDEN])
+    def test_gcc_3000(self, scheme, cycles, line_writes, persist_ops,
+                      coalesced, regions, stores):
+        stats = simulate("gcc", scheme=scheme, core="ooo",
+                         length=3000).stats
+        assert stats.instructions == 3000
+        assert stats.cycles == cycles
+        assert stats.nvm_line_writes == line_writes
+        assert stats.persist_ops == persist_ops
+        assert stats.persist_coalesced == coalesced
+        assert len(stats.regions) == regions
+        assert len(stats.stores) == stores
+        assert stats.wb_full_stall_cycles == 0.0
+
+
+class TestInOrderGoldenCounts:
+    def test_ppa_rb_3000(self):
+        stats = simulate("rb", scheme="ppa", core="inorder",
+                         length=3000).stats
+        assert stats.instructions == 3000
+        assert stats.cycles == 117306.0
+        assert stats.nvm_line_writes == 156
+        assert len(stats.regions) == 7
+        assert len(stats.entries) == 187
+
+    def test_baseline_rb_3000(self):
+        stats = simulate("rb", scheme="baseline", core="inorder",
+                         length=3000).stats
+        assert stats.instructions == 3000
+        assert stats.cycles == 116922.0
+        assert stats.nvm_line_writes == 0
+        assert len(stats.regions) == 0
+        assert len(stats.entries) == 0
+
+
+class TestMulticoreGoldenCounts:
+    def test_ppa_water_ns_4x1500(self):
+        stats = simulate("water-ns", scheme="ppa", core="multicore",
+                         threads=4, length=1500).stats
+        assert stats.total_instructions == 6000
+        assert stats.makespan == 1071.0
+        assert stats.nvm_line_writes == 86
+
+
+class TestCrashOracleGolden:
+    def test_ppa_rb_midpoint_crash(self):
+        result = simulate("rb", scheme="ppa", core="ooo", length=2000)
+        crash = result.crash_api.crash_at(result.stats.cycles / 2)
+        recovery = result.crash_api.recover(crash)
+        assert crash.fail_time == 800.5
+        assert crash.last_committed_seq == 752
+        assert recovery.resume_pc == 4197317
+        assert recovery.replayed == 7

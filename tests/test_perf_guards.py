@@ -1,0 +1,185 @@
+"""Performance-model guards: the fast path must stay fast.
+
+Three contracts backstop the optimized simulation kernel:
+
+* the untraced/unsanitized path performs **zero** allocations attributed
+  to ``repro/telemetry`` or ``repro/sanitizer`` — observability is
+  strictly pay-for-use (``tracemalloc``-enforced);
+* process-wide trace interning and warm-memory templates return state
+  bit-identical to cold construction, so the speed-up can never leak
+  into model outputs;
+* campaign pool workers import ``repro`` exactly once (the initializer
+  pre-imports and pre-interns), surfaced through campaign telemetry.
+"""
+
+import os
+import tracemalloc
+
+import pytest
+
+from repro import simulate
+from repro.config import skylake_default
+from repro.memory import prewarm
+from repro.memory.hierarchy import MemorySystem
+from repro.workloads import interning
+from repro.workloads.profiles import profile_by_name
+from repro.workloads.synthetic import TraceGenerator
+
+_OBSERVED = os.environ.get("REPRO_TRACE") or os.environ.get(
+    "REPRO_SANITIZE")
+
+# Generous per-instruction ceiling (calibrated ~4.5 KB on CPython 3.11,
+# dominated by the fixed-cost warm-template clone): catches an accidental
+# per-cycle event log or per-instruction object regression, not dict
+# sizing differences across CPython versions.
+_PEAK_BYTES_PER_INSTR = 16_384
+
+
+@pytest.mark.skipif(bool(_OBSERVED),
+                    reason="guard targets the untraced/unsanitized path")
+class TestNoPerCycleAllocations:
+    def test_fast_path_allocates_no_observability_objects(self):
+        length = 2000
+        # Warm everything allocation-worthy that is not per-run: imports,
+        # the interned trace, and the prewarmed memory template.
+        simulate("gcc", scheme="ppa", core="ooo", length=length)
+        simulate("gcc", scheme="ppa", core="ooo", length=length)
+
+        tracemalloc.start()
+        simulate("gcc", scheme="ppa", core="ooo", length=length)
+        snapshot = tracemalloc.take_snapshot()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        observability = [
+            stat for stat in snapshot.statistics("filename")
+            if "repro/telemetry" in
+            stat.traceback[0].filename.replace("\\", "/")
+            or "repro/sanitizer" in
+            stat.traceback[0].filename.replace("\\", "/")
+        ]
+        assert not observability, (
+            "untraced/unsanitized run allocated observability objects: "
+            f"{observability}")
+        assert peak <= length * _PEAK_BYTES_PER_INSTR, (
+            f"peak {peak} bytes for {length} instructions exceeds the "
+            f"{_PEAK_BYTES_PER_INSTR} bytes/instr budget")
+
+
+class TestTraceInterning:
+    def setup_method(self):
+        interning.clear()
+
+    def teardown_method(self):
+        interning.clear()
+
+    def test_same_key_returns_shared_object(self):
+        profile = profile_by_name("gcc")
+        first = interning.interned_trace(profile, 400)
+        second = interning.interned_trace(profile, 400)
+        assert first is second
+        assert second.decoded() is first.decoded()
+        assert interning.stats == {"hits": 1, "builds": 1}
+
+    def test_interned_matches_cold_generation(self):
+        profile = profile_by_name("rb")
+        interned = interning.interned_trace(profile, 400, seed=3)
+        cold = TraceGenerator(profile, seed=3,
+                              addr_base=0x10_0000).generate(400)
+        assert len(interned) == len(cold)
+        for mine, theirs in zip(interned, cold):
+            assert mine.opcode is theirs.opcode
+            assert mine.pc == theirs.pc
+            assert mine.addr == theirs.addr
+
+    def test_region_extents_match_generator(self):
+        profile = profile_by_name("mcf")
+        generator = TraceGenerator(profile, seed=0, addr_base=0x10_0000)
+        assert interning.region_extents(profile) \
+            == tuple(generator.region_extents())
+
+    def test_fifo_cap_bounds_pool(self):
+        profile = profile_by_name("gcc")
+        for length in range(10, 10 + interning._MAX_TRACES + 8):
+            interning.interned_trace(profile, length)
+        assert len(interning._traces) <= interning._MAX_TRACES
+
+    def test_preload_counts_specs(self):
+        profile = profile_by_name("gcc")
+        assert interning.preload([(profile, 300, 0)]) == 1
+        assert interning.stats["builds"] == 1
+        interning.interned_trace(profile, 300)
+        assert interning.stats["hits"] == 1
+
+
+class TestWarmMemoryTemplates:
+    def setup_method(self):
+        prewarm.clear()
+        interning.clear()
+
+    def teardown_method(self):
+        prewarm.clear()
+        interning.clear()
+
+    @staticmethod
+    def _cold(cfg, extents):
+        memory = MemorySystem(cfg)
+        prewarm.declare_resident_extents(memory, extents)
+        memory.prewarm_extents(extents)
+        return memory
+
+    def test_clone_is_bit_identical_to_cold_warmup(self):
+        cfg = skylake_default().memory
+        extents = interning.region_extents(profile_by_name("gcc"))
+        cold = self._cold(cfg, extents)
+        warm = prewarm.warmed_memory(cfg, extents)
+        for mine, theirs in ((warm.l1d, cold.l1d), (warm.l2, cold.l2),
+                             (warm.l3, cold.l3)):
+            if theirs is None:
+                assert mine is None
+                continue
+            assert {idx: list(s) for idx, s in mine._sets.items()} \
+                == {idx: list(s) for idx, s in theirs._sets.items()}
+            assert (mine.hits, mine.misses) == (theirs.hits, theirs.misses)
+        # The timing behaviour must match too, not just the snapshots.
+        for line in (0x10_0000, 0x10_4000, 0x55_0000):
+            assert warm.load(line, 10.0).latency \
+                == cold.load(line, 10.0).latency
+
+    def test_template_reused_and_nvm_isolated(self):
+        cfg = skylake_default().memory
+        extents = interning.region_extents(profile_by_name("gcc"))
+        first = prewarm.warmed_memory(cfg, extents)
+        second = prewarm.warmed_memory(cfg, extents)
+        assert prewarm.stats == {"hits": 1, "builds": 1}
+        assert first.nvm is not second.nvm
+        template = next(iter(prewarm._templates.values()))
+        assert template.nvm.stats.line_writes == 0
+        assert first.nvm.stats.line_writes == 0
+
+
+class TestWorkerPreload:
+    def test_pool_workers_import_repro_exactly_once(self):
+        from repro.orchestrator.campaign import Campaign
+
+        campaign = Campaign(cache=None, jobs=2)
+        for app, scheme in (("gcc", "ppa"), ("gcc", "baseline"),
+                            ("rb", "ppa"), ("rb", "baseline")):
+            campaign.add_run(app, scheme, length=1200, warmup=0)
+        results = campaign.run()
+        assert all(r.ok for r in results)
+        imports = campaign.telemetry.worker_imports
+        assert imports, "pool run surfaced no worker accounting"
+        assert 1 <= len(imports) <= 2
+        assert all(count == 1 for count in imports.values()), (
+            f"workers re-imported repro: {imports}")
+        assert all(r.worker["imports"] == 1 for r in results)
+
+    def test_serial_runs_carry_no_worker_accounting(self):
+        from repro.orchestrator.campaign import Campaign
+
+        campaign = Campaign(cache=None, jobs=1)
+        campaign.add_run("gcc", "ppa", length=1200, warmup=0)
+        results = campaign.run()
+        assert results[0].ok
+        assert not campaign.telemetry.worker_imports
