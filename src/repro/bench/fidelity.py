@@ -65,6 +65,10 @@ QUICK_CHECKS: tuple[FidelityCheck, ...] = (
         "sec713", "1838 B checkpoint in ~0.91us",
         lambda s: s["total_bytes"] == 1838.0
         and abs(s["total_us"] - 0.91) < 0.02),
+    FidelityCheck(
+        "litmus", "crash states are exactly the Px86-TSO-allowed ones",
+        lambda s: s["soundness_violations"] == 0.0 and s["checked"] > 0
+        and s["mean_coverage"] > 0.5),
 )
 
 

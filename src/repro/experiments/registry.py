@@ -25,6 +25,7 @@ def _load_all() -> None:
         ablations,
         extensions,
         figures,
+        litmus,
         tables,
     )
 

@@ -55,6 +55,21 @@ class PowerFailureInjector:
                 "capture_persist_log=True")
         return cls(stats_from_payload(payload), log)
 
+    def durability_times(self) -> list[float]:
+        """Sorted distinct instants at which some write became durable.
+
+        The NVM image is piecewise-constant between these instants, so
+        probing exactly this list (plus any point before the first)
+        observes every distinct image the run can leave behind — litmus
+        conformance sweeps crash points from it instead of sampling.
+        """
+        times = {
+            durable_time
+            for op in self.persist_log
+            for durable_time, __, __ in op.writes
+        }
+        return sorted(times)
+
     def region_close_times(self) -> dict[int, float]:
         """Per-region instant at which the persist counter reached zero and
         the CSQ was cleared (boundary time plus drain wait)."""

@@ -1,0 +1,75 @@
+"""repro.litmus — Px86-TSO persistency litmus engine.
+
+Checks the simulator's crash-state behavior against an independent ground
+truth: an executable Px86-TSO-style persistency model (after Khyzha &
+Lahav, *Taming x86-TSO Persistency*). The subsystem has four layers:
+
+* :mod:`repro.litmus.program` — a tiny DSL for multi-store, multi-thread
+  litmus programs (stores, loads, persist barriers, same-line grouping);
+* :mod:`repro.litmus.px86` — the formal reference model: exhaustive
+  interleaving + persist-order enumeration of every crash state the
+  model allows, with memoized state hashing;
+* :mod:`repro.litmus.compile` — compiles programs onto the existing
+  :class:`repro.isa.trace.Trace` format, one trace per thread
+  interleaving, with a bijective abstract↔concrete store-value map;
+* :mod:`repro.litmus.harness` — drives the compiled traces through the
+  simulator (all cores × all schemes), extracts the observed crash
+  states from the WB/WPQ/NVM/region machinery at every durability
+  instant, and reports soundness (``observed ⊆ allowed``) and
+  completeness (coverage of ``allowed``).
+
+``python -m repro.litmus run`` executes the curated suite
+(:mod:`repro.litmus.families`); any admitted-but-forbidden crash state
+raises :class:`~repro.litmus.harness.LitmusViolation` with the
+interleaving and crash instant that produced it.
+"""
+
+from repro.litmus.compile import (
+    compile_interleaving,
+    interleavings,
+    location_addrs,
+    thread_traces,
+    value_map,
+)
+from repro.litmus.families import (
+    curated_suite,
+    generate_family,
+    program_by_name,
+)
+from repro.litmus.harness import (
+    ConformanceResult,
+    LitmusViolation,
+    SuiteReport,
+    check_program,
+    run_suite,
+    target_matrix,
+)
+from repro.litmus.program import LitmusOp, LitmusProgram, barrier, load, store
+from repro.litmus.px86 import allowed_crash_states, format_state
+from repro.litmus.workload import LitmusWorkload, litmus_point
+
+__all__ = [
+    "ConformanceResult",
+    "LitmusOp",
+    "LitmusProgram",
+    "LitmusViolation",
+    "LitmusWorkload",
+    "SuiteReport",
+    "allowed_crash_states",
+    "barrier",
+    "check_program",
+    "compile_interleaving",
+    "curated_suite",
+    "format_state",
+    "generate_family",
+    "interleavings",
+    "litmus_point",
+    "load",
+    "location_addrs",
+    "program_by_name",
+    "run_suite",
+    "store",
+    "target_matrix",
+    "thread_traces",
+    "value_map",
+]

@@ -1,0 +1,198 @@
+"""Compiling litmus programs onto the simulator's trace format.
+
+The simulator is trace-driven and single-stream per core, so a
+multi-thread litmus program reaches a single core as one trace per
+**thread interleaving** (any order consistent with each thread's program
+order). Hardware concurrency between the threads' *persists* is then the
+scheme's own business — exactly what the conformance harness probes.
+
+Store payloads must be recoverable from a finished run's logs. Both core
+models compute a register-defining instruction's value as
+``def_value(pc, src_values)``, so each litmus store compiles to a pair
+
+    INT_ALU  r_k        # at pc p  -> value def_value(p, ())
+    STORE    [addr], r_k  # at pc p+4
+
+whose concrete 64-bit payload is a pure function of ``p``. Because ``p``
+is derived from the store's *program* coordinates ``(thread, op_index)``
+— not its position in the interleaving — the abstract↔concrete value map
+is one fixed bijection per program, shared by every interleaving and by
+the per-thread traces the multicore system runs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+from repro.isa.instructions import Instruction, Opcode, int_reg
+from repro.isa.trace import Trace
+from repro.litmus.program import BARRIER, LOAD, STORE, LitmusProgram
+from repro.pipeline.core import def_value
+
+# Above every synthetic-workload heap (0x10_0000 + tid * 2^32 in the
+# multicore system) aliases nothing a profile run touches; within one
+# run only these addresses appear anyway.
+LITMUS_ADDR_BASE = 0x5000_0000
+# pc space: op (thread t, index i) owns pcs [base + (t*64+i)*8, +8).
+_PC_BASE = 0x4000_0000
+_OPS_PER_THREAD = 64
+# Data registers rotate through r1..r12 (r13-r15 stay free scratch);
+# curated programs never have 12 live stores, so no accidental reuse
+# hazards, and PRF pressure stays nil.
+_DATA_REGS = tuple(int_reg(1 + i) for i in range(12))
+# Spacing between location lines. Two lines (not one) apart so adjacent
+# programs' lines never share a DRAM-cache set pattern with each other.
+_LINE_STRIDE = 128
+
+
+def _op_pc(tid: int, op_index: int) -> int:
+    if op_index >= _OPS_PER_THREAD:
+        raise ValueError(
+            f"litmus threads are capped at {_OPS_PER_THREAD} ops")
+    return _PC_BASE + (tid * _OPS_PER_THREAD + op_index) * 8
+
+
+def location_addrs(program: LitmusProgram,
+                   addr_base: int = LITMUS_ADDR_BASE) -> dict[str, int]:
+    """Byte address of every location; same_line groups share a line."""
+    addrs: dict[str, int] = {}
+    for line, group in enumerate(program.line_groups()):
+        base = addr_base + line * _LINE_STRIDE
+        for offset, loc in enumerate(group):
+            addrs[loc] = base + 8 * offset
+    return addrs
+
+
+def value_map(program: LitmusProgram) -> dict[int, tuple[str, int]]:
+    """Concrete store payload -> ``(location, abstract value)``.
+
+    The map is required to be injective (and to avoid 0, the abstract
+    initial value); ``def_value`` is a 64-bit mixing hash, so a collision
+    among a handful of pcs would be astronomical — but it is *checked*,
+    not assumed.
+    """
+    mapping: dict[int, tuple[str, int]] = {}
+    for tid, op_index, op in program.stores:
+        concrete = def_value(_op_pc(tid, op_index), ())
+        if concrete == 0 or concrete in mapping:
+            raise RuntimeError(
+                f"store value collision in {program.name!r}; "
+                f"def_value({_op_pc(tid, op_index):#x}) is not unique")
+        mapping[concrete] = (op.loc, op.value)
+    return mapping
+
+
+def _thread_instructions(program: LitmusProgram, tid: int,
+                         addrs: dict[str, int]) -> list[Instruction]:
+    instructions: list[Instruction] = []
+    reg_cursor = tid  # stagger threads so merged traces still rotate
+    for op_index, op in enumerate(program.threads[tid]):
+        pc = _op_pc(tid, op_index)
+        if op.kind == STORE:
+            reg = _DATA_REGS[reg_cursor % len(_DATA_REGS)]
+            reg_cursor += 1
+            instructions.append(
+                Instruction(pc, Opcode.INT_ALU, dest=reg))
+            instructions.append(
+                Instruction(pc + 4, Opcode.STORE, srcs=(reg,),
+                            addr=addrs[op.loc]))
+        elif op.kind == LOAD:
+            reg = _DATA_REGS[reg_cursor % len(_DATA_REGS)]
+            reg_cursor += 1
+            instructions.append(
+                Instruction(pc, Opcode.LOAD, dest=reg, addr=addrs[op.loc]))
+        elif op.kind == BARRIER:
+            instructions.append(Instruction(pc, Opcode.SYNC))
+    return instructions
+
+
+def compile_interleaving(program: LitmusProgram,
+                         interleaving: tuple[int, ...],
+                         addr_base: int = LITMUS_ADDR_BASE) -> Trace:
+    """One single-core trace realizing ``interleaving`` (a sequence of
+    thread ids, one per *litmus op*, consistent with program order)."""
+    counts = [0] * len(program.threads)
+    addrs = location_addrs(program, addr_base)
+    per_thread = [_thread_instructions(program, tid, addrs)
+                  for tid in range(len(program.threads))]
+    # Each litmus op maps to 1 or 2 instructions; walk them per thread.
+    cursors = [0] * len(program.threads)
+    widths = [
+        [2 if op.kind == STORE else 1 for op in ops]
+        for ops in program.threads
+    ]
+    merged: list[Instruction] = []
+    for tid in interleaving:
+        if counts[tid] >= len(program.threads[tid]):
+            raise ValueError(
+                f"interleaving overruns thread {tid} of {program.name!r}")
+        width = widths[tid][counts[tid]]
+        merged.extend(per_thread[tid][cursors[tid]:cursors[tid] + width])
+        cursors[tid] += width
+        counts[tid] += 1
+    if counts != [len(ops) for ops in program.threads]:
+        raise ValueError(
+            f"interleaving does not cover {program.name!r}: {counts}")
+    label = "".join(str(t) for t in interleaving)
+    return Trace(merged, name=f"litmus:{program.name}/{label}")
+
+
+def thread_traces(program: LitmusProgram,
+                  addr_base: int = LITMUS_ADDR_BASE) -> list[Trace]:
+    """Per-thread program-order traces for the multicore system."""
+    addrs = location_addrs(program, addr_base)
+    return [
+        Trace(_thread_instructions(program, tid, addrs),
+              name=f"litmus:{program.name}/t{tid}")
+        for tid in range(len(program.threads))
+    ]
+
+
+def _count_interleavings(lengths: list[int]) -> int:
+    total, remaining = 1, sum(lengths)
+    for length in lengths:
+        total *= comb(remaining, length)
+        remaining -= length
+    return total
+
+
+def interleavings(program: LitmusProgram,
+                  limit: int | None = 64) -> list[tuple[int, ...]]:
+    """Every thread interleaving (lexicographic), evenly thinned to at
+    most ``limit``.
+
+    Thinning keeps the first and last interleavings — the two pure
+    "thread 0 runs to completion, then thread 1" sequentializations —
+    because those anchor the coverage of the per-thread-ordered corners.
+    """
+    lengths = [len(ops) for ops in program.threads]
+    positions = list(range(sum(lengths)))
+
+    def assign(remaining: list[int], todo: list[tuple[int, int]]):
+        if not todo:
+            yield {}
+            return
+        tid, count = todo[0]
+        for slots in combinations(remaining, count):
+            taken = set(slots)
+            rest = [p for p in remaining if p not in taken]
+            for tail in assign(rest, todo[1:]):
+                mapping = dict(tail)
+                for slot in slots:
+                    mapping[slot] = tid
+                yield mapping
+
+    total = _count_interleavings(lengths)
+    if limit is not None and total > limit:
+        step = -(-total // limit)          # ceil division
+        keep = set(range(0, total, step)) | {total - 1}
+    else:
+        keep = None
+    result: list[tuple[int, ...]] = []
+    todo = list(enumerate(lengths))
+    for rank, mapping in enumerate(assign(positions, todo)):
+        if keep is not None and rank not in keep:
+            continue
+        result.append(tuple(mapping[p] for p in positions))
+    return result

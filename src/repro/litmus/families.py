@@ -1,0 +1,142 @@
+"""Deterministic litmus-test families and the curated named suite.
+
+``generate_family`` builds parameterized members of the classic shapes —
+message passing (MP), store buffering (SB), 2+2W, and write-order /
+coalescing chains — with optional persist barriers and same-line
+packing. The curated suite is a fixed, named selection of family members
+whose formal allowed sets are small enough to eyeball; it is what
+``python -m repro.litmus run``, CI, and the fidelity scoreboard execute.
+"""
+
+from __future__ import annotations
+
+from repro.litmus.program import LitmusProgram, barrier, load, store
+
+FAMILIES = ("mp", "sb", "2+2w", "chain")
+
+
+def generate_family(kind: str, *, barriers: bool = False,
+                    same_line: bool = False, size: int = 2,
+                    name: str | None = None) -> LitmusProgram:
+    """One member of a litmus family.
+
+    ``size`` scales the shape: stores per thread for ``chain`` and
+    ``2+2w``-style widths, threads for ``sb``. All generation is pure —
+    the same arguments always yield the identical program.
+    """
+    if kind == "mp":
+        # t0 publishes data x then flag y; t1 reads flag then data.
+        ops0 = [store("x", 1)]
+        if barriers:
+            ops0.append(barrier())
+        ops0.append(store("y", 1))
+        program = LitmusProgram(
+            name=name or _default_name(kind, barriers, same_line, size),
+            threads=(tuple(ops0), (load("y"), load("x"))),
+            same_line=(("x", "y"),) if same_line else (),
+        )
+    elif kind == "sb":
+        threads = []
+        locs = [_loc(i) for i in range(max(2, size))]
+        for i, loc in enumerate(locs):
+            ops = [store(loc, 1)]
+            if barriers:
+                ops.append(barrier())
+            ops.append(load(locs[(i + 1) % len(locs)]))
+            threads.append(tuple(ops))
+        program = LitmusProgram(
+            name=name or _default_name(kind, barriers, same_line, size),
+            threads=tuple(threads),
+            same_line=(tuple(locs),) if same_line else (),
+        )
+    elif kind == "2+2w":
+        ops0 = [store("x", 1)]
+        ops1 = [store("y", 1)]
+        if barriers:
+            ops0.append(barrier())
+            ops1.append(barrier())
+        ops0.append(store("y", 2))
+        ops1.append(store("x", 2))
+        program = LitmusProgram(
+            name=name or _default_name(kind, barriers, same_line, size),
+            threads=(tuple(ops0), tuple(ops1)),
+            same_line=(("x", "y"),) if same_line else (),
+        )
+    elif kind == "chain":
+        # One thread, `size` stores. same_line=True with one location
+        # per store probes the per-line persist FIFO; with distinct
+        # lines it probes cross-line persist reordering. Barriers
+        # between consecutive stores order them durably.
+        count = max(2, size)
+        locs = [_loc(i) for i in range(count)]
+        ops = []
+        for i, loc in enumerate(locs):
+            if i and barriers:
+                ops.append(barrier())
+            ops.append(store(loc, 1))
+        program = LitmusProgram(
+            name=name or _default_name(kind, barriers, same_line, size),
+            threads=(tuple(ops),),
+            same_line=(tuple(locs),) if same_line else (),
+        )
+    else:
+        raise ValueError(f"unknown litmus family {kind!r}; "
+                         f"options: {FAMILIES}")
+    return program
+
+
+def _loc(index: int) -> str:
+    return "xyzwabcd"[index] if index < 8 else f"v{index}"
+
+
+def _default_name(kind: str, barriers: bool, same_line: bool,
+                  size: int) -> str:
+    parts = [kind]
+    if size != 2:
+        parts.append(str(size))
+    if barriers:
+        parts.append("fence")
+    if same_line:
+        parts.append("line")
+    return "+".join(parts)
+
+
+def _coalesce() -> LitmusProgram:
+    """Repeated stores to one location: NVM must hold a prefix-final
+    value, and the write buffer's coalescing window gets exercised."""
+    return LitmusProgram(
+        name="coalesce",
+        threads=((store("x", 1), store("x", 2), store("x", 3)),),
+    )
+
+
+# The curated suite: small, named, hand-checkable. Order is the order
+# reports print in.
+_CURATED: tuple[LitmusProgram, ...] = (
+    generate_family("sb", name="sb"),
+    generate_family("sb", same_line=True, name="sb+line"),
+    generate_family("sb", barriers=True, name="sb+fence"),
+    generate_family("mp", name="mp"),
+    generate_family("mp", barriers=True, name="mp+fence"),
+    generate_family("mp", barriers=True, same_line=True,
+                    name="mp+fence+line"),
+    generate_family("2+2w", name="2+2w"),
+    generate_family("2+2w", same_line=True, name="2+2w+line"),
+    generate_family("chain", size=2, name="wo"),
+    generate_family("chain", size=2, barriers=True, name="wo+fence"),
+    generate_family("chain", size=2, same_line=True, name="wo+line"),
+    _coalesce(),
+)
+
+
+def curated_suite() -> tuple[LitmusProgram, ...]:
+    """The named programs ``python -m repro.litmus run`` checks."""
+    return _CURATED
+
+
+def program_by_name(name: str) -> LitmusProgram:
+    for program in _CURATED:
+        if program.name == name:
+            return program
+    raise ValueError(f"unknown litmus program {name!r}; "
+                     f"known: {[p.name for p in _CURATED]}")

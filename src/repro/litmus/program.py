@@ -1,0 +1,193 @@
+"""The litmus program DSL.
+
+A litmus program is a tuple of threads, each a straight-line sequence of
+three operation kinds:
+
+* ``store(loc, value)`` — write an abstract small-integer value to a
+  named location;
+* ``load(loc)`` — read a location (loads constrain nothing here — the
+  programs are straight-line, so no outcome depends on a loaded value —
+  but they exercise the load path and keep the classic shapes intact);
+* ``barrier()`` — a persist barrier: everything the thread stored before
+  it must be durable before anything after it executes. This is the
+  strongest fence in the Px86 family (``sfence; …`` with all stores
+  flushed) and compiles onto the simulator's SYNC/region boundary.
+
+Locations live on distinct cache lines unless grouped by ``same_line``;
+same-line grouping is how coalescing/persist-FIFO behavior is probed.
+Every location starts at the abstract value 0, and stores must use
+non-zero values so crash states are unambiguous.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+STORE = "store"
+LOAD = "load"
+BARRIER = "barrier"
+
+# A cache line holds 8 aligned 8-byte words; same_line groups may not
+# exceed that.
+WORDS_PER_LINE = 8
+
+
+@dataclass(frozen=True)
+class LitmusOp:
+    """One operation of one litmus thread."""
+
+    kind: str
+    loc: str = ""
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (STORE, LOAD, BARRIER):
+            raise ValueError(f"unknown litmus op kind {self.kind!r}")
+        if self.kind == BARRIER and self.loc:
+            raise ValueError("barrier takes no location")
+        if self.kind in (STORE, LOAD) and not self.loc:
+            raise ValueError(f"{self.kind} needs a location")
+        if self.kind == STORE and self.value <= 0:
+            raise ValueError("store values must be positive (0 = initial)")
+        if self.kind != STORE and self.value:
+            raise ValueError(f"{self.kind} carries no value")
+
+    def __str__(self) -> str:
+        if self.kind == STORE:
+            return f"{self.loc}={self.value}"
+        if self.kind == LOAD:
+            return f"r={self.loc}"
+        return "barrier"
+
+
+def store(loc: str, value: int) -> LitmusOp:
+    return LitmusOp(STORE, loc, value)
+
+
+def load(loc: str) -> LitmusOp:
+    return LitmusOp(LOAD, loc)
+
+
+def barrier() -> LitmusOp:
+    return LitmusOp(BARRIER)
+
+
+@dataclass(frozen=True)
+class LitmusProgram:
+    """A named multi-thread litmus test.
+
+    ``same_line`` groups location names that share a cache line; ungrouped
+    locations get a line of their own. The location order (and hence the
+    crash-state tuple order everywhere in this subsystem) is order of
+    first appearance, threads scanned in order.
+    """
+
+    name: str
+    threads: tuple[tuple[LitmusOp, ...], ...]
+    same_line: tuple[tuple[str, ...], ...] = ()
+    locations: tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.threads or not any(self.threads):
+            raise ValueError("a litmus program needs at least one op")
+        seen: list[str] = []
+        for ops in self.threads:
+            for op in ops:
+                if op.loc and op.loc not in seen:
+                    seen.append(op.loc)
+        object.__setattr__(self, "locations", tuple(seen))
+        grouped: set[str] = set()
+        for group in self.same_line:
+            if len(group) > WORDS_PER_LINE:
+                raise ValueError(
+                    f"same_line group {group} exceeds {WORDS_PER_LINE} "
+                    f"words per cache line")
+            for loc in group:
+                if loc not in self.locations:
+                    raise ValueError(f"same_line names unknown loc {loc!r}")
+                if loc in grouped:
+                    raise ValueError(f"loc {loc!r} in two same_line groups")
+                grouped.add(loc)
+
+    # -- geometry ------------------------------------------------------
+
+    def line_groups(self) -> tuple[tuple[str, ...], ...]:
+        """Locations partitioned into cache lines, in location order."""
+        grouped = {loc for group in self.same_line for loc in group}
+        groups = [tuple(g) for g in self.same_line]
+        groups.extend((loc,) for loc in self.locations
+                      if loc not in grouped)
+        return tuple(groups)
+
+    def line_of(self, loc: str) -> int:
+        """Index of the cache line holding ``loc``."""
+        for index, group in enumerate(self.line_groups()):
+            if loc in group:
+                return index
+        raise KeyError(loc)
+
+    # -- properties ----------------------------------------------------
+
+    @property
+    def store_disjoint(self) -> bool:
+        """No location is stored by more than one thread (DRF-for-writes;
+        required by the multicore model's private per-thread memory)."""
+        writers: dict[str, int] = {}
+        for tid, ops in enumerate(self.threads):
+            for op in ops:
+                if op.kind == STORE:
+                    if writers.setdefault(op.loc, tid) != tid:
+                        return False
+        return True
+
+    @property
+    def stores(self) -> tuple[tuple[int, int, LitmusOp], ...]:
+        """All stores as ``(thread, op_index, op)``, program order."""
+        return tuple((tid, i, op)
+                     for tid, ops in enumerate(self.threads)
+                     for i, op in enumerate(ops) if op.kind == STORE)
+
+    def initial_state(self) -> tuple[int, ...]:
+        return (0,) * len(self.locations)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "threads": [[[op.kind, op.loc, op.value] for op in ops]
+                        for ops in self.threads],
+            "same_line": [list(group) for group in self.same_line],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LitmusProgram":
+        return cls(
+            name=data["name"],
+            threads=tuple(
+                tuple(LitmusOp(kind, loc, value) for kind, loc, value in ops)
+                for ops in data["threads"]),
+            same_line=tuple(tuple(g) for g in data["same_line"]),
+        )
+
+    def canonical(self) -> str:
+        """Deterministic JSON form — the campaign/cache identity of the
+        program."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_canonical(cls, text: str) -> "LitmusProgram":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        """One-line human rendering: ``t0: x=1; barrier; y=1 || t1: r=y``.
+        """
+        threads = " || ".join(
+            f"t{tid}: " + "; ".join(str(op) for op in ops)
+            for tid, ops in enumerate(self.threads))
+        lines = ",".join("{" + ",".join(g) + "}"
+                         for g in self.same_line)
+        suffix = f"  [same line: {lines}]" if self.same_line else ""
+        return threads + suffix

@@ -1,0 +1,128 @@
+"""Executable Px86-TSO persistency model: the formal allowed-crash-state
+set of a litmus program.
+
+The operational model follows *Taming x86-TSO Persistency* (Khyzha &
+Lahav), specialized to what our DSL can express:
+
+* each thread owns a FIFO **store buffer**; executing a store appends to
+  it, and the buffer drains to volatile memory nondeterministically, in
+  order;
+* draining a store also enqueues it on its cache line's **persist
+  queue**. Persist queues are per-line FIFOs: persists to one line reach
+  NVM in drain order, but *different lines persist in any relative
+  order* — the relaxed behavior that makes persistency interesting;
+* a **persist step** pops one line's oldest queued write into NVM;
+* a **barrier** (our strongest-fence reading: ``sfence`` plus a full
+  flush of the thread's earlier stores) may execute only when the
+  thread's store buffer is empty and none of its drained stores is still
+  sitting in a persist queue;
+* loads take no step that affects persistence (programs are
+  straight-line, so load values constrain nothing); they are skipped.
+
+A **crash state** is the NVM projection (one value per location) of any
+reachable configuration — the crash may strike between any two steps.
+Enumeration is exhaustive breadth-first search over configurations with
+memoized state hashing, so the textbook tests (a handful of stores)
+close in well under a thousand states.
+
+Deliberate simplifications vs full Px86 are documented in
+``docs/modeling.md`` §11: no per-location ``clflush``/``clflushopt``
+(our hardware schemes persist transparently; the DSL's only fence is the
+strong barrier) and no load-value constraints (no conditional outcomes).
+"""
+
+from __future__ import annotations
+
+from repro.litmus.program import BARRIER, STORE, LitmusProgram
+
+# Backstop against accidentally huge programs; the curated families
+# explore a few hundred configurations at most.
+_MAX_CONFIGS = 500_000
+
+
+def _enabled_barrier(tid: int, sb: tuple, queues: tuple) -> bool:
+    """A barrier fires only once every earlier store of its thread is
+    durable: nothing buffered, nothing still queued for persist."""
+    if sb[tid]:
+        return False
+    return all(entry[0] != tid for queue in queues for entry in queue)
+
+
+def allowed_crash_states(program: LitmusProgram,
+                         max_configs: int = _MAX_CONFIGS
+                         ) -> frozenset[tuple[int, ...]]:
+    """Every NVM state (tuple in ``program.locations`` order) the formal
+    model allows at a crash."""
+    locs = program.locations
+    loc_index = {loc: i for i, loc in enumerate(locs)}
+    line_of = tuple(program.line_of(loc) for loc in locs)
+    num_lines = len(program.line_groups())
+    # Pre-strip loads: only stores and barriers take steps.
+    threads = tuple(
+        tuple(op for op in ops if op.kind in (STORE, BARRIER))
+        for ops in program.threads)
+
+    initial = (
+        (0,) * len(threads),                 # per-thread pc
+        ((),) * len(threads),                # per-thread store buffer
+        ((),) * num_lines,                   # per-line persist queue
+        program.initial_state(),             # NVM image
+    )
+    seen = {initial}
+    frontier = [initial]
+    states: set[tuple[int, ...]] = {program.initial_state()}
+    while frontier:
+        if len(seen) > max_configs:
+            raise RuntimeError(
+                f"litmus program {program.name!r} exceeds "
+                f"{max_configs} configurations; shrink it")
+        pcs, sbs, queues, nvm = frontier.pop()
+        successors = []
+        # 1. A thread executes its next op.
+        for tid, ops in enumerate(threads):
+            pc = pcs[tid]
+            if pc >= len(ops):
+                continue
+            op = ops[pc]
+            if op.kind == BARRIER and not _enabled_barrier(tid, sbs, queues):
+                continue
+            next_pcs = pcs[:tid] + (pc + 1,) + pcs[tid + 1:]
+            if op.kind == STORE:
+                entry = (loc_index[op.loc], op.value)
+                next_sbs = (sbs[:tid] + (sbs[tid] + (entry,),)
+                            + sbs[tid + 1:])
+                successors.append((next_pcs, next_sbs, queues, nvm))
+            else:
+                successors.append((next_pcs, sbs, queues, nvm))
+        # 2. A store buffer drains its oldest entry to its line's queue.
+        for tid, sb in enumerate(sbs):
+            if not sb:
+                continue
+            loc, value = sb[0]
+            next_sbs = sbs[:tid] + (sb[1:],) + sbs[tid + 1:]
+            line = line_of[loc]
+            next_queues = (queues[:line]
+                           + (queues[line] + ((tid, loc, value),),)
+                           + queues[line + 1:])
+            successors.append((pcs, next_sbs, next_queues, nvm))
+        # 3. A line's oldest queued write persists to NVM.
+        for line, queue in enumerate(queues):
+            if not queue:
+                continue
+            __, loc, value = queue[0]
+            next_queues = (queues[:line] + (queue[1:],)
+                           + queues[line + 1:])
+            next_nvm = nvm[:loc] + (value,) + nvm[loc + 1:]
+            successors.append((pcs, sbs, next_queues, next_nvm))
+        for config in successors:
+            if config not in seen:
+                seen.add(config)
+                states.add(config[3])
+                frontier.append(config)
+    return frozenset(states)
+
+
+def format_state(program: LitmusProgram, state: tuple[int, ...]) -> str:
+    """``x=1 y=0`` rendering of one crash state."""
+    return " ".join(f"{loc}={value}"
+                    for loc, value in zip(program.locations, state))

@@ -1,0 +1,83 @@
+"""Litmus programs as campaign workloads.
+
+:class:`LitmusWorkload` is a frozen dataclass that stands in for a
+:class:`~repro.workloads.profiles.WorkloadProfile` inside a
+:class:`~repro.orchestrator.points.SimPoint`: the trace interner
+dispatches on its ``build_trace``/``region_extents`` hooks, and the
+orchestrator's key material (``dataclasses.asdict``) hashes its
+canonical program JSON plus the interleaving — so litmus runs flow
+through the ``Campaign`` pool and the content-addressed L2 cache exactly
+like profile runs, with the same determinism guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.isa.trace import Trace
+from repro.litmus.compile import LITMUS_ADDR_BASE, compile_interleaving
+from repro.litmus.program import LitmusProgram
+
+
+@lru_cache(maxsize=256)
+def _program_from_canonical(text: str) -> LitmusProgram:
+    return LitmusProgram.from_canonical(text)
+
+
+@dataclass(frozen=True)
+class LitmusWorkload:
+    """One (program, interleaving) pair, runnable as a SimPoint profile."""
+
+    name: str
+    program_json: str
+    interleaving: tuple[int, ...]
+    addr_base: int = LITMUS_ADDR_BASE
+
+    @classmethod
+    def from_program(cls, program: LitmusProgram,
+                     interleaving: tuple[int, ...],
+                     addr_base: int = LITMUS_ADDR_BASE) -> "LitmusWorkload":
+        label = "".join(str(t) for t in interleaving)
+        return cls(name=f"litmus:{program.name}/{label}",
+                   program_json=program.canonical(),
+                   interleaving=tuple(interleaving),
+                   addr_base=addr_base)
+
+    def program(self) -> LitmusProgram:
+        return _program_from_canonical(self.program_json)
+
+    # -- hooks the trace interner dispatches on ------------------------
+
+    def build_trace(self, length: int, seed: int = 0,
+                    addr_base: int | None = None,
+                    sync_interval: int | None = None) -> Trace:
+        """Interner hook. The trace is fully determined by the program,
+        interleaving, and this workload's *own* ``addr_base`` field;
+        the interner's generic ``length``/``seed``/``addr_base``/
+        ``sync_interval`` knobs are accepted and ignored so the litmus
+        address layout can never drift from what the harness decodes."""
+        del length, seed, addr_base, sync_interval
+        return compile_interleaving(self.program(), self.interleaving,
+                                    addr_base=self.addr_base)
+
+    def region_extents(self, addr_base: int | None = None) -> tuple:
+        """Interner hook: litmus footprints are a few lines — nothing to
+        declare resident or prewarm."""
+        del addr_base
+        return ()
+
+
+def litmus_point(program: LitmusProgram, interleaving: tuple[int, ...],
+                 scheme: str, config=None, label: str = ""):
+    """A ready :class:`~repro.orchestrator.points.SimPoint` for one
+    compiled litmus run: values tracked, no warmup, persist log captured
+    for the schemes whose conformance path replays it."""
+    from repro.orchestrator.points import make_point
+
+    workload = LitmusWorkload.from_program(program, interleaving)
+    trace = workload.build_trace(0)
+    return make_point(
+        workload, scheme, config=config, length=len(trace), warmup=0,
+        seed=0, track_values=True, capture_persist_log=True,
+        label=label or f"{workload.name}:{scheme}")

@@ -127,7 +127,8 @@ class MulticoreSystem:
             return 1.0
         return (self.BASE_THREADS / self.threads) ** self.contention_exponent
 
-    def _run_thread(self, trace, extents, tracer=None) -> CoreStats:
+    def _run_thread(self, trace, extents, tracer=None,
+                    track_values: bool = False) -> CoreStats:
         from repro.memory.prewarm import warmed_memory
 
         nvm = NvmModel(self.config.memory.nvm,
@@ -137,8 +138,37 @@ class MulticoreSystem:
         # bandwidth-share accounting stays per-core.
         memory = warmed_memory(self.config.memory, extents, nvm=nvm)
         core = OoOCore(self.config, make_policy(self.scheme),
-                       memory=memory, track_values=False, tracer=tracer)
+                       memory=memory, track_values=track_values,
+                       tracer=tracer)
         return core.run(trace)
+
+    def run_traces(self, traces, track_values: bool = False
+                   ) -> MulticoreStats:
+        """Run caller-supplied per-thread traces, one core each.
+
+        Unlike :meth:`run_profile`, no barrier alignment is assumed
+        between the traces (each may place SYNCs wherever it likes); the
+        makespan is simply the slowest core's finish time. This is the
+        entry point the litmus conformance harness uses: tiny hand-built
+        traces with ``track_values=True`` so per-thread store payloads
+        land in the logs.
+        """
+        if len(traces) != self.threads:
+            raise ValueError(
+                f"got {len(traces)} traces for {self.threads} threads")
+        per_thread = [
+            self._run_thread(trace, (), track_values=track_values)
+            for trace in traces
+        ]
+        makespan = max((s.cycles for s in per_thread), default=0.0)
+        return MulticoreStats(
+            scheme=self.scheme,
+            threads=self.threads,
+            makespan=makespan,
+            per_thread=per_thread,
+            barrier_segments=0,
+            imbalance_cycles=sum(makespan - s.cycles for s in per_thread),
+        )
 
     @staticmethod
     def _sync_points(trace) -> list[int]:

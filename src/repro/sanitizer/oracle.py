@@ -31,6 +31,57 @@ _BOUNDARY_EPS = 1e-6
 
 
 @dataclass
+class CrashStatePoint:
+    """Reconstructed machine state at one power-cut instant.
+
+    The programmatic face of the sweep: litmus conformance and future
+    tools consume the per-point NVM image directly instead of re-running
+    the pass/fail sweep. ``nvm_image`` is the raw persistence-domain
+    contents; ``recovered_image`` is what recovery would leave behind
+    (image plus the interrupted region's CSQ replayed in program order).
+    """
+
+    fail_time: float
+    nvm_image: dict[int, int]
+    csq_replay: list
+    last_committed_seq: int
+
+    @property
+    def recovered_image(self) -> dict[int, int]:
+        image = dict(self.nvm_image)
+        for record in self.csq_replay:   # program order
+            image[record.addr] = record.value
+        return image
+
+
+def crash_state_at(stats: CoreStats, injector: PowerFailureInjector,
+                   fail_time: float) -> CrashStatePoint:
+    """The machine state a power cut at ``fail_time`` would leave."""
+    return CrashStatePoint(
+        fail_time=fail_time,
+        nvm_image=injector.nvm_image_at(fail_time),
+        csq_replay=injector.csq_at(fail_time),
+        last_committed_seq=injector.last_committed_seq(fail_time),
+    )
+
+
+def crash_states(stats: CoreStats, persist_log: list[PersistOp],
+                 fail_times: list[float] | None = None,
+                 samples: int = 64, seed: int = 0) -> list[CrashStatePoint]:
+    """Per-crash-point final NVM states for a finished run.
+
+    ``fail_times`` pins the probed instants; by default the sweep's own
+    :func:`failure_points` (uniform sample + region-close straddles) are
+    used, so this returns exactly the states :func:`crash_sweep`
+    verifies.
+    """
+    injector = PowerFailureInjector(stats, persist_log)
+    if fail_times is None:
+        fail_times = failure_points(stats, injector, samples, seed)
+    return [crash_state_at(stats, injector, t) for t in fail_times]
+
+
+@dataclass
 class CrashCheck:
     """Outcome of recovery at one power-cut instant."""
 
@@ -88,19 +139,16 @@ def check_crash_at(stats: CoreStats, injector: PowerFailureInjector,
                    fail_time: float) -> CrashCheck:
     """Recover from a power cut at ``fail_time`` and verify both halves of
     the Section 2.4 claim."""
-    image = injector.nvm_image_at(fail_time)
-    replay = injector.csq_at(fail_time)
-    for record in replay:           # program order — csq_at preserves it
-        image[record.addr] = record.value
-    last_seq = injector.last_committed_seq(fail_time)
-    recovery = verify_recovery(stats, image, last_seq)
-    resumption = verify_resumption(stats, image, last_seq)
+    state = crash_state_at(stats, injector, fail_time)
+    image = state.recovered_image
+    recovery = verify_recovery(stats, image, state.last_committed_seq)
+    resumption = verify_resumption(stats, image, state.last_committed_seq)
     return CrashCheck(
         fail_time=fail_time,
         recovery_ok=bool(recovery),
         resumption_ok=bool(resumption),
         mismatches=len(recovery.mismatches) + len(resumption.mismatches),
-        replayed_stores=len(replay),
+        replayed_stores=len(state.csq_replay),
         unpersisted_committed=injector.unpersisted_committed_stores(
             fail_time),
     )

@@ -38,13 +38,26 @@ stats = {"hits": 0, "builds": 0}
 def interned_trace(profile: WorkloadProfile, length: int, seed: int = 0,
                    addr_base: int = _DEFAULT_ADDR_BASE,
                    sync_interval: int | None = None) -> Trace:
-    """The shared trace for this key; generated on first request."""
+    """The shared trace for this key; generated on first request.
+
+    ``profile`` is normally a :class:`WorkloadProfile`; any hashable
+    object exposing a ``build_trace(length, seed=, addr_base=,
+    sync_interval=)`` hook (e.g. :class:`repro.litmus.workload.
+    LitmusWorkload`) is interned the same way, so synthetic and litmus
+    points share one campaign/caching path.
+    """
     key = (profile, length, seed, addr_base, sync_interval)
     trace = _traces.get(key)
     if trace is None:
         stats["builds"] += 1
-        generator = TraceGenerator(profile, seed=seed, addr_base=addr_base)
-        trace = generator.generate(length, sync_interval=sync_interval)
+        build = getattr(profile, "build_trace", None)
+        if build is not None:
+            trace = build(length, seed=seed, addr_base=addr_base,
+                          sync_interval=sync_interval)
+        else:
+            generator = TraceGenerator(profile, seed=seed,
+                                       addr_base=addr_base)
+            trace = generator.generate(length, sync_interval=sync_interval)
         if len(_traces) >= _MAX_TRACES:
             _traces.pop(next(iter(_traces)))
         _traces[key] = trace
@@ -81,8 +94,13 @@ def region_extents(profile: WorkloadProfile,
 
     Constructing a generator draws nothing from its RNG, so this is cheap
     and exactly matches the extents of any trace interned for the same
-    ``(profile, addr_base)``.
+    ``(profile, addr_base)``. Workload objects carrying their own
+    ``region_extents`` hook (litmus workloads: empty — nothing to
+    prewarm) short-circuit the generator.
     """
+    extents = getattr(profile, "region_extents", None)
+    if extents is not None:
+        return tuple(extents(addr_base=addr_base))
     generator = TraceGenerator(profile, seed=0, addr_base=addr_base)
     return tuple(generator.region_extents())
 

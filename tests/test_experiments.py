@@ -19,6 +19,7 @@ class TestRegistry:
         "ablation-async", "ablation-coalescing", "ablation-boundary",
         "ablation-integrity",
         "ext-psp", "ext-region-length", "ext-sbgate", "ext-inorder",
+        "litmus",
     }
 
     def test_every_figure_and_table_registered(self):

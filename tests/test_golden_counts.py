@@ -87,3 +87,52 @@ class TestCrashOracleGolden:
         assert crash.last_committed_seq == 752
         assert recovery.resume_pc == 4197317
         assert recovery.replayed == 7
+
+
+# (scheme, program, cycles, nvm_line_writes, stores) for the first
+# compiled interleaving on the OoO core, plus the conformance counts
+# (allowed, observed, crash_points, runs) of the full check — one
+# representative litmus program per scheme. These pin both the timing of
+# the tiny hand-built traces and the exact observed-crash-state sweep.
+LITMUS_GOLDEN = [
+    ("baseline", "mp", 8.0, 0, 2, 4, 1, 6, 6),
+    ("ppa", "mp+fence", 516.0, 2, 2, 3, 3, 80, 10),
+    ("replaycache", "wo", 4.0, 2, 2, 4, 3, 3, 1),
+    ("capri", "mp", 8.0, 0, 2, 4, 3, 17, 6),
+    ("eadr", "sb", 412.0, 0, 2, 4, 1, 6, 6),
+    ("dram-only", "coalesce", 5.0, 0, 3, 4, 1, 1, 1),
+    ("psp-undolog", "wo+line", 94.0, 4, 2, 4, 3, 3, 1),
+    ("psp-redolog", "2+2w", 5.0, 4, 4, 9, 5, 24, 6),
+    ("sb-gate", "sb+fence", 527.0, 2, 2, 4, 4, 60, 20),
+]
+
+
+class TestLitmusGoldenCounts:
+    @pytest.mark.parametrize(
+        "scheme,program,cycles,line_writes,stores,"
+        "allowed,observed,crash_points,runs",
+        LITMUS_GOLDEN, ids=[row[0] for row in LITMUS_GOLDEN])
+    def test_representative_program(self, scheme, program, cycles,
+                                    line_writes, stores, allowed,
+                                    observed, crash_points, runs):
+        from repro.litmus.compile import interleavings
+        from repro.litmus.families import program_by_name
+        from repro.litmus.harness import check_program
+        from repro.litmus.workload import litmus_point
+        from repro.orchestrator.execute import simulate_point
+        from repro.orchestrator.points import config_for
+
+        prog = program_by_name(program)
+        point = litmus_point(prog, interleavings(prog)[0], scheme,
+                             config=config_for(scheme, None))
+        stats, __ = simulate_point(point)
+        assert stats.cycles == cycles
+        assert stats.nvm_line_writes == line_writes
+        assert len(stats.stores) == stores
+
+        result = check_program(prog, "ooo", scheme)
+        assert result.sound
+        assert len(result.allowed) == allowed
+        assert len(result.observed) == observed
+        assert result.crash_points == crash_points
+        assert result.runs == runs

@@ -1,0 +1,146 @@
+"""The Px86-TSO enumerator against hand-verified allowed sets.
+
+Every fixture below was derived on paper from the model's three rules:
+stores enter a per-thread FIFO buffer, drain into a per-cache-line
+persist FIFO, and lines persist independently of each other; a barrier
+executes only once its thread's buffer and persist entries are empty.
+A crash exposes the NVM projection of any reachable configuration.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.litmus.families import curated_suite, generate_family, \
+    program_by_name
+from repro.litmus.harness import RELAXED_SCHEMES, reference_program
+from repro.litmus.program import LitmusProgram, barrier, store
+from repro.litmus.px86 import allowed_crash_states, format_state
+
+
+def states(name):
+    return allowed_crash_states(program_by_name(name))
+
+
+class TestHandVerifiedFixtures:
+    def test_sb_all_four(self):
+        # One store per thread, distinct lines: nothing orders anything.
+        assert states("sb") == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        assert states("sb+line") == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        assert states("sb+fence") == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_mp_unfenced_admits_reorder(self):
+        # x and y sit on different lines; their persist queues race.
+        assert states("mp") == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_mp_fence_orders_data_before_flag(self):
+        # The fence drains x before y may even buffer: flag implies data.
+        assert states("mp+fence") == {(0, 0), (1, 0), (1, 1)}
+        assert states("mp+fence+line") == {(0, 0), (1, 0), (1, 1)}
+
+    def test_2p2w_free_for_all(self):
+        # x=1||x=2 and y=2||y=1 on distinct lines: every pair reachable.
+        assert states("2+2w") == {
+            (x, y) for x in (0, 1, 2) for y in (0, 1, 2)}
+
+    def test_2p2w_same_line_forbids_skipping(self):
+        # Per-line FIFO: a thread's second store persisting implies its
+        # first did earlier, so x=2 forces y!=0 and y=2 forces x!=0.
+        assert states("2+2w+line") == {
+            (x, y) for x in (0, 1, 2) for y in (0, 1, 2)
+            if (x, y) not in {(2, 0), (0, 2)}}
+
+    def test_write_order_chain(self):
+        assert states("wo") == {(0, 0), (1, 0), (0, 1), (1, 1)}
+        # Fence and same-line FIFO equally forbid y-without-x.
+        assert states("wo+fence") == {(0, 0), (1, 0), (1, 1)}
+        assert states("wo+line") == {(0, 0), (1, 0), (1, 1)}
+
+    def test_coalesce_prefix_final_values(self):
+        # x=1;x=2;x=3 on one line: NVM holds a prefix-final value.
+        assert states("coalesce") == {(0,), (1,), (2,), (3,)}
+
+    def test_format_state_names_locations(self):
+        program = program_by_name("mp")
+        assert format_state(program, (1, 0)) == "x=1 y=0"
+
+    def test_generate_family_is_pure(self):
+        assert (generate_family("mp", barriers=True)
+                == generate_family("mp", barriers=True))
+
+    def test_curated_names_are_unique(self):
+        names = [p.name for p in curated_suite()]
+        assert len(names) == len(set(names))
+
+
+def _ops(draw, locs):
+    count = draw(st.integers(min_value=1, max_value=3))
+    ops = []
+    for __ in range(count):
+        if draw(st.booleans()):
+            ops.append(store(draw(st.sampled_from(locs)),
+                             draw(st.integers(min_value=1, max_value=3))))
+        else:
+            ops.append(barrier())
+    if not any(op.kind == "store" for op in ops):
+        ops.append(store(locs[0], 1))
+    return tuple(ops)
+
+
+@st.composite
+def small_programs(draw):
+    locs = ("x", "y")
+    threads = tuple(_ops(draw, locs)
+                    for __ in range(draw(st.integers(1, 2))))
+    used = tuple(loc for loc in locs
+                 if any(op.loc == loc for ops in threads for op in ops))
+    same_line = (used,) if len(used) > 1 and draw(st.booleans()) else ()
+    return LitmusProgram(name="prop", threads=threads,
+                         same_line=same_line)
+
+
+def _by_location(program, states_set):
+    """Location-name-keyed view, for comparison across reorderings."""
+    return {
+        frozenset(zip(program.locations, state_tuple))
+        for state_tuple in states_set
+    }
+
+
+class TestEnumeratorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(small_programs())
+    def test_deterministic(self, program):
+        assert allowed_crash_states(program) == allowed_crash_states(program)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_programs())
+    def test_thread_order_independent(self, program):
+        """Threads are symmetric: permuting them permutes nothing but
+        the location-index order of the state tuples."""
+        flipped = LitmusProgram(name=program.name,
+                                threads=tuple(reversed(program.threads)),
+                                same_line=program.same_line)
+        assert (_by_location(program, allowed_crash_states(program))
+                == _by_location(flipped, allowed_crash_states(flipped)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_programs())
+    def test_relaxation_is_monotone(self, program):
+        """Erasing barriers and dissolving line groups only ever grows
+        the allowed set — the property the harness's relaxed reference
+        for the software-logging schemes relies on."""
+        relaxed = reference_program(program, next(iter(RELAXED_SCHEMES)))
+        assert (_by_location(program, allowed_crash_states(program))
+                <= _by_location(relaxed, allowed_crash_states(relaxed)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_programs())
+    def test_initial_and_final_states_always_allowed(self, program):
+        allowed = allowed_crash_states(program)
+        assert program.initial_state() in allowed
+        final = dict(zip(program.locations, program.initial_state()))
+        for ops in program.threads:
+            for op in ops:
+                if op.kind == "store":
+                    final[op.loc] = op.value
+        assert tuple(final[loc] for loc in program.locations) in allowed
