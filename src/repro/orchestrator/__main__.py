@@ -132,6 +132,10 @@ def _cmd_status(args) -> int:
     for salt, count in sorted(info["salts"].items()):
         marker = " (current)" if salt == info["current_salt"] else " (stale)"
         print(f"  salt {salt}: {count} entries{marker}")
+    if info["tmp_orphans"]:
+        print(f"tmp orphans:   {info['tmp_orphans']} "
+              f"({info['tmp_bytes']} bytes) — 'gc' reaps ones older "
+              f"than an hour")
     seconds = info["sim_seconds"]
     print(f"banked sim:    {info['sim_cycles']:.0f} cycles, "
           f"{info['sim_instructions']} instructions, "
@@ -147,8 +151,17 @@ def _cmd_gc(args) -> int:
     cache = ResultCache(pathlib.Path(args.cache_dir)
                         if args.cache_dir else default_cache_dir())
     removed = cache.gc(all_entries=args.all)
-    what = "entries" if args.all else "stale entries"
+    what = "entries" if args.all else "stale entries + tmp orphans"
     print(f"removed {removed} {what} from {cache.root}")
+    if args.evict_bytes is not None:
+        report = cache.evict(max_bytes=args.evict_bytes)
+        print(f"evicted {report['evicted_shards']} shards "
+              f"({report['removed_entries']} entries, "
+              f"{report['removed_bytes']} bytes"
+              + (f", {report['corrupt_removed']} corrupt"
+                 if report["corrupt_removed"] else "")
+              + f"); {report['bytes']} bytes remain "
+              f"(budget {report['max_bytes']})")
     return 0
 
 
@@ -205,6 +218,9 @@ def main(argv: list[str] | None = None) -> int:
     gc = sub.add_parser("gc", help="drop stale cache entries")
     gc.add_argument("--all", action="store_true",
                     help="drop everything, not just stale-salt entries")
+    gc.add_argument("--evict-bytes", type=int, default=None,
+                    help="after gc, evict oldest shards until the cache "
+                         "fits this byte budget")
     gc.add_argument("--cache-dir", type=str, default=None)
     gc.set_defaults(func=_cmd_gc)
 

@@ -6,24 +6,49 @@ The salt hashes every ``repro`` source file, so editing the simulator
 invalidates old results instead of silently serving them; ``gc`` reclaims
 entries written under a different salt.
 
-Writes are atomic (temp file + rename), so concurrent campaigns sharing a
-cache directory can only ever race to write identical bytes.
+Concurrency contract (many processes may share one cache directory):
+
+* ``put`` is atomic (temp file + ``os.replace``) — concurrent writers of
+  the same digest can only race to install identical bytes, and readers
+  never observe a partial file.
+* ``get`` verifies integrity (parseable strict JSON whose stored digest
+  matches the filename); a corrupt or mismatched entry counts as a miss
+  and is removed.
+* ``inventory``/``gc`` tolerate entries vanishing underneath them — a
+  concurrent ``gc`` or eviction from another process is not an error.
+* Maintenance that removes files (``gc``, ``evict``) serializes on an
+  advisory ``fcntl`` lock at ``<root>/.lock``, so two sweepers never
+  double-count removals or re-create half-empty shards.
+* A writer killed between ``mkstemp`` and ``os.replace`` leaves a
+  ``*.tmp`` orphan; ``gc`` reaps orphans older than ``tmp_max_age``
+  seconds and ``inventory`` reports them.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pathlib
 import tempfile
+import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover — non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.orchestrator.points import SimPoint
 from repro.orchestrator.serialize import point_key_material
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+# Orphaned *.tmp files younger than this are presumed to belong to a
+# live writer mid-``put`` and are left alone by ``gc``.
+TMP_MAX_AGE = 3600.0
 
 _code_salt_cache: str | None = None
 
@@ -90,17 +115,44 @@ class ResultCache:
         # Two-character shard keeps directories small at campaign scale.
         return self.root / digest[:2] / f"{digest}.json"
 
+    @contextlib.contextmanager
+    def locked(self) -> Iterator[None]:
+        """Advisory exclusive lock over cache maintenance.
+
+        Serializes cross-process ``gc``/``evict`` sweeps. Readers and
+        writers never take it — ``put`` is atomic and ``get`` tolerates
+        vanishing files — so the lock only ever contends with another
+        sweeper.
+        """
+        if fcntl is None:  # pragma: no cover — non-POSIX fallback
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with (self.root / ".lock").open("a") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def get(self, digest: str) -> dict[str, Any] | None:
-        """The stored payload for ``digest``, or None on miss (a corrupt
-        entry counts as a miss and is removed)."""
+        """The stored payload for ``digest``, or None on miss.
+
+        Integrity-checked: an unparseable entry, or one whose stored
+        digest does not match its filename (a hand-renamed or corrupted
+        file), counts as a miss and is removed."""
         path = self._path(digest)
         try:
             with path.open("r", encoding="utf-8") as handle:
                 entry = json.load(handle)
+            if entry.get("digest") != digest:
+                raise ValueError("digest/filename mismatch")
             payload = entry["payload"]
+        except FileNotFoundError:
+            self.counters.misses += 1
+            return None
         except (OSError, ValueError, KeyError):
-            if path.exists():
-                path.unlink(missing_ok=True)
+            path.unlink(missing_ok=True)
             self.counters.misses += 1
             return None
         self.counters.hits += 1
@@ -108,9 +160,14 @@ class ResultCache:
 
     def put(self, digest: str, payload: dict[str, Any],
             meta: dict[str, Any] | None = None) -> None:
-        """Atomically store ``payload`` under ``digest``."""
+        """Atomically store ``payload`` under ``digest``.
+
+        Content-addressed writes are idempotent, so a concurrent
+        aggressive ``gc(tmp_max_age=0)`` or shard eviction racing this
+        writer (reaping the tmp file or the shard directory mid-put) is
+        absorbed by retrying, not surfaced to the caller.
+        """
         path = self._path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "digest": digest,
             "salt": code_salt(),
@@ -118,18 +175,27 @@ class ResultCache:
             "meta": meta or {},
             "payload": payload,
         }
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, allow_nan=False,
-                          separators=(",", ":"))
-            os.replace(tmp_name, path)
-        except BaseException:
+        for attempt in range(4):
+            tmp_name = None
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                                suffix=".tmp")
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, allow_nan=False,
+                              separators=(",", ":"))
+                os.replace(tmp_name, path)
+                return
+            except FileNotFoundError:
+                if attempt == 3:
+                    raise
+            except BaseException:
+                if tmp_name is not None:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                raise
 
     def contains(self, digest: str) -> bool:
         return self._path(digest).exists()
@@ -143,50 +209,82 @@ class ResultCache:
             return []
         return sorted(self.root.glob("*/*.json"))
 
+    def tmp_orphans(self) -> list[pathlib.Path]:
+        """Leftover ``*.tmp`` files from writers that died mid-``put``."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.tmp"))
+
     def inventory(self) -> dict[str, Any]:
-        """Entry count, total bytes, per-salt breakdown, and the simulated
-        volume banked under the current salt.
+        """Entry count, total bytes, per-salt breakdown, orphaned tmp
+        files, and the simulated volume banked under the current salt.
 
         ``sim_seconds``/``sim_cycles``/``sim_instructions`` sum the
         original worker wall-clock and the (schema >= 4) top-level
         cycle/instruction counts of every current-salt entry, so campaign
         throughput (cycles/s) is derivable straight from the cache.
+
+        Safe against concurrent maintenance: entries removed by another
+        process mid-scan are skipped, not raised.
         """
         salts: dict[str, int] = {}
         total_bytes = 0
         sim_seconds = sim_cycles = 0.0
         sim_instructions = 0
+        scanned = 0
         current = code_salt()
-        paths = self.entries()
-        for path in paths:
-            total_bytes += path.stat().st_size
+        for path in self.entries():
             try:
+                size = path.stat().st_size
                 with path.open("r", encoding="utf-8") as handle:
                     entry = json.load(handle)
                 salt = entry.get("salt", "?")
+            except FileNotFoundError:
+                continue            # vanished under a concurrent gc
             except (OSError, ValueError):
                 salt = "?"
                 entry = {}
+                size = 0
+            scanned += 1
+            total_bytes += size
             salts[salt] = salts.get(salt, 0) + 1
             if salt == current:
                 payload = entry.get("payload") or {}
                 sim_seconds += payload.get("wall_clock", 0.0)
                 sim_cycles += payload.get("cycles", 0.0)
                 sim_instructions += int(payload.get("instructions", 0))
+        tmp_bytes = 0
+        orphans = self.tmp_orphans()
+        for path in orphans:
+            try:
+                tmp_bytes += path.stat().st_size
+            except OSError:
+                continue
         return {
             "root": str(self.root),
-            "entries": len(paths),
+            "entries": scanned,
             "bytes": total_bytes,
             "salts": salts,
             "current_salt": current,
+            "tmp_orphans": len(orphans),
+            "tmp_bytes": tmp_bytes,
             "sim_seconds": sim_seconds,
             "sim_cycles": sim_cycles,
             "sim_instructions": sim_instructions,
         }
 
-    def gc(self, all_entries: bool = False) -> int:
+    def gc(self, all_entries: bool = False,
+           tmp_max_age: float = TMP_MAX_AGE) -> int:
         """Remove stale entries (different code salt), or everything with
-        ``all_entries``; returns the number of files removed."""
+        ``all_entries``, plus orphaned ``*.tmp`` files older than
+        ``tmp_max_age`` seconds; returns the number of files removed.
+
+        Holds the advisory maintenance lock, so concurrent sweepers from
+        other processes serialize instead of double-counting."""
+        with self.locked():
+            return self._gc_locked(all_entries, tmp_max_age)
+
+    def _gc_locked(self, all_entries: bool, tmp_max_age: float) -> int:
         current = code_salt()
         removed = 0
         for path in self.entries():
@@ -194,13 +292,91 @@ class ResultCache:
                 try:
                     with path.open("r", encoding="utf-8") as handle:
                         salt = json.load(handle).get("salt")
+                except FileNotFoundError:
+                    continue        # vanished under a concurrent writer
                 except (OSError, ValueError):
                     salt = None
                 if salt == current:
                     continue
-            path.unlink(missing_ok=True)
-            removed += 1
-        for shard in self.root.glob("*"):
-            if shard.is_dir() and not any(shard.iterdir()):
-                shard.rmdir()
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                continue
+        now = time.time()
+        for path in self.tmp_orphans():
+            try:
+                if now - path.stat().st_mtime < tmp_max_age:
+                    continue        # a live writer is mid-put
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        self._drop_empty_shards()
         return removed
+
+    def evict(self, max_bytes: int) -> dict[str, Any]:
+        """Shard-level eviction: drop whole shards, oldest first, until
+        the cache fits in ``max_bytes``.
+
+        Shard age is the newest entry mtime it contains, so recently
+        written/refreshed shards survive. The scan integrity-checks every
+        entry (parseable, digest matches filename) and removes corrupt
+        ones outright — they can never be served anyway. Runs under the
+        advisory maintenance lock."""
+        with self.locked():
+            shards: list[tuple[float, int, pathlib.Path, list]] = []
+            corrupt_removed = 0
+            for shard in sorted(self.root.glob("*")):
+                if not shard.is_dir():
+                    continue
+                newest = 0.0
+                size = 0
+                files = []
+                for path in sorted(shard.glob("*.json")):
+                    try:
+                        stat = path.stat()
+                        with path.open("r", encoding="utf-8") as handle:
+                            if json.load(handle).get("digest") != path.stem:
+                                raise ValueError("digest mismatch")
+                    except FileNotFoundError:
+                        continue
+                    except (OSError, ValueError):
+                        path.unlink(missing_ok=True)
+                        corrupt_removed += 1
+                        continue
+                    newest = max(newest, stat.st_mtime)
+                    size += stat.st_size
+                    files.append(path)
+                shards.append((newest, size, shard, files))
+
+            total = sum(size for _, size, _, _ in shards)
+            evicted_shards = removed_entries = removed_bytes = 0
+            for newest, size, shard, files in sorted(shards):
+                if total <= max_bytes:
+                    break
+                if not files:
+                    continue
+                for path in files:
+                    path.unlink(missing_ok=True)
+                    removed_entries += 1
+                total -= size
+                removed_bytes += size
+                evicted_shards += 1
+            self._drop_empty_shards()
+            return {
+                "max_bytes": max_bytes,
+                "bytes": total,
+                "evicted_shards": evicted_shards,
+                "removed_entries": removed_entries,
+                "removed_bytes": removed_bytes,
+                "corrupt_removed": corrupt_removed,
+            }
+
+    def _drop_empty_shards(self) -> None:
+        for shard in self.root.glob("*"):
+            try:
+                if shard.is_dir() and not any(shard.iterdir()):
+                    shard.rmdir()
+            except OSError:
+                continue            # a concurrent writer refilled it

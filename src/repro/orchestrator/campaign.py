@@ -4,8 +4,13 @@ A :class:`Campaign` collects :class:`SimPoint`\\ s, resolves as many as it
 can from the content-addressed :class:`ResultCache`, fans the misses out
 across a ``ProcessPoolExecutor``, and returns results in submission order
 regardless of completion order. Worker failures are retried a bounded
-number of times; per-point timeouts bound how long the collector waits on
-any single point.
+number of times.
+
+Per-point timeouts are real deadlines: at most ``jobs`` points are
+outstanding at once, each point's clock starts when it is handed to the
+pool (not when the collector gets around to it), and a worker that blows
+its deadline is killed and its pool slot reclaimed — one wedged point can
+neither inflate later points' budgets nor permanently occupy a worker.
 
 Telemetry (points done, cache hits/misses, retries, worker busy-time) is
 kept up to date as points complete and handed to an optional progress
@@ -15,8 +20,14 @@ callback after every point.
 from __future__ import annotations
 
 import time
-from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -91,6 +102,7 @@ class CampaignTelemetry:
     simulated: int = 0
     failures: int = 0               # points that exhausted their retries
     retries: int = 0                # extra attempts after a failure
+    timeouts: int = 0               # attempts that blew their deadline
     jobs: int = 1
     busy_seconds: float = 0.0       # summed worker simulation time
     # pid -> number of `repro` imports that worker performed (via its
@@ -118,6 +130,7 @@ class CampaignTelemetry:
             "simulated": self.simulated,
             "failures": self.failures,
             "retries": self.retries,
+            "timeouts": self.timeouts,
             "jobs": self.jobs,
             "busy_seconds": self.busy_seconds,
             "worker_imports": {str(pid): count for pid, count
@@ -212,7 +225,10 @@ class Campaign:
                 misses.append(index)
 
         if misses:
-            if self.jobs == 1:
+            # A timeout needs a worker process to kill: in-process serial
+            # execution cannot interrupt a wedged simulation, so a
+            # jobs=1 campaign with a deadline runs on a 1-worker pool.
+            if self.jobs == 1 and self.timeout is None:
                 self._run_serial(misses, results)
             else:
                 self._run_pool(misses, results)
@@ -329,76 +345,139 @@ class Campaign:
 
     def _run_pool(self, misses: list[int],
                   results: list[PointResult | None]) -> None:
-        pool = self._make_pool(misses)
-        futures: dict[int, Future] = {}
-        attempts: dict[int, int] = {}
-        try:
-            for index in misses:
-                futures[index] = pool.submit(
-                    run_point_payload, self.points[index], self.sanitize,
-                    self.trace_dir)
-                attempts[index] = 1
+        """Completion-order collection over a bounded in-flight window.
 
-            # Collect in submission order so retries keep deterministic
-            # result ordering; out-of-order completions simply wait ready.
-            queue = list(misses)
-            position = 0
-            while position < len(queue):
-                index = queue[position]
-                point = self.points[index]
-                future = futures[index]
-                try:
-                    payload = future.result(timeout=self.timeout)
-                except FutureTimeoutError:
-                    future.cancel()
-                    result, pool = self._handle_failure(
-                        pool, futures, attempts, index,
-                        f"timeout after {self.timeout}s")
-                except BrokenExecutor as exc:
-                    # The pool is dead (worker OOM/segfault): rebuild it and
-                    # resubmit every unfinished point before retrying.
-                    pool = self._rebuild_pool(pool, futures, queue, position)
-                    result, pool = self._handle_failure(
-                        pool, futures, attempts, index, repr(exc))
-                except Exception as exc:  # noqa: BLE001 — worker raised
-                    result, pool = self._handle_failure(
-                        pool, futures, attempts, index, repr(exc))
-                else:
-                    result = self._result_from_payload(
-                        index, point, payload, attempts[index])
-                if result is None:
-                    continue      # retrying this index; don't advance
-                results[index] = result
-                self._account(result)
-                position += 1
+        At most ``jobs`` points are outstanding, so a submitted point is
+        (modulo executor hand-off) a *running* point and its deadline can
+        honestly start at submission. Results land in ``results`` by
+        index, so the caller still observes submission order.
+        """
+        pool = self._make_pool(misses)
+        waiting: deque[int] = deque(misses)      # not yet (re)submitted
+        inflight: dict[Future, int] = {}
+        deadlines: dict[int, float] = {}
+        attempts: dict[int, int] = dict.fromkeys(misses, 0)
+        try:
+            while waiting or inflight:
+                while waiting and len(inflight) < self.jobs:
+                    index = waiting.popleft()
+                    attempts[index] += 1
+                    future = pool.submit(
+                        run_point_payload, self.points[index],
+                        self.sanitize, self.trace_dir)
+                    inflight[future] = index
+                    if self.timeout is not None:
+                        deadlines[index] = time.monotonic() + self.timeout
+                budget = None
+                if deadlines:
+                    budget = max(0.0, min(deadlines[i] for i in
+                                          inflight.values())
+                                 - time.monotonic())
+                done, _ = wait(set(inflight), timeout=budget,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = inflight.pop(future, None)
+                    if index is None:
+                        # A sibling's BrokenExecutor already recycled this
+                        # point onto the fresh pool.
+                        continue
+                    deadlines.pop(index, None)
+                    try:
+                        payload = future.result()
+                    except BrokenExecutor as exc:
+                        # The pool is dead (worker OOM/segfault): every
+                        # sibling future broke with it, so recycle them
+                        # all onto a fresh pool; only this point is
+                        # charged an attempt.
+                        pool = self._recycle_pool(
+                            pool, inflight, deadlines, waiting, attempts,
+                            kill=False)
+                        self._finish_failure(waiting, attempts, results,
+                                             index, repr(exc))
+                    except Exception as exc:  # noqa: BLE001 — worker raised
+                        self._finish_failure(waiting, attempts, results,
+                                             index, repr(exc))
+                    else:
+                        result = self._result_from_payload(
+                            index, self.points[index], payload,
+                            attempts[index])
+                        results[index] = result
+                        self._account(result)
+                if self.timeout is not None:
+                    pool = self._expire_deadlines(
+                        pool, inflight, deadlines, waiting, attempts,
+                        results)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
 
-    def _handle_failure(self, pool: ProcessPoolExecutor,
-                        futures: dict[int, Future],
-                        attempts: dict[int, int], index: int,
-                        error: str):
-        """Retry ``index`` if budget remains (returns ``(None, pool)``), or
-        produce its failed :class:`PointResult`."""
-        if attempts[index] <= self.retries:
-            attempts[index] += 1
-            self.telemetry.retries += 1
-            futures[index] = pool.submit(
-                run_point_payload, self.points[index], self.sanitize,
-                    self.trace_dir)
-            return None, pool
-        return PointResult(index=index, point=self.points[index],
-                           attempts=attempts[index], error=error), pool
-
-    def _rebuild_pool(self, pool: ProcessPoolExecutor,
-                      futures: dict[int, Future], queue: list[int],
-                      position: int) -> ProcessPoolExecutor:
-        pool.shutdown(wait=False, cancel_futures=True)
-        pool = self._make_pool(queue[position:])
-        for pending in queue[position + 1:]:
-            if not futures[pending].done() or \
-                    futures[pending].exception() is not None:
-                futures[pending] = pool.submit(
-                    run_point_payload, self.points[pending], self.sanitize,
-                    self.trace_dir)
+    def _expire_deadlines(self, pool: ProcessPoolExecutor,
+                          inflight: dict[Future, int],
+                          deadlines: dict[int, float],
+                          waiting: deque[int],
+                          attempts: dict[int, int],
+                          results: list[PointResult | None]) \
+            -> ProcessPoolExecutor:
+        """Fail/retry every in-flight point past its deadline and reclaim
+        the pool slots their workers occupy."""
+        now = time.monotonic()
+        expired = [(future, index) for future, index in inflight.items()
+                   if deadlines.get(index, now + 1.0) <= now]
+        if not expired:
+            return pool
+        must_kill = False
+        for future, index in expired:
+            del inflight[future]
+            del deadlines[index]
+            self.telemetry.timeouts += 1
+            # A future the executor has not started yet cancels cleanly;
+            # a running worker must be killed or it keeps the slot.
+            if not future.cancel():
+                must_kill = True
+            self._finish_failure(
+                waiting, attempts, results, index,
+                f"deadline exceeded ({self.timeout}s)")
+        if must_kill:
+            pool = self._recycle_pool(pool, inflight, deadlines, waiting,
+                                      attempts, kill=True)
         return pool
+
+    def _finish_failure(self, waiting: deque[int],
+                        attempts: dict[int, int],
+                        results: list[PointResult | None], index: int,
+                        error: str) -> None:
+        """Requeue ``index`` (front of the line) if retry budget remains,
+        else record its failed :class:`PointResult`."""
+        if attempts[index] <= self.retries:
+            self.telemetry.retries += 1
+            waiting.appendleft(index)
+            return
+        result = PointResult(index=index, point=self.points[index],
+                             attempts=attempts[index], error=error)
+        results[index] = result
+        self._account(result)
+
+    def _recycle_pool(self, pool: ProcessPoolExecutor,
+                      inflight: dict[Future, int],
+                      deadlines: dict[int, float], waiting: deque[int],
+                      attempts: dict[int, int],
+                      kill: bool) -> ProcessPoolExecutor:
+        """Replace a dead (or deliberately killed) pool.
+
+        Surviving in-flight points go back to the front of the waiting
+        queue with their submission-time attempt refunded — the pool's
+        death was not their failure, and resubmission charges them again.
+        With ``kill``, worker processes are terminated first so a wedged
+        simulation actually releases its slot."""
+        if kill:
+            for process in getattr(pool, "_processes", {}).values():
+                try:
+                    process.terminate()
+                except OSError:  # pragma: no cover — already reaped
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+        for index in sorted(inflight.values(), reverse=True):
+            attempts[index] -= 1
+            waiting.appendleft(index)
+        inflight.clear()
+        deadlines.clear()
+        return self._make_pool(list(waiting))

@@ -77,6 +77,40 @@ def profile_from_dict(data: dict[str, Any]) -> WorkloadProfile:
 
 
 # ---------------------------------------------------------------------------
+# Simulation points (the campaign service's wire format)
+# ---------------------------------------------------------------------------
+
+def point_to_dict(point: SimPoint) -> dict[str, Any]:
+    """Wire form of a :class:`SimPoint` — full profile and config, so a
+    service submission pins down exactly the run the client meant."""
+    return {
+        "profile": profile_to_dict(point.profile),
+        "scheme": point.scheme,
+        "config": config_to_dict(point.config),
+        "length": point.length,
+        "warmup": point.warmup,
+        "seed": point.seed,
+        "track_values": point.track_values,
+        "capture_persist_log": point.capture_persist_log,
+        "label": point.label,
+    }
+
+
+def point_from_dict(data: dict[str, Any]) -> SimPoint:
+    return SimPoint(
+        profile=profile_from_dict(data["profile"]),
+        scheme=data["scheme"],
+        config=config_from_dict(data["config"]),
+        length=data["length"],
+        warmup=data["warmup"],
+        seed=data.get("seed", 0),
+        track_values=data.get("track_values", False),
+        capture_persist_log=data.get("capture_persist_log", False),
+        label=data.get("label", ""),
+    )
+
+
+# ---------------------------------------------------------------------------
 # Persist logs
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,34 @@
+"""The campaign service: a long-lived multi-tenant simulation daemon.
+
+``repro.service`` promotes the single-shot :class:`repro.orchestrator
+.Campaign` into an asyncio daemon: many tenants submit campaigns
+concurrently over a local-socket (or localhost TCP) HTTP/JSON API, a fair
+round-robin scheduler multiplexes their points over one shared
+process-pool worker fleet under per-tenant quotas, per-point progress
+streams back as events, and the content-addressed ``.simcache`` fronts it
+all as a concurrency-safe L2 with single-flight deduplication — two
+tenants asking for the same point trigger exactly one simulation.
+
+Entry points::
+
+    python -m repro.service serve --workers 4          # run the daemon
+    python -m repro.service submit fig16 --tenant a --wait
+    python -m repro.service status
+
+or programmatically via :class:`repro.service.client.ServiceClient` and
+:func:`repro.service.server.serve_background` (tests, embedding).
+"""
+
+from repro.service.scheduler import CampaignJob, FleetScheduler, TenantState
+from repro.service.server import ServiceServer, serve_background
+from repro.service.client import ServiceClient, default_socket_path
+
+__all__ = [
+    "CampaignJob",
+    "FleetScheduler",
+    "TenantState",
+    "ServiceServer",
+    "ServiceClient",
+    "default_socket_path",
+    "serve_background",
+]

@@ -1,0 +1,191 @@
+"""Synchronous client for the campaign service.
+
+Stdlib-only: raw sockets speaking the daemon's one-request-per-connection
+HTTP/1.1 dialect, over a Unix domain socket or localhost TCP. Streaming
+endpoints (``.../events``) yield decoded NDJSON objects until the server
+closes the connection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+from typing import Any, Iterator
+
+ENV_SERVICE_SOCKET = "REPRO_SERVICE_SOCKET"
+
+
+def default_socket_path() -> str:
+    """``$REPRO_SERVICE_SOCKET`` if set, else a per-user path under the
+    system temp dir (kept short: Unix socket paths cap at ~100 chars)."""
+    env = os.environ.get(ENV_SERVICE_SOCKET)
+    if env:
+        return env
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return os.path.join(tempfile.gettempdir(), f"repro-service-{uid}.sock")
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one campaign daemon."""
+
+    def __init__(self, socket_path: str | None = None,
+                 host: str = "127.0.0.1", port: int | None = None,
+                 timeout: float = 300.0) -> None:
+        if socket_path is None and port is None:
+            socket_path = default_socket_path()
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        return sock
+
+    def _send(self, sock: socket.socket, method: str, path: str,
+              body: dict[str, Any] | None) -> None:
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body, allow_nan=False).encode()
+        host = self.host if self.socket_path is None else "localhost"
+        request = (f"{method} {path} HTTP/1.1\r\n"
+                   f"Host: {host}\r\n"
+                   f"Content-Type: application/json\r\n"
+                   f"Content-Length: {len(payload)}\r\n"
+                   f"Connection: close\r\n\r\n").encode() + payload
+        sock.sendall(request)
+
+    @staticmethod
+    def _read_head(handle) -> tuple[int, dict[str, str]]:
+        status_line = handle.readline().decode("latin-1").strip()
+        if not status_line.startswith("HTTP/"):
+            raise ServiceError(0, f"bad status line {status_line!r}")
+        status = int(status_line.split(" ", 2)[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = handle.readline().decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    def request(self, method: str, path: str,
+                body: dict[str, Any] | None = None) -> dict[str, Any]:
+        """One round trip; raises :class:`ServiceError` on 4xx/5xx."""
+        with self._connect() as sock:
+            self._send(sock, method, path, body)
+            with sock.makefile("rb") as handle:
+                status, headers = self._read_head(handle)
+                length = int(headers.get("content-length", 0))
+                raw = handle.read(length) if length else handle.read()
+                document = json.loads(raw) if raw else {}
+        if status >= 400:
+            raise ServiceError(status,
+                               document.get("error", "unknown error"))
+        return document
+
+    def stream(self, path: str) -> Iterator[dict[str, Any]]:
+        """Yield NDJSON objects from a streaming endpoint until EOF."""
+        with self._connect() as sock:
+            self._send(sock, "GET", path, None)
+            with sock.makefile("rb") as handle:
+                status, _headers = self._read_head(handle)
+                if status >= 400:
+                    raw = handle.read()
+                    message = "stream refused"
+                    if raw:
+                        try:
+                            message = json.loads(raw).get("error", message)
+                        except ValueError:
+                            pass
+                    raise ServiceError(status, message)
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self.request("GET", "/healthz")
+
+    def status(self) -> dict[str, Any]:
+        return self.request("GET", "/v1/status")
+
+    def submit(self, tenant: str, sweep: str | None = None,
+               apps: list[str] | None = None, length: int | None = None,
+               matrix: dict[str, Any] | None = None,
+               points: list[dict[str, Any]] | None = None,
+               quota: int | None = None,
+               label: str | None = None) -> dict[str, Any]:
+        body: dict[str, Any] = {"tenant": tenant}
+        if sweep is not None:
+            body["sweep"] = sweep
+        if apps is not None:
+            body["apps"] = list(apps)
+        if length is not None:
+            body["length"] = length
+        if matrix is not None:
+            body["matrix"] = matrix
+        if points is not None:
+            body["points"] = points
+        if quota is not None:
+            body["quota"] = quota
+        if label is not None:
+            body["label"] = label
+        return self.request("POST", "/v1/campaigns", body)
+
+    def campaign(self, job_id: str) -> dict[str, Any]:
+        return self.request("GET", f"/v1/campaigns/{job_id}")
+
+    def results(self, job_id: str,
+                include_stats: bool = False) -> dict[str, Any]:
+        suffix = "?stats=1" if include_stats else ""
+        return self.request("GET", f"/v1/campaigns/{job_id}/results"
+                            + suffix)
+
+    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
+        return self.stream(f"/v1/campaigns/{job_id}/events")
+
+    def drop(self, job_id: str) -> dict[str, Any]:
+        return self.request("DELETE", f"/v1/campaigns/{job_id}")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("POST", "/v1/shutdown")
+
+    def wait(self, job_id: str, timeout: float | None = None) \
+            -> dict[str, Any]:
+        """Block until the campaign finishes (following its event stream);
+        returns the final campaign snapshot."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for event in self.events(job_id):
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"campaign {job_id} still running "
+                                   f"after {timeout}s")
+            if event.get("type") == "campaign":
+                break
+        return self.campaign(job_id)

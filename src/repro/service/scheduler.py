@@ -1,0 +1,538 @@
+"""Fair multi-tenant scheduling over one shared worker fleet.
+
+The :class:`FleetScheduler` owns the daemon's process pool and the L2
+result cache. Tenants submit campaigns (lists of :class:`SimPoint`\\ s);
+their points queue per tenant, and a single dispatch loop hands them to
+the pool in strict round-robin order across tenants — a tenant that
+submits 10,000 points cannot starve one that submits 10 — bounded by a
+per-tenant in-flight quota.
+
+Every point passes through three tiers:
+
+1. **L2 probe** — the content-addressed :class:`ResultCache`; a hit costs
+   no worker slot at all.
+2. **Single-flight** — a digest already being simulated (by *any*
+   tenant) is joined, not re-run; followers wait on the leader's future
+   and the simulation happens exactly once.
+3. **Simulate** — a pool worker runs the point under a per-point
+   deadline measured from dispatch; a worker that blows its deadline is
+   killed and the fleet rebuilt so the slot comes back.
+
+Per-tenant counters (submitted/hits/simulated/deduped/failures/…) live
+in a :class:`repro.telemetry.metrics.MetricsRegistry` and surface through
+the service status API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import time
+from collections import deque
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.config import sanitize_requested
+from repro.telemetry.metrics import MetricsRegistry
+
+from repro.orchestrator.cache import ResultCache, point_digest
+from repro.orchestrator.execute import run_point_payload, worker_init
+from repro.orchestrator.points import SimPoint
+
+# How many times a point may be bounced by a *pool* death (another
+# point's kill, a worker OOM) without being charged a retry of its own.
+POOL_BOUNCE_BUDGET = 3
+
+
+@dataclass
+class PointTask:
+    """One schedulable unit: a campaign point plus its cache digest."""
+
+    job: "CampaignJob"
+    index: int
+    point: SimPoint
+    digest: str
+    attempts: int = 0
+    bounces: int = 0
+
+
+@dataclass
+class TenantState:
+    """One tenant's queue, quota, and live accounting."""
+
+    name: str
+    quota: int
+    queue: deque[PointTask] = field(default_factory=deque)
+    inflight: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "quota": self.quota,
+                "queued": len(self.queue), "inflight": self.inflight}
+
+
+class CampaignJob:
+    """One submitted campaign: points, per-point outcomes, event stream."""
+
+    def __init__(self, job_id: str, tenant: str, points: list[SimPoint],
+                 meta: dict[str, Any]) -> None:
+        self.id = job_id
+        self.tenant = tenant
+        self.points = points
+        self.meta = meta                      # sweep name/apps/... echo
+        self.state = "queued"
+        self.created_at = time.time()
+        self.finished_at: float | None = None
+        self.done = 0
+        self.hits = 0
+        self.simulated = 0
+        self.deduped = 0
+        self.failures = 0
+        # index -> worker payload (the cache/worker wire form); outcomes
+        # carry the light per-point digest for status/results endpoints.
+        self.payloads: dict[int, dict[str, Any]] = {}
+        self.outcomes: list[dict[str, Any] | None] = [None] * len(points)
+        self.events: list[dict[str, Any]] = []
+        self._event_cond = asyncio.Condition()
+        self.finished = asyncio.Event()
+
+    @property
+    def total(self) -> int:
+        return len(self.points)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "total": self.total,
+            "done": self.done,
+            "cache_hits": self.hits,
+            "simulated": self.simulated,
+            "deduped": self.deduped,
+            "failures": self.failures,
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+            "meta": self.meta,
+        }
+
+    async def record(self, event: dict[str, Any]) -> None:
+        """Append one progress event and wake streaming readers."""
+        async with self._event_cond:
+            self.events.append(event)
+            self._event_cond.notify_all()
+
+    async def events_since(self, cursor: int) -> list[dict[str, Any]]:
+        """Events past ``cursor``, waiting until at least one exists or
+        the campaign is finished."""
+        async with self._event_cond:
+            while cursor >= len(self.events) and not self.finished.is_set():
+                try:
+                    await asyncio.wait_for(self._event_cond.wait(), 0.5)
+                except asyncio.TimeoutError:
+                    continue
+            return self.events[cursor:]
+
+
+class FleetScheduler:
+    """Round-robin multiplexer of tenant campaigns onto a process pool."""
+
+    def __init__(self, cache: ResultCache | None, workers: int = 2,
+                 quota: int | None = None, timeout: float | None = None,
+                 retries: int = 1, sanitize: bool | None = None) -> None:
+        self.cache = cache
+        self.workers = max(1, workers)
+        # Per-tenant in-flight cap; by default every tenant may fill the
+        # fleet alone — round-robin dispatch still splits it fairly the
+        # moment a second tenant shows up.
+        self.default_quota = quota if quota is not None else self.workers
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.sanitize = sanitize_requested() if sanitize is None \
+            else sanitize
+        self.metrics = MetricsRegistry()
+        self.tenants: dict[str, TenantState] = {}
+        self.jobs: dict[str, CampaignJob] = {}
+        self._job_ids = itertools.count(1)
+        self._rr = deque()                    # tenant round-robin order
+        self._inflight_digests: dict[str, asyncio.Future] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_generation = 0
+        self._pool_lock: asyncio.Lock | None = None
+        self._wakeup: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._point_tasks: set[asyncio.Task] = set()
+        self.started_at = time.time()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._pool_lock = asyncio.Lock()
+        self._wakeup = asyncio.Event()
+        self._pool = self._make_pool()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        for task in list(self._point_tasks):
+            task.cancel()
+        if self._point_tasks:
+            await asyncio.gather(*self._point_tasks,
+                                 return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        # The daemon holds live client sockets whenever a pool worker is
+        # (re)created, so plain fork would copy those fds into long-lived
+        # workers — the server's close() then never reaches the client
+        # (no FIN while a worker still holds the fd) and event streams
+        # hang until the client's socket timeout. forkserver workers fork
+        # from an exec'd helper that never saw our sockets.
+        context = multiprocessing.get_context("forkserver")
+        # Preload the simulator in the forkserver so each worker fork is
+        # cheap; a no-op once the forkserver is already running.
+        context.set_forkserver_preload(["repro.orchestrator.execute"])
+        return ProcessPoolExecutor(max_workers=self.workers,
+                                   mp_context=context,
+                                   initializer=worker_init)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def tenant(self, name: str, quota: int | None = None) -> TenantState:
+        state = self.tenants.get(name)
+        if state is None:
+            state = self.tenants[name] = TenantState(
+                name=name, quota=quota or self.default_quota)
+            self._rr.append(name)
+        elif quota is not None:
+            state.quota = quota
+        return state
+
+    async def submit(self, tenant_name: str, points: list[SimPoint],
+                     meta: dict[str, Any] | None = None,
+                     quota: int | None = None) -> CampaignJob:
+        """Queue one campaign for ``tenant_name``; returns immediately."""
+        if self._closed:
+            raise RuntimeError("scheduler is shut down")
+        if not points:
+            raise ValueError("a campaign needs at least one point")
+        tenant = self.tenant(tenant_name, quota)
+        job = CampaignJob(f"c{next(self._job_ids):04d}", tenant_name,
+                          points, meta or {})
+        self.jobs[job.id] = job
+        job.state = "running"
+        for index, point in enumerate(points):
+            tenant.queue.append(PointTask(
+                job=job, index=index, point=point,
+                digest=point_digest(point)))
+        self._counter(tenant_name, "submitted_points").inc(len(points))
+        self.metrics.counter("service.campaigns").inc()
+        self._wakeup.set()
+        return job
+
+    def _counter(self, tenant: str, name: str):
+        return self.metrics.counter(f"tenant.{tenant}.{name}")
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _next_task(self) -> tuple[TenantState, PointTask] | None:
+        """Strict round-robin: the first tenant (in rotation order) with
+        queued work and quota headroom; the rotation advances past every
+        tenant inspected, so service alternates under contention."""
+        for _ in range(len(self._rr)):
+            name = self._rr[0]
+            self._rr.rotate(-1)
+            tenant = self.tenants[name]
+            if not tenant.queue:
+                continue
+            if tenant.inflight >= tenant.quota:
+                self._counter(name, "quota_deferred").inc()
+                continue
+            return tenant, tenant.queue.popleft()
+        return None
+
+    def _has_runnable(self) -> bool:
+        return any(t.queue and t.inflight < t.quota
+                   for t in self.tenants.values())
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            picked = self._next_task()
+            if picked is None:
+                quota_blocked = any(t.queue for t in self.tenants.values())
+                if quota_blocked:
+                    self.metrics.counter("service.quota_waits").inc()
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            tenant, task = picked
+            tenant.inflight += 1
+            runner = asyncio.create_task(self._run_point(tenant, task))
+            self._point_tasks.add(runner)
+            runner.add_done_callback(self._point_tasks.discard)
+
+    # ------------------------------------------------------------------
+    # Point execution
+    # ------------------------------------------------------------------
+
+    async def _run_point(self, tenant: TenantState,
+                         task: PointTask) -> None:
+        try:
+            payload, source, wall, error = await self._resolve(tenant, task)
+            await self._finish_point(tenant, task, payload, source, wall,
+                                     error)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — never kill the loop
+            await self._finish_point(tenant, task, None, "fail", 0.0,
+                                     f"internal: {exc!r}")
+        finally:
+            tenant.inflight -= 1
+            self._wakeup.set()
+
+    async def _resolve(self, tenant: TenantState, task: PointTask):
+        """(payload, source, wall_clock, error) for one point, through
+        cache probe -> single-flight join -> pool simulation."""
+        loop = asyncio.get_running_loop()
+        if self.cache is not None:
+            payload = await loop.run_in_executor(None, self.cache.get,
+                                                 task.digest)
+            if payload is not None:
+                self._counter(tenant.name, "cache_hits").inc()
+                return payload, "hit", 0.0, None
+
+        leader = self._inflight_digests.get(task.digest)
+        if leader is not None:
+            # Another tenant (or campaign) is already simulating this
+            # exact point: join it instead of burning a second slot.
+            self._counter(tenant.name, "deduped").inc()
+            self.metrics.counter("service.single_flight_dedup").inc()
+            try:
+                payload = await asyncio.shield(leader)
+            except Exception as exc:  # noqa: BLE001 — leader failed
+                return None, "fail", 0.0, f"single-flight leader: {exc!r}"
+            return payload, "dedup", 0.0, None
+
+        flight: asyncio.Future = loop.create_future()
+        self._inflight_digests[task.digest] = flight
+        try:
+            payload, wall, error = await self._simulate(tenant, task)
+            if payload is not None:
+                if self.cache is not None:
+                    await loop.run_in_executor(
+                        None, self.cache.put, task.digest, payload,
+                        {"point": task.point.name})
+                flight.set_result(payload)
+                return payload, "sim", wall, None
+            flight.set_exception(RuntimeError(error or "failed"))
+            return None, "fail", wall, error
+        finally:
+            self._inflight_digests.pop(task.digest, None)
+            if not flight.done():
+                flight.cancel()               # cancelled mid-simulation
+            elif not flight.cancelled():
+                flight.exception()            # mark retrieved; no GC warning
+
+    async def _simulate(self, tenant: TenantState, task: PointTask):
+        """Run the point on the pool with deadline + bounded retries."""
+        loop = asyncio.get_running_loop()
+        while True:
+            task.attempts += 1
+            generation = self._pool_generation
+            start = time.perf_counter()
+            try:
+                payload = await asyncio.wait_for(
+                    loop.run_in_executor(self._pool, run_point_payload,
+                                         task.point, self.sanitize, None),
+                    timeout=self.timeout)
+            except asyncio.TimeoutError:
+                self.metrics.counter("service.timeouts").inc()
+                self._counter(tenant.name, "timeouts").inc()
+                # The worker is wedged past its deadline: kill the fleet
+                # generation it runs in so the slot comes back.
+                await self._reset_pool(generation)
+                error = f"deadline exceeded ({self.timeout}s)"
+            except BrokenExecutor:
+                # Pool died underneath us (another point's kill, worker
+                # OOM). Not this point's fault: bounce, don't charge.
+                await self._reset_pool(generation)
+                task.attempts -= 1
+                task.bounces += 1
+                if task.bounces <= POOL_BOUNCE_BUDGET:
+                    continue
+                error = "worker fleet kept dying (pool bounce budget)"
+                task.attempts += 1
+            except asyncio.CancelledError:
+                # A pool reset cancels submissions still queued on the
+                # old executor; that surfaces here as CancelledError.
+                # Distinguish it from real task cancellation by the
+                # generation bump and bounce like a BrokenExecutor.
+                if self._closed or generation == self._pool_generation:
+                    raise
+                task.attempts -= 1
+                task.bounces += 1
+                if task.bounces <= POOL_BOUNCE_BUDGET:
+                    continue
+                error = "worker fleet kept dying (pool bounce budget)"
+                task.attempts += 1
+            except Exception as exc:  # noqa: BLE001 — worker raised
+                error = repr(exc)
+            else:
+                payload.pop("worker", None)   # pids are not deterministic
+                self._counter(tenant.name, "simulated").inc()
+                self.metrics.counter("service.simulated").inc()
+                wall = payload.get("wall_clock",
+                                   time.perf_counter() - start)
+                self.metrics.histogram("service.sim_seconds").add(wall)
+                return payload, wall, None
+            if task.attempts <= self.retries:
+                self._counter(tenant.name, "retries").inc()
+                continue
+            self._counter(tenant.name, "failures").inc()
+            return None, time.perf_counter() - start, error
+
+    async def _reset_pool(self, generation: int) -> None:
+        """Kill and replace the worker fleet (once per generation — many
+        tasks observing the same death reset it only once)."""
+        async with self._pool_lock:
+            if generation != self._pool_generation:
+                return                        # a sibling already reset it
+            pool = self._pool
+            for process in getattr(pool, "_processes", {}).values():
+                try:
+                    process.terminate()
+                except OSError:  # pragma: no cover — already reaped
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = self._make_pool()
+            self._pool_generation += 1
+            self.metrics.counter("service.pool_resets").inc()
+
+    async def _finish_point(self, tenant: TenantState, task: PointTask,
+                            payload: dict[str, Any] | None, source: str,
+                            wall: float, error: str | None) -> None:
+        job = task.job
+        outcome = {
+            "index": task.index,
+            "point": task.point.name,
+            "ok": payload is not None,
+            "source": source,                 # hit | sim | dedup | fail
+            "wall_clock": wall,
+            "attempts": task.attempts,
+            "error": error,
+        }
+        if payload is not None:
+            job.payloads[task.index] = payload
+            outcome["cycles"] = payload.get("cycles", 0.0)
+            outcome["instructions"] = payload.get("instructions", 0)
+        job.outcomes[task.index] = outcome
+        job.done += 1
+        if source == "hit":
+            job.hits += 1
+        elif source == "sim":
+            job.simulated += 1
+        elif source == "dedup":
+            job.deduped += 1
+        if payload is None:
+            job.failures += 1
+        self._counter(tenant.name, "done_points").inc()
+        if job.done == job.total:
+            job.state = "failed" if job.failures else "done"
+            job.finished_at = time.time()
+        await job.record({"type": "point", "campaign": job.id,
+                          "tenant": job.tenant, "done": job.done,
+                          "total": job.total, **outcome})
+        if job.done == job.total:
+            await job.record({"type": "campaign", "campaign": job.id,
+                              "tenant": job.tenant, "state": job.state,
+                              **{k: job.to_dict()[k] for k in
+                                 ("cache_hits", "simulated", "deduped",
+                                  "failures")}})
+            job.finished.set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def drop(self, job_id: str) -> bool:
+        """Forget a *finished* campaign (frees its retained payloads)."""
+        job = self.jobs.get(job_id)
+        if job is None or not job.finished.is_set():
+            return False
+        del self.jobs[job_id]
+        return True
+
+    def job_results(self, job: CampaignJob,
+                    include_stats: bool = False) -> dict[str, Any]:
+        """Full results document for one campaign: per-point outcomes,
+        the sweep summary when the submission named one, and (on request)
+        the raw worker payloads so a client can rebuild bit-exact stats."""
+        out: dict[str, Any] = {"campaign": job.to_dict(),
+                               "points": job.outcomes}
+        sweep = job.meta.get("sweep")
+        if sweep is not None and job.finished.is_set() \
+                and not job.failures:
+            out["summary"] = self._summarize(job, sweep)
+        if include_stats:
+            out["payloads"] = {str(index): payload for index, payload
+                               in sorted(job.payloads.items())}
+        return out
+
+    def _summarize(self, job: CampaignJob, sweep: str) \
+            -> list[dict[str, Any]] | None:
+        from repro.orchestrator.campaigns import (
+            summarize_sweep,
+            sweep_spec,
+        )
+        from repro.orchestrator.serialize import stats_from_payload
+
+        class _Row:
+            def __init__(self, point, payload):
+                self.point = point
+                self.stats = stats_from_payload(payload)
+                self.error = None
+
+        try:
+            spec = sweep_spec(sweep,
+                              apps=job.meta.get("apps") or None,
+                              length=job.meta.get("length") or None)
+            rows = [_Row(point, job.payloads[index])
+                    for index, point in enumerate(job.points)]
+            return [{"label": label, "gmean_slowdown": mean}
+                    for label, mean in summarize_sweep(spec, rows)]
+        except (ValueError, KeyError, RuntimeError):
+            return None               # not a stock sweep shape; no summary
+
+    def status(self) -> dict[str, Any]:
+        jobs = sorted(self.jobs.values(), key=lambda j: j.id)
+        return {
+            "uptime": time.time() - self.started_at,
+            "workers": self.workers,
+            "pool_generation": self._pool_generation,
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "sanitize": self.sanitize,
+            "cache_root": (str(self.cache.root)
+                           if self.cache is not None else None),
+            "cache_counters": ({"hits": self.cache.counters.hits,
+                                "misses": self.cache.counters.misses}
+                               if self.cache is not None else None),
+            "tenants": [t.to_dict() for t in self.tenants.values()],
+            "campaigns": [j.to_dict() for j in jobs],
+            "metrics": self.metrics.to_dict(),
+        }

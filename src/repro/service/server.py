@@ -1,0 +1,344 @@
+"""The campaign daemon's HTTP/JSON front door.
+
+A deliberately small HTTP/1.1 server over asyncio streams — stdlib only,
+one request per connection, JSON bodies — listening on a Unix domain
+socket (the default for a local daemon) or localhost TCP.
+
+API (all JSON)::
+
+    GET  /healthz                       liveness + uptime
+    GET  /v1/status                     fleet, tenants, campaigns, metrics
+    POST /v1/campaigns                  submit; body below
+    GET  /v1/campaigns/<id>             one campaign's live snapshot
+    GET  /v1/campaigns/<id>/results     outcomes [+ ?stats=1 payloads]
+    GET  /v1/campaigns/<id>/events      NDJSON progress stream (replays
+                                        history, follows until finished,
+                                        then the connection closes)
+    DELETE /v1/campaigns/<id>           forget a finished campaign
+    POST /v1/shutdown                   graceful stop
+
+Submission body: ``{"tenant": str, "quota"?: int}`` plus exactly one of
+
+* ``{"sweep": "fig15|fig16|fig17|fig18", "apps"?: [...], "length"?: N}``
+* ``{"matrix": {"apps": [...], "schemes": [...], "length"?: N}}``
+* ``{"points": [<serialized SimPoint>, ...]}`` (see
+  :func:`repro.orchestrator.serialize.point_to_dict`)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import threading
+from typing import Any
+
+from repro.orchestrator.campaigns import build_matrix, build_sweep, sweep_spec
+from repro.orchestrator.points import SimPoint
+from repro.orchestrator.serialize import point_from_dict
+
+from repro.service.scheduler import FleetScheduler
+
+MAX_BODY = 64 * 1024 * 1024
+
+
+class ApiError(Exception):
+    """A client error with an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceServer:
+    """Bind the scheduler to a local socket and speak HTTP/JSON."""
+
+    def __init__(self, scheduler: FleetScheduler,
+                 socket_path: str | None = None,
+                 host: str = "127.0.0.1",
+                 port: int | None = None) -> None:
+        if socket_path is None and port is None:
+            raise ValueError("need a unix socket path or a TCP port")
+        self.scheduler = scheduler
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.scheduler.start()
+        if self.socket_path is not None:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self.socket_path)
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=self.socket_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.host, port=self.port)
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve requests until ``POST /v1/shutdown`` (or :meth:`stop`)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._shutdown.wait()
+        await self.scheduler.close()
+        if self.socket_path is not None:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(self.socket_path)
+
+    def stop(self) -> None:
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            method, path, query, body = await self._read_request(reader)
+            await self._route(method, path, query, body, writer)
+        except ApiError as exc:
+            await self._respond(writer, exc.status,
+                                {"error": str(exc)})
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 — one bad request
+            with contextlib.suppress(ConnectionError):
+                await self._respond(writer, 500, {"error": repr(exc)})
+        finally:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise ApiError(400, "empty request")
+        try:
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            raise ApiError(400, f"bad request line: {request_line!r}") \
+                from None
+        path, _, query_string = target.partition("?")
+        query: dict[str, str] = {}
+        for pair in query_string.split("&"):
+            if pair:
+                key, _, value = pair.partition("=")
+                query[key] = value
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > MAX_BODY:
+            raise ApiError(413, "request body too large")
+        body: dict[str, Any] = {}
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                raise ApiError(400, "request body is not JSON") from None
+        return method.upper(), path, query, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       document: Any) -> None:
+        payload = json.dumps(document, allow_nan=False).encode()
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 409: "Conflict",
+                  413: "Payload Too Large",
+                  500: "Internal Server Error"}.get(status, "?")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + payload)
+        await writer.drain()
+
+    async def _stream_headers(self, writer: asyncio.StreamWriter) -> None:
+        # Close-delimited NDJSON: no Content-Length; the stream ends when
+        # the campaign finishes and the server closes the connection.
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    async def _route(self, method: str, path: str, query: dict[str, str],
+                     body: dict[str, Any],
+                     writer: asyncio.StreamWriter) -> None:
+        parts = [p for p in path.split("/") if p]
+        if method == "GET" and path == "/healthz":
+            await self._respond(writer, 200, {
+                "ok": True, "service": "repro.service",
+                "uptime": self.scheduler.status()["uptime"]})
+        elif method == "GET" and path == "/v1/status":
+            await self._respond(writer, 200, self.scheduler.status())
+        elif method == "POST" and path == "/v1/campaigns":
+            await self._submit(body, writer)
+        elif method == "POST" and path == "/v1/shutdown":
+            await self._respond(writer, 200, {"ok": True,
+                                              "stopping": True})
+            self.stop()
+        elif len(parts) == 3 and parts[:2] == ["v1", "campaigns"]:
+            job = self._job(parts[2])
+            if method == "GET":
+                await self._respond(writer, 200, job.to_dict())
+            elif method == "DELETE":
+                if not self.scheduler.drop(job.id):
+                    raise ApiError(409, f"{job.id} is still running")
+                await self._respond(writer, 200, {"ok": True})
+            else:
+                raise ApiError(400, f"unsupported method {method}")
+        elif len(parts) == 4 and parts[:2] == ["v1", "campaigns"] \
+                and parts[3] == "results" and method == "GET":
+            job = self._job(parts[2])
+            await self._respond(writer, 200, self.scheduler.job_results(
+                job, include_stats=query.get("stats") in ("1", "true")))
+        elif len(parts) == 4 and parts[:2] == ["v1", "campaigns"] \
+                and parts[3] == "events" and method == "GET":
+            await self._stream_events(self._job(parts[2]), writer)
+        else:
+            raise ApiError(404, f"no route for {method} {path}")
+
+    def _job(self, job_id: str):
+        job = self.scheduler.jobs.get(job_id)
+        if job is None:
+            raise ApiError(404, f"unknown campaign {job_id!r}")
+        return job
+
+    async def _submit(self, body: dict[str, Any],
+                      writer: asyncio.StreamWriter) -> None:
+        tenant = body.get("tenant")
+        if not tenant or not isinstance(tenant, str):
+            raise ApiError(400, "submission needs a 'tenant' string")
+        points = self._build_points(body)
+        quota = body.get("quota")
+        if quota is not None and (not isinstance(quota, int) or quota < 1):
+            raise ApiError(400, "'quota' must be a positive integer")
+        meta = {key: body[key] for key in
+                ("sweep", "apps", "length", "matrix", "label")
+                if key in body}
+        job = await self.scheduler.submit(tenant, points, meta=meta,
+                                          quota=quota)
+        await self._respond(writer, 202, job.to_dict())
+
+    def _build_points(self, body: dict[str, Any]) -> list[SimPoint]:
+        given = [key for key in ("sweep", "matrix", "points")
+                 if key in body]
+        if len(given) != 1:
+            raise ApiError(
+                400, "submission needs exactly one of 'sweep', 'matrix', "
+                     "or 'points'")
+        try:
+            if "sweep" in body:
+                spec = sweep_spec(body["sweep"],
+                                  apps=body.get("apps"),
+                                  length=body.get("length"))
+                return build_sweep(spec)
+            if "matrix" in body:
+                matrix = body["matrix"]
+                return build_matrix(matrix["apps"], matrix["schemes"],
+                                    length=matrix.get("length", 12_000))
+            return [point_from_dict(data) for data in body["points"]]
+        except ApiError:
+            raise
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ApiError(400, f"bad submission: {exc!r}") from None
+
+    async def _stream_events(self, job, writer) -> None:
+        await self._stream_headers(writer)
+        cursor = 0
+        while True:
+            events = await job.events_since(cursor)
+            for event in events:
+                writer.write(json.dumps(event, allow_nan=False).encode()
+                             + b"\n")
+            await writer.drain()
+            cursor += len(events)
+            if job.finished.is_set() and cursor >= len(job.events):
+                return
+
+
+# ---------------------------------------------------------------------------
+# Embedding helper (tests, notebooks): run the daemon on a background
+# thread with its own event loop, controlled synchronously.
+# ---------------------------------------------------------------------------
+
+class BackgroundService:
+    """Handle for a daemon running on its own thread."""
+
+    def __init__(self, server: ServiceServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def address(self) -> str:
+        return self.server.address
+
+    @property
+    def port(self) -> int | None:
+        return self.server.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._loop.call_soon_threadsafe(self.server.stop)
+        self._thread.join(timeout)
+
+
+def serve_background(scheduler: FleetScheduler,
+                     socket_path: str | None = None,
+                     host: str = "127.0.0.1",
+                     port: int | None = 0,
+                     ready_timeout: float = 30.0) -> BackgroundService:
+    """Start a daemon on a fresh thread + event loop; returns once it is
+    accepting connections (with the resolved address)."""
+    server = ServiceServer(scheduler, socket_path=socket_path, host=host,
+                           port=None if socket_path is not None else port)
+    started = threading.Event()
+    failure: list[BaseException] = []
+    loop = asyncio.new_event_loop()
+
+    def runner() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # noqa: BLE001 — surfaced to caller
+            failure.append(exc)
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_until_complete(server.serve_until_shutdown())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="repro-service",
+                              daemon=True)
+    thread.start()
+    if not started.wait(ready_timeout):
+        raise TimeoutError("service did not start in time")
+    if failure:
+        raise failure[0]
+    return BackgroundService(server, loop, thread)

@@ -181,6 +181,81 @@ class TestParallelCampaign:
         assert warm.telemetry.cache_hits == len(POINTS)
 
 
+def _sleepy_run_point(point, sanitize=False, trace_dir=None):
+    """Stand-in worker: sleeps for the duration encoded in the point's
+    label, then delegates to the real worker. Module-level so the pool
+    can unpickle it by name in forked workers."""
+    import time as _time
+
+    from repro.orchestrator.execute import run_point_payload
+
+    _time.sleep(float(point.label.rsplit("=", 1)[1]))
+    return run_point_payload(point, sanitize, trace_dir)
+
+
+def _timed_point(app: str, seconds: float, seed: int = 0):
+    return make_point(app, "ppa", length=300, warmup=0, seed=seed,
+                      label=f"{app}:sleep={seconds}")
+
+
+class TestPoolDeadlines:
+    """Per-point timeouts are deadlines from submission to the pool, not
+    from whenever the collector gets around to the point — and a worker
+    that blows its deadline is killed so its slot comes back."""
+
+    @pytest.fixture(autouse=True)
+    def _sleepy_workers(self, monkeypatch):
+        import repro.orchestrator.campaign as campaign_module
+
+        monkeypatch.setattr(campaign_module, "run_point_payload",
+                            _sleepy_run_point)
+
+    def test_wedged_point_is_killed_and_slot_reclaimed(self):
+        import time as _time
+
+        campaign = Campaign(cache=None, jobs=1, timeout=1.0, retries=0)
+        campaign.add(_timed_point("gcc", 60.0))       # wedged forever
+        campaign.add(_timed_point("rb", 0.0))
+        start = _time.perf_counter()
+        results = campaign.run()
+        elapsed = _time.perf_counter() - start
+
+        assert results[0].error is not None
+        assert "deadline" in results[0].error
+        assert results[1].ok, "the slot was never reclaimed"
+        assert campaign.telemetry.timeouts == 1
+        assert campaign.telemetry.failures == 1
+        # Nothing ever waits on the 60s sleep: the wedged worker dies at
+        # its 1s deadline and the fast point runs on the fresh pool.
+        assert elapsed < 30.0
+
+    def test_queued_points_get_their_own_budget(self):
+        """With one worker slot, three 0.4s points under a 2s timeout all
+        pass: each deadline starts when the point reaches the pool, so
+        earlier points' runtimes don't eat later points' budgets."""
+        campaign = Campaign(cache=None, jobs=1, timeout=2.0, retries=0)
+        for seed in range(3):
+            campaign.add(_timed_point("rb", 0.4, seed=seed))
+        results = campaign.run()
+        assert all(r.ok for r in results)
+        assert campaign.telemetry.timeouts == 0
+
+    def test_timeout_is_retried_then_reported(self):
+        campaign = Campaign(cache=None, jobs=1, timeout=0.8, retries=1)
+        campaign.add(_timed_point("gcc", 60.0))
+        results = campaign.run()
+        assert results[0].error is not None
+        assert results[0].attempts == 2
+        assert campaign.telemetry.timeouts == 2
+        assert campaign.telemetry.retries == 1
+
+    def test_no_timeout_still_completes(self):
+        campaign = Campaign(cache=None, jobs=2, timeout=None)
+        campaign.add(_timed_point("gcc", 0.0))
+        campaign.add(_timed_point("rb", 0.1))
+        assert all(r.ok for r in campaign.run())
+
+
 class TestTelemetry:
     def test_utilization_and_summary(self, tmp_path):
         campaign = Campaign(cache=ResultCache(tmp_path))
