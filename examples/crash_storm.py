@@ -13,15 +13,24 @@ Run:  python examples/crash_storm.py [--failures N]
 
 import argparse
 import random
+import warnings
 
-from repro import PersistentProcessor, generate_trace, profile_by_name
+from repro import PersistentProcessor, generate_trace, profile_by_name, simulate
 from repro.failure.consistency import verify_recovery, verify_resumption
 
 
 def storm(enforce: bool, failures: int, seed: int = 2023):
-    processor = PersistentProcessor(enforce_store_integrity=enforce)
     trace = generate_trace(profile_by_name("tatp"), length=8_000, seed=7)
-    stats = processor.run(trace)
+    if enforce:
+        result = simulate(trace, scheme="ppa", engine="auto")
+        processor, stats = result.crash_api, result.stats
+    else:
+        # The store-integrity ablation knob lives on the direct processor
+        # API only — the facade always enforces it.
+        processor = PersistentProcessor(enforce_store_integrity=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            stats = processor.run(trace)
     rng = random.Random(seed)
     consistent = resumed = 0
     window_sizes = []

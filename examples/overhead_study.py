@@ -9,14 +9,27 @@ Run:  python examples/overhead_study.py [--all] [--length N]
 """
 
 import argparse
+from functools import lru_cache
 
+from repro import simulate
 from repro.analysis.stats import gmean
-from repro.experiments.runner import run_app, slowdown
+from repro.orchestrator.points import DEFAULT_WARMUP
 from repro.workloads.profiles import ALL_PROFILES, profile_by_name
 
 REPRESENTATIVE = ("gcc", "bzip2", "mcf", "lbm", "libquantum", "namd",
                   "rb", "pc", "water-ns", "lulesh", "xsbench", "sjeng")
 SCHEMES = ("ppa", "capri", "replaycache")
+
+
+@lru_cache(maxsize=None)
+def run(app: str, scheme: str, length: int):
+    return simulate(app, scheme=scheme, engine="auto", length=length,
+                    warmup=DEFAULT_WARMUP).stats
+
+
+def slowdown(app: str, scheme: str, length: int) -> float:
+    return (run(app, scheme, length).cycles
+            / run(app, "baseline", length).cycles)
 
 
 def main() -> None:
@@ -39,7 +52,7 @@ def main() -> None:
         suite = profile_by_name(app).suite
         row = f"{app:14s} {suite:10s}"
         for scheme in SCHEMES:
-            ratio = slowdown(app, scheme, length=args.length)
+            ratio = slowdown(app, scheme, args.length)
             ratios[scheme].append(ratio)
             row += f"{ratio:13.3f}"
         print(row)
@@ -52,8 +65,8 @@ def main() -> None:
     print("\npaper: PPA 1.02x, Capri 1.26x, ReplayCache ~5x")
 
     # Why PPA wins: region length vs the comparators.
-    ppa = run_app("gcc", "ppa", length=args.length)
-    capri = run_app("gcc", "capri", length=args.length)
+    ppa = run("gcc", "ppa", args.length)
+    capri = run("gcc", "capri", args.length)
     print(f"\ngcc region length: PPA {ppa.mean_region_instrs:.0f} "
           f"instructions vs Capri {capri.mean_region_instrs:.0f} "
           "(the paper reports 11x longer regions for PPA)")

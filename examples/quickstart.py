@@ -17,7 +17,7 @@ steps:
 Run:  python examples/quickstart.py
 """
 
-from repro import PersistentProcessor, generate_trace, profile_by_name
+from repro import generate_trace, profile_by_name, simulate
 from repro.core.checkpoint import CheckpointPlan
 from repro.failure.consistency import verify_recovery, verify_resumption
 
@@ -31,9 +31,11 @@ def main() -> None:
     print(f"  stores: {stats_line.store_fraction:.1%}, "
           f"loads: {stats_line.load_fraction:.1%}")
 
-    # 2. Run it under PPA.
-    processor = PersistentProcessor()
-    stats = processor.run(trace)
+    # 2. Run it under PPA through the unified facade; the result bundles
+    # the stats with the crash/recover API used in steps 3-4.
+    result = simulate(trace, scheme="ppa", engine="auto")
+    stats = result.stats
+    processor = result.crash_api
     print(f"\nexecution: {stats.cycles:.0f} cycles, IPC {stats.ipc:.2f}")
     print(f"  dynamic regions: {len(stats.regions)} "
           f"(avg {stats.mean_region_instrs:.0f} instructions, "
@@ -56,14 +58,14 @@ def main() -> None:
           f"(a {plan.capacitor_volume_mm3:.2f} mm^3 supercapacitor)")
 
     # 4. Power returns: replay + resume.
-    result = processor.recover(crash)
-    print(f"\nrecovery: replayed {result.replayed} stores, "
-          f"resuming at pc {result.resume_pc:#x}")
+    recovered = processor.recover(crash)
+    print(f"\nrecovery: replayed {recovered.replayed} stores, "
+          f"resuming at pc {recovered.resume_pc:#x}")
 
     # 5. Verify crash consistency against the reference execution.
-    recovery_ok = verify_recovery(stats, result.nvm_image,
+    recovery_ok = verify_recovery(stats, recovered.nvm_image,
                                   crash.last_committed_seq)
-    resumption_ok = verify_resumption(stats, result.nvm_image,
+    resumption_ok = verify_resumption(stats, recovered.nvm_image,
                                       crash.last_committed_seq)
     print(f"  recovered image consistent:  {bool(recovery_ok)} "
           f"({recovery_ok.checked_addresses} addresses checked)")

@@ -9,13 +9,11 @@ instruction.
 
 Quickstart::
 
-    from repro import PersistentProcessor, generate_trace, profile_by_name
+    import repro
 
-    trace = generate_trace(profile_by_name("gcc"), length=20_000)
-    proc = PersistentProcessor()
-    stats = proc.run(trace)
-    crash = proc.crash_at(stats.cycles / 2)
-    result = proc.recover(crash)
+    result = repro.simulate("gcc", scheme="ppa", engine="auto")
+    crash = result.crash_api.crash_at(result.stats.cycles / 2)
+    recovered = result.crash_api.recover(crash)
 """
 
 from repro.config import (

@@ -1,0 +1,24 @@
+"""Deprecation plumbing for the legacy per-module entry points.
+
+The unified :func:`repro.simulate` facade (PR "simulate(engine=...)")
+replaces the per-module run helpers; the old names remain as thin
+delegates for one release and emit :class:`DeprecationWarning` through
+this helper so the message format stays uniform.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_legacy(old: str, new: str) -> None:
+    """Emit the standard deprecation warning for a legacy entry point.
+
+    ``stacklevel=3`` points the warning at the *caller* of the deprecated
+    delegate (helper -> delegate -> caller), so ``python -W error`` and
+    pytest's warning summary name the site that needs migrating.
+    """
+    warnings.warn(
+        f"{old} is deprecated and will be removed one release after "
+        f"1.0; use {new} instead",
+        DeprecationWarning, stacklevel=3)

@@ -31,6 +31,7 @@ import json
 import pathlib
 import sys
 
+from repro.cli import add_json_flag
 from repro.bench.compare import (
     DEFAULT_THRESHOLD,
     aggregate_instrs_per_sec,
@@ -151,8 +152,7 @@ def main(argv: list[str] | None = None) -> int:
                           "./BENCH_<date>_<shortsha>.json)")
     run.add_argument("--no-artifact", action="store_true",
                      help="measure and print, but write nothing")
-    run.add_argument("--json", action="store_true",
-                     help="emit the full report as JSON on stdout")
+    add_json_flag(run)
     run.set_defaults(func=_cmd_run)
 
     prof = sub.add_parser("profile", help="cProfile one benchmark with "
@@ -166,7 +166,7 @@ def main(argv: list[str] | None = None) -> int:
     prof.add_argument("--no-metrics", action="store_true",
                       help="skip the traced re-run (telemetry metric "
                            "attribution)")
-    prof.add_argument("--json", action="store_true")
+    add_json_flag(prof)
     prof.set_defaults(func=_cmd_profile)
 
     comp = sub.add_parser("compare", help="diff two BENCH artifacts")
@@ -178,7 +178,7 @@ def main(argv: list[str] | None = None) -> int:
                       default=DEFAULT_THRESHOLD,
                       help="relative wall-clock noise threshold "
                            f"(default: {DEFAULT_THRESHOLD})")
-    comp.add_argument("--json", action="store_true")
+    add_json_flag(comp)
     comp.set_defaults(func=_cmd_compare)
 
     gate = sub.add_parser("gate", help="compare and exit nonzero on "
@@ -197,7 +197,7 @@ def main(argv: list[str] | None = None) -> int:
     fid = sub.add_parser("fidelity", help="score the reproduction "
                                           "against the paper's claims")
     fid.add_argument("--tier", default="quick", choices=("quick", "full"))
-    fid.add_argument("--json", action="store_true")
+    add_json_flag(fid)
     fid.add_argument("--markdown", action="store_true",
                      help="render the scoreboard as a markdown table")
     fid.set_defaults(func=_cmd_fidelity)

@@ -46,15 +46,23 @@ def _simulate_benchmark(name: str, description: str,
 
 
 def _campaign_benchmark(name: str, description: str, sweep: str,
-                        apps: tuple[str, ...],
-                        length: int) -> Benchmark:
-    """Orchestrator throughput: an uncached, in-process sweep campaign."""
+                        apps: tuple[str, ...], length: int,
+                        engine: str = "scalar") -> Benchmark:
+    """Orchestrator throughput: an uncached, in-process sweep campaign.
+
+    ``engine`` is pinned (never left to ``REPRO_ENGINE``) so each
+    campaign benchmark measures one engine: the scalar kernel is the
+    reference trajectory, ``engine="batched"`` measures the lockstep
+    cohort kernel on the identical point set — counts must match the
+    scalar run bit-exactly, so the determinism/drift gates apply to the
+    batched engine too."""
 
     def run() -> tuple[float, int]:
         from repro.orchestrator.campaign import Campaign
         from repro.orchestrator.campaigns import build_sweep, sweep_spec
 
-        campaign = Campaign(cache=None, jobs=1, sanitize=False)
+        campaign = Campaign(cache=None, jobs=1, sanitize=False,
+                            engine=engine)
         campaign.extend(build_sweep(
             sweep_spec(sweep, apps=apps, length=length)))
         results = campaign.run()
@@ -132,6 +140,10 @@ def _quick_suite() -> list[Benchmark]:
         _campaign_benchmark(
             "campaign:fig16:rb", "orchestrator PRF sweep throughput",
             sweep="fig16", apps=("rb",), length=4_000),
+        _campaign_benchmark(
+            "campaign:fig16:rb:batched",
+            "same PRF sweep through the batched cohort engine",
+            sweep="fig16", apps=("rb",), length=4_000, engine="batched"),
     ]
 
 
@@ -170,10 +182,33 @@ def _full_suite() -> list[Benchmark]:
     ]
 
 
+def _batched_suite() -> list[Benchmark]:
+    """Scalar-vs-batched engine head-to-head on identical sweeps: the
+    CI engine gate runs this suite and compares the ``:batched``
+    benchmarks against the best committed artifact — a throughput
+    regression in the cohort kernel, or any count divergence from the
+    scalar reference, fails the gate."""
+    return [
+        _campaign_benchmark(
+            "campaign:fig16:rb", "orchestrator PRF sweep throughput",
+            sweep="fig16", apps=("rb",), length=4_000),
+        _campaign_benchmark(
+            "campaign:fig16:rb:batched",
+            "same PRF sweep through the batched cohort engine",
+            sweep="fig16", apps=("rb",), length=4_000, engine="batched"),
+        _campaign_benchmark(
+            "campaign:fig15:4apps:batched",
+            "WPQ sweep, 4 apps, batched cohort engine",
+            sweep="fig15", apps=("rb", "mcf", "lbm", "water-ns"),
+            length=4_000, engine="batched"),
+    ]
+
+
 SUITES: dict[str, Callable[[], list[Benchmark]]] = {
     "smoke": _smoke_suite,
     "quick": _quick_suite,
     "full": _full_suite,
+    "batched": _batched_suite,
 }
 
 

@@ -66,8 +66,15 @@ class PersistentProcessor:
            ``scheme="ppa"``), which returns a :class:`repro.SimResult`
            bundling stats, telemetry, and this crash/recover API.
         """
+        from repro._compat import warn_legacy
+
+        warn_legacy("PersistentProcessor.run()",
+                    'repro.simulate(..., scheme="ppa")')
+        return self._run(trace)
+
+    def _run(self, trace: Trace) -> CoreStats:
         self._trace = trace
-        self.stats = self.core.run(trace)
+        self.stats = self.core._run(trace)
         self._injector = PowerFailureInjector(self.stats, self.core.wb.log)
         return self.stats
 

@@ -1,0 +1,109 @@
+"""The batch planner: partition a point list into lockstep cohorts.
+
+Two points can share a batched-kernel walk when everything *outside* the
+per-lane state is identical: the interned trace (profile, length, seed),
+the persistence scheme, whether the caches start warm, and the cache
+geometry (the memory config minus the NVM device parameters — the only
+part of the hierarchy whose behaviour is timing-dependent). Everything
+else — the full core config, the PPA knobs, and the NVM device config —
+may differ per lane; that is exactly the shape of the paper's design-space
+sweeps, where fig16's 96 points differ only in PRF sizes.
+
+``plan_points`` implements the ``engine`` contract:
+
+* ``"scalar"`` — everything runs on the scalar kernel.
+* ``"auto"`` — batch whenever a cohort of >= 2 compatible points exists;
+  singletons and unbatchable points stay scalar.
+* ``"batched"`` — every batchable point runs the batched kernel, even as
+  a single-lane cohort (this is what ``REPRO_ENGINE=batched`` test runs
+  use to drive the whole suite through the kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.batched import KERNEL_SCHEMES
+from repro.engine.memscript import geometry_key
+
+MIN_AUTO_COHORT = 2
+
+
+def unbatchable_reason(point) -> str | None:
+    """Why ``point`` cannot run on the batched kernel (None = it can)."""
+    if point.scheme not in KERNEL_SCHEMES:
+        return f"scheme {point.scheme!r} has no batched kernel"
+    if point.capture_persist_log:
+        return "persist-log capture needs the scalar write buffer"
+    return None
+
+
+def cohort_key(point) -> tuple:
+    """Grouping key: points with equal keys may share a lockstep walk."""
+    return (point.profile, point.length, point.seed, point.warmup > 0,
+            point.scheme, point.track_values,
+            geometry_key(point.config.memory))
+
+
+@dataclass
+class Cohort:
+    """One lockstep unit: original indices plus their points, in order."""
+
+    indices: list[int]
+    points: list
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass
+class Plan:
+    """How a point list will be executed."""
+
+    engine: str
+    cohorts: list[Cohort] = field(default_factory=list)
+    scalar_indices: list[int] = field(default_factory=list)
+    # index -> why that point stayed scalar (engine choice, incompatibility,
+    # or a cohort too small for "auto").
+    reasons: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def batched_points(self) -> int:
+        return sum(len(c) for c in self.cohorts)
+
+
+def plan_points(points, engine: str) -> Plan:
+    """Partition ``points`` (any SimPoint-shaped sequence) into lockstep
+    cohorts and scalar leftovers under the given engine mode."""
+    plan = Plan(engine=engine)
+    if engine == "scalar":
+        plan.scalar_indices = list(range(len(points)))
+        for index in plan.scalar_indices:
+            plan.reasons[index] = "engine=scalar"
+        return plan
+
+    groups: dict[tuple, Cohort] = {}
+    for index, point in enumerate(points):
+        reason = unbatchable_reason(point)
+        if reason is not None:
+            plan.scalar_indices.append(index)
+            plan.reasons[index] = reason
+            continue
+        key = cohort_key(point)
+        cohort = groups.get(key)
+        if cohort is None:
+            groups[key] = cohort = Cohort(indices=[], points=[])
+        cohort.indices.append(index)
+        cohort.points.append(point)
+
+    minimum = MIN_AUTO_COHORT if engine == "auto" else 1
+    for cohort in groups.values():
+        if len(cohort) >= minimum:
+            plan.cohorts.append(cohort)
+        else:
+            for index in cohort.indices:
+                plan.scalar_indices.append(index)
+                plan.reasons[index] = (
+                    f"cohort of 1 (auto batches >= {MIN_AUTO_COHORT})")
+    plan.scalar_indices.sort()
+    return plan

@@ -22,7 +22,7 @@ from repro.config import skylake_default
 from repro.core.processor import PersistentProcessor
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
-from repro.experiments.runner import slowdown
+from repro.experiments.runner import _slowdown as slowdown
 from repro.failure.consistency import verify_recovery
 from repro.workloads.profiles import profile_by_name
 from repro.workloads.synthetic import generate_trace
@@ -100,7 +100,7 @@ def run_ablation_integrity(app: str = "gcc", length: int = 4_000,
         processor = PersistentProcessor(
             enforce_store_integrity=enforce)
         trace = generate_trace(profile_by_name(app), length=length)
-        stats = processor.run(trace)
+        stats = processor._run(trace)
         corrupted = 0
         for index in range(1, failure_points + 1):
             fail_time = stats.cycles * index / (failure_points + 1)

@@ -15,7 +15,7 @@ from repro.analysis.stats import gmean
 from repro.config import skylake_default
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
-from repro.experiments.runner import run_app
+from repro.experiments.runner import _run_app as run_app
 from repro.memory.hierarchy import MemorySystem
 from repro.persistence.capri import CapriPolicy
 from repro.pipeline.core import OoOCore
@@ -72,7 +72,7 @@ def run_ext_region_length(apps=SWEEP_APPS, length: int = 8_000,
             core = OoOCore(config,
                            CapriPolicy(mean_region_length=mean_length),
                            memory=memory, track_values=False)
-            stats = core.run(trace)
+            stats = core._run(trace)
             ratios.append(stats.cycles / base.cycles)
         mean = gmean(ratios)
         rows.append([mean_length, mean])
@@ -138,7 +138,7 @@ def run_ext_inorder(apps=("gcc", "rb", "xsbench"),
             trace = generator.generate(length)
             core = InOrderCore(config, memory=memory,
                                persistent=persistent)
-            return core.run(trace).cycles
+            return core._run(trace).cycles
 
         ratio = run(True) / run(False)
         rows.append([app, ratio])

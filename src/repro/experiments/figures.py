@@ -17,7 +17,11 @@ from repro.analysis.stats import gmean
 from repro.config import skylake_default
 from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.registry import register
-from repro.experiments.runner import run_app, run_multithreaded, slowdown
+from repro.experiments.runner import (
+    _run_app as run_app,
+    _run_multithreaded as run_multithreaded,
+    _slowdown as slowdown,
+)
 from repro.workloads.profiles import (
     ALL_PROFILES,
     memory_intensive_profiles,

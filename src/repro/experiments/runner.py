@@ -99,7 +99,26 @@ def run_app(profile: WorkloadProfile | str, scheme: str,
             length: int = DEFAULT_LENGTH, warmup: int = DEFAULT_WARMUP,
             seed: int = 0, track_values: bool = False,
             use_cache: bool = True) -> CoreStats:
-    """Simulate one application under one scheme on one configuration."""
+    """Simulate one application under one scheme on one configuration.
+
+    .. deprecated:: kept as a thin delegate — prefer the unified
+       :func:`repro.simulate` facade; campaign-scale sweeps belong in
+       :class:`repro.orchestrator.Campaign`, which memoizes through the
+       same disk cache and batches compatible points.
+    """
+    from repro._compat import warn_legacy
+
+    warn_legacy("repro.experiments.runner.run_app()", "repro.simulate()")
+    return _run_app(profile, scheme, config=config, length=length,
+                    warmup=warmup, seed=seed, track_values=track_values,
+                    use_cache=use_cache)
+
+
+def _run_app(profile: WorkloadProfile | str, scheme: str,
+             config: SystemConfig | None = None,
+             length: int = DEFAULT_LENGTH, warmup: int = DEFAULT_WARMUP,
+             seed: int = 0, track_values: bool = False,
+             use_cache: bool = True) -> CoreStats:
     point = make_point(profile, scheme, config=config, length=length,
                        warmup=warmup, seed=seed, track_values=track_values)
     if not use_cache:
@@ -135,13 +154,31 @@ def slowdown(profile: WorkloadProfile | str, scheme: str,
              baseline_config: SystemConfig | None = None,
              length: int = DEFAULT_LENGTH, warmup: int = DEFAULT_WARMUP,
              seed: int = 0) -> float:
-    """Normalized execution-time ratio of ``scheme`` over ``baseline``."""
-    target = run_app(profile, scheme, config=config, length=length,
+    """Normalized execution-time ratio of ``scheme`` over ``baseline``.
+
+    .. deprecated:: kept as a thin delegate — compute the ratio from two
+       :func:`repro.simulate` results instead.
+    """
+    from repro._compat import warn_legacy
+
+    warn_legacy("repro.experiments.runner.slowdown()", "repro.simulate()")
+    return _slowdown(profile, scheme, baseline=baseline, config=config,
+                     baseline_config=baseline_config, length=length,
                      warmup=warmup, seed=seed)
+
+
+def _slowdown(profile: WorkloadProfile | str, scheme: str,
+              baseline: str = "baseline",
+              config: SystemConfig | None = None,
+              baseline_config: SystemConfig | None = None,
+              length: int = DEFAULT_LENGTH, warmup: int = DEFAULT_WARMUP,
+              seed: int = 0) -> float:
+    target = _run_app(profile, scheme, config=config, length=length,
+                      warmup=warmup, seed=seed)
     if baseline_config is None:
         baseline_config = config
-    ref = run_app(profile, baseline, config=baseline_config, length=length,
-                  warmup=warmup, seed=seed)
+    ref = _run_app(profile, baseline, config=baseline_config, length=length,
+                   warmup=warmup, seed=seed)
     return target.cycles / ref.cycles
 
 
@@ -153,7 +190,26 @@ def run_multithreaded(profile: WorkloadProfile | str, scheme: str,
                       seed: int = 0, use_cache: bool = True):
     """Simulate a multithreaded application; returns the MulticoreStats.
 
-    Imported lazily to keep the single-core path free of the multicore
+    .. deprecated:: kept as a thin delegate — prefer the unified
+       :func:`repro.simulate` facade (``core="multicore"``).
+    """
+    from repro._compat import warn_legacy
+
+    warn_legacy("repro.experiments.runner.run_multithreaded()",
+                'repro.simulate(core="multicore")')
+    return _run_multithreaded(profile, scheme, config=config,
+                              threads=threads, length=length,
+                              warmup=warmup, seed=seed,
+                              use_cache=use_cache)
+
+
+def _run_multithreaded(profile: WorkloadProfile | str, scheme: str,
+                       config: SystemConfig | None = None,
+                       threads: int | None = None,
+                       length: int = DEFAULT_LENGTH,
+                       warmup: int = DEFAULT_WARMUP,
+                       seed: int = 0, use_cache: bool = True):
+    """Imported lazily to keep the single-core path free of the multicore
     machinery. Multicore results stay L1-only: their stats type has no
     serialized form yet.
     """

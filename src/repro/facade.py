@@ -93,11 +93,29 @@ def _scheme_config(config: SystemConfig | None, scheme: str) -> SystemConfig:
 
 
 def _run_ooo(profile, run_trace, scheme, config, length, warmup,
-             seed) -> SimResult:
+             seed, engine) -> SimResult:
     from repro.memory.hierarchy import MemorySystem
     from repro.persistence.catalog import make_policy
     from repro.pipeline.core import OoOCore
 
+    if engine == "batched" and run_trace is None and scheme != "ppa":
+        # A profile run with no crash API can go through the batched
+        # kernel; ``ppa`` stays scalar here because ``result.crash_api``
+        # needs the value-tracking PersistentProcessor. (The kernel
+        # double-checks scheme compatibility and runtime guards itself.)
+        from repro.engine import runtime_scalar_reason
+        from repro.orchestrator.execute import simulate_point
+        from repro.orchestrator.points import make_point
+
+        if runtime_scalar_reason() is None:
+            # track_values=True matches the facade's scalar path, which
+            # runs OoOCore with its value-tracking default — the stats
+            # (store values included) must not depend on the engine.
+            point = make_point(profile=profile, scheme=scheme,
+                               config=config, length=length, warmup=warmup,
+                               seed=seed, track_values=True)
+            stats, _ = simulate_point(point, engine="batched")
+            return SimResult(stats=stats, telemetry=None, crash_api=None)
     if run_trace is None:
         # Profile runs intern the generated trace and clone prewarmed
         # cache state from a shared template — both deterministic, so
@@ -118,11 +136,11 @@ def _run_ooo(profile, run_trace, scheme, config, length, warmup,
         from repro.core.processor import PersistentProcessor
 
         proc = PersistentProcessor(config, memory=memory)
-        stats = proc.run(run_trace)
+        stats = proc._run(run_trace)
         return SimResult(stats=stats, telemetry=proc.tracer,
                          crash_api=proc)
     core = OoOCore(config, make_policy(scheme), memory=memory)
-    stats = core.run(run_trace)
+    stats = core._run(run_trace)
     return SimResult(stats=stats, telemetry=core.tracer, crash_api=None)
 
 
@@ -136,14 +154,14 @@ def _run_inorder(profile, run_trace, scheme, config, length,
         from repro.inorder.processor import InOrderPersistentProcessor
 
         proc = InOrderPersistentProcessor(config)
-        stats = proc.run(run_trace)
+        stats = proc._run(run_trace)
         return SimResult(stats=stats, telemetry=proc.core.tracer,
                          crash_api=proc)
     if scheme == "baseline":
         from repro.inorder.core import InOrderCore
 
         core = InOrderCore(config, persistent=False)
-        stats = core.run(run_trace)
+        stats = core._run(run_trace)
         return SimResult(stats=stats, telemetry=core.tracer,
                          crash_api=None)
     raise ValueError(
@@ -164,7 +182,7 @@ def _run_multicore(profile, scheme, config, length, warmup, seed,
 def simulate(trace_or_profile, *, scheme: str = "ppa", core: str = "ooo",
              config: SystemConfig | None = None, trace: bool = False,
              length: int = 20_000, warmup: int = 1, seed: int = 0,
-             threads: int = 8) -> SimResult:
+             threads: int = 8, engine: str | None = None) -> SimResult:
     """Simulate one workload on one core model under one scheme.
 
     ``trace_or_profile`` is a :class:`~repro.isa.trace.Trace`, a
@@ -174,9 +192,20 @@ def simulate(trace_or_profile, *, scheme: str = "ppa", core: str = "ooo",
     ``baseline`` only), or ``"multicore"`` (Section 7.11, profile input
     only). ``trace=True`` records cycle-level telemetry into
     ``result.telemetry`` without touching the configured environment.
+
+    ``engine`` follows the :mod:`repro.engine` contract (``None`` resolves
+    ``REPRO_ENGINE``, default ``"auto"``): a single facade call batches
+    only under ``engine="batched"`` — ``"auto"`` batches cohorts of >= 2
+    points, which exist on the campaign paths. Batched runs return stats
+    only (no telemetry, no crash API), bit-exact with the scalar kernel;
+    combinations the kernel does not cover (``ppa`` here, the in-order and
+    multicore models, raw ``Trace`` input) run scalar regardless.
     """
     if core not in CORES:
         raise ValueError(f"unknown core {core!r}; options: {list(CORES)}")
+    from repro.engine import resolve_engine
+
+    engine = resolve_engine(engine)
     profile, run_trace = _resolve_profile(trace_or_profile)
     if core == "multicore" and profile is None:
         raise ValueError(
@@ -189,16 +218,16 @@ def simulate(trace_or_profile, *, scheme: str = "ppa", core: str = "ooo",
 
         with tracing(Tracer()):
             return _dispatch(profile, run_trace, scheme, core, config,
-                             length, warmup, seed, threads)
+                             length, warmup, seed, threads, engine)
     return _dispatch(profile, run_trace, scheme, core, config, length,
-                     warmup, seed, threads)
+                     warmup, seed, threads, engine)
 
 
 def _dispatch(profile, run_trace, scheme, core, config, length, warmup,
-              seed, threads) -> SimResult:
+              seed, threads, engine) -> SimResult:
     if core == "ooo":
         return _run_ooo(profile, run_trace, scheme, config, length,
-                        warmup, seed)
+                        warmup, seed, engine)
     if core == "inorder":
         return _run_inorder(profile, run_trace, scheme, config, length,
                             seed)

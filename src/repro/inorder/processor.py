@@ -53,8 +53,15 @@ class InOrderPersistentProcessor:
            returns a :class:`repro.SimResult` bundling stats, telemetry,
            and this crash/recover API.
         """
+        from repro._compat import warn_legacy
+
+        warn_legacy("InOrderPersistentProcessor.run()",
+                    'repro.simulate(core="inorder")')
+        return self._run(trace)
+
+    def _run(self, trace: Trace) -> InOrderStats:
         self._trace = trace
-        self.stats = self.core.run(trace)
+        self.stats = self.core._run(trace)
         self._region_close = {
             r.region_id: r.boundary_time + r.drain_wait
             for r in self.stats.regions

@@ -18,6 +18,8 @@ import argparse
 import json
 import sys
 
+from repro.cli import add_json_flag
+
 
 def _cmd_list(args) -> int:
     from repro.litmus.families import curated_suite
@@ -108,13 +110,13 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="curated litmus programs")
-    p_list.add_argument("--json", action="store_true")
+    add_json_flag(p_list)
     p_list.set_defaults(func=_cmd_list)
 
     p_enum = sub.add_parser(
         "enumerate", help="formal allowed crash states of one program")
     p_enum.add_argument("program")
-    p_enum.add_argument("--json", action="store_true")
+    add_json_flag(p_enum)
     p_enum.set_defaults(func=_cmd_enumerate)
 
     p_run = sub.add_parser("run", help="conformance suite")
@@ -130,7 +132,7 @@ def main(argv=None) -> int:
     p_run.add_argument("--cache-dir", default="",
                        help="orchestrator L2 cache directory")
     p_run.add_argument("--max-interleavings", type=int, default=24)
-    p_run.add_argument("--json", action="store_true")
+    add_json_flag(p_run)
     p_run.add_argument("--verbose", action="store_true",
                        help="list unreached allowed states per check")
     p_run.add_argument("--quiet", action="store_true")

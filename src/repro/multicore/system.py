@@ -29,7 +29,6 @@ from typing import Any
 
 from repro.config import SystemConfig
 from repro.isa.instructions import Opcode
-from repro.memory.hierarchy import MemorySystem
 from repro.memory.nvm import NvmModel
 from repro.persistence.catalog import make_policy, scheme_backend
 from repro.pipeline.core import OoOCore
@@ -140,7 +139,7 @@ class MulticoreSystem:
         core = OoOCore(self.config, make_policy(self.scheme),
                        memory=memory, track_values=track_values,
                        tracer=tracer)
-        return core.run(trace)
+        return core._run(trace)
 
     def run_traces(self, traces, track_values: bool = False
                    ) -> MulticoreStats:

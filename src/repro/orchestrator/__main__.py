@@ -21,6 +21,7 @@ import json
 import pathlib
 import sys
 
+from repro.cli import add_json_flag
 from repro.orchestrator.cache import ResultCache, default_cache_dir
 from repro.orchestrator.campaign import Campaign
 from repro.orchestrator.campaigns import (
@@ -54,7 +55,7 @@ def _make_campaign(args) -> Campaign:
                     retries=args.retries,
                     progress=_progress if args.verbose else None,
                     sanitize=True if args.sanitize else None,
-                    trace_dir=trace_dir)
+                    trace_dir=trace_dir, engine=args.engine)
 
 
 def _cmd_run(args) -> int:
@@ -202,17 +203,19 @@ def main(argv: list[str] | None = None) -> int:
                      help="run simulated points under the persistency "
                           "sanitizer (repro.sanitizer); also enabled by "
                           "REPRO_SANITIZE=1")
+    run.add_argument("--engine", type=str, default=None,
+                     choices=("auto", "scalar", "batched"),
+                     help="simulation engine (default: $REPRO_ENGINE or "
+                          "'auto'; 'auto' batches compatible points into "
+                          "lockstep cohorts)")
     run.add_argument("--verbose", action="store_true",
                      help="print per-point progress lines")
-    run.add_argument("--json", action="store_true",
-                     help="emit machine-readable JSON (per-point results "
-                          "+ campaign telemetry) instead of tables")
+    add_json_flag(run)
     run.set_defaults(func=_cmd_run)
 
     status = sub.add_parser("status", help="show cache inventory")
     status.add_argument("--cache-dir", type=str, default=None)
-    status.add_argument("--json", action="store_true",
-                        help="emit the inventory as JSON")
+    add_json_flag(status)
     status.set_defaults(func=_cmd_status)
 
     gc = sub.add_parser("gc", help="drop stale cache entries")

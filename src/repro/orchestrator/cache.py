@@ -78,10 +78,15 @@ def default_cache_dir() -> pathlib.Path:
     return pathlib.Path.home() / ".cache" / "repro-sim"
 
 
-def point_digest(point: SimPoint, salt: str | None = None) -> str:
-    """Stable content address of one simulation point."""
+def point_digest(point: SimPoint, salt: str | None = None,
+                 engine: str | None = None) -> str:
+    """Stable content address of one simulation point.
+
+    ``engine`` is normally None (results are engine-neutral — the kernels
+    are bit-exact); an engine-drift audit passes the engine it insists on
+    to get a key space disjoint from ordinary campaign entries."""
     material = point_key_material(point, salt if salt is not None
-                                  else code_salt())
+                                  else code_salt(), engine)
     return hashlib.sha256(material.encode()).hexdigest()
 
 
@@ -227,11 +232,14 @@ class ResultCache:
         Safe against concurrent maintenance: entries removed by another
         process mid-scan are skipped, not raised.
         """
+        from repro.orchestrator.serialize import CACHE_SCHEMA_VERSION
+
         salts: dict[str, int] = {}
+        engines: dict[str, int] = {}
         total_bytes = 0
         sim_seconds = sim_cycles = 0.0
         sim_instructions = 0
-        scanned = 0
+        scanned = stale_schema = 0
         current = code_salt()
         for path in self.entries():
             try:
@@ -248,8 +256,15 @@ class ResultCache:
             scanned += 1
             total_bytes += size
             salts[salt] = salts.get(salt, 0) + 1
+            payload = entry.get("payload") or {}
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                # Orphaned pre-v5 (or corrupt) payload: its digest can no
+                # longer be looked up — the key material embeds the
+                # schema — so it only wastes space until ``gc`` runs.
+                stale_schema += 1
             if salt == current:
-                payload = entry.get("payload") or {}
+                engine = payload.get("engine", "scalar")
+                engines[engine] = engines.get(engine, 0) + 1
                 sim_seconds += payload.get("wall_clock", 0.0)
                 sim_cycles += payload.get("cycles", 0.0)
                 sim_instructions += int(payload.get("instructions", 0))
@@ -265,6 +280,8 @@ class ResultCache:
             "entries": scanned,
             "bytes": total_bytes,
             "salts": salts,
+            "engines": engines,
+            "stale_schema": stale_schema,
             "current_salt": current,
             "tmp_orphans": len(orphans),
             "tmp_bytes": tmp_bytes,
@@ -296,6 +313,10 @@ class ResultCache:
                     continue        # vanished under a concurrent writer
                 except (OSError, ValueError):
                     salt = None
+                # Stale-schema payloads (e.g. pre-v5) are always written
+                # under an older code salt — the salt hashes the source
+                # that defines the schema — so the salt sweep reclaims
+                # them; ``inventory`` reports them as ``stale_schema``.
                 if salt == current:
                     continue
             try:

@@ -36,7 +36,11 @@ from repro.memory.writebuffer import PersistOp
 from repro.pipeline.stats import CoreStats
 
 from repro.orchestrator.cache import ResultCache, point_digest
-from repro.orchestrator.execute import run_point_payload, worker_init
+from repro.orchestrator.execute import (
+    run_cohort_payloads,
+    run_point_payload,
+    worker_init,
+)
 from repro.orchestrator.points import SimPoint
 from repro.orchestrator.serialize import (
     persist_log_from_payload,
@@ -61,6 +65,9 @@ class PointResult:
     wall_clock: float = 0.0
     cached_wall_clock: float = 0.0   # original sim time of a cache hit
     attempts: int = 0                # simulation attempts (0 for cache hits)
+    # Which kernel produced the stats ("scalar"/"batched"); cache hits
+    # report the original producer, failures None.
+    engine: str | None = None
     error: str | None = None
     # Worker accounting the payload carried ({"pid", "imports",
     # "preloaded"}); None for cache hits. Stripped from the payload before
@@ -85,6 +92,7 @@ class PointResult:
             "wall_clock": self.wall_clock,
             "cached_wall_clock": self.cached_wall_clock,
             "attempts": self.attempts,
+            "engine": self.engine,
             "error": self.error,
             "cycles": cycles,
             "instructions": instructions,
@@ -103,6 +111,9 @@ class CampaignTelemetry:
     failures: int = 0               # points that exhausted their retries
     retries: int = 0                # extra attempts after a failure
     timeouts: int = 0               # attempts that blew their deadline
+    engine: str = "scalar"          # resolved engine mode for this run
+    cohorts: int = 0                # lockstep cohorts planned (>= 2 lanes)
+    batched_points: int = 0         # points whose result ran batched
     jobs: int = 1
     busy_seconds: float = 0.0       # summed worker simulation time
     # pid -> number of `repro` imports that worker performed (via its
@@ -131,6 +142,9 @@ class CampaignTelemetry:
             "failures": self.failures,
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "engine": self.engine,
+            "cohorts": self.cohorts,
+            "batched_points": self.batched_points,
             "jobs": self.jobs,
             "busy_seconds": self.busy_seconds,
             "worker_imports": {str(pid): count for pid, count
@@ -142,7 +156,9 @@ class CampaignTelemetry:
     def summary_line(self) -> str:
         return (f"{self.done}/{self.total} points, "
                 f"L2 {self.cache_hits} hit / {self.cache_misses} miss, "
-                f"{self.simulated} simulated, {self.retries} retries, "
+                f"{self.simulated} simulated "
+                f"({self.batched_points} batched in {self.cohorts} "
+                f"cohorts), {self.retries} retries, "
                 f"{self.failures} failed, "
                 f"{self.elapsed:.1f}s elapsed, "
                 f"{100.0 * self.worker_utilization:.0f}% "
@@ -164,13 +180,23 @@ class Campaign:
                  progress: ProgressCallback | None = None,
                  fail_fast: bool = False,
                  sanitize: bool | None = None,
-                 trace_dir: str | None = None) -> None:
+                 trace_dir: str | None = None,
+                 engine: str | None = None) -> None:
+        from repro.engine import resolve_engine
+
         self.cache = cache
         self.jobs = max(1, jobs)
         self.timeout = timeout
         self.retries = max(0, retries)
         self.progress = progress
         self.fail_fast = fail_fast
+        # Execution engine (repro.engine contract: None resolves
+        # REPRO_ENGINE, default "auto"). Cache misses are planned into
+        # lockstep cohorts (repro.engine.plan) and each cohort is one
+        # schedulable unit; a failed cohort splits back to scalar
+        # singletons. Sanitized/traced campaigns need the scalar kernel's
+        # instrumentation hooks, so they never plan cohorts.
+        self.engine = resolve_engine(engine)
         # Run every simulated point under the persistency sanitizer
         # (repro.sanitizer); None defers to the REPRO_SANITIZE environment
         # variable. Cached hits are returned as-is — the sanitizer checks
@@ -211,7 +237,8 @@ class Campaign:
     def run(self) -> list[PointResult]:
         """Execute every queued point; results come back in submission
         order with deterministic content (the simulator is seeded)."""
-        telemetry = self.telemetry = CampaignTelemetry(jobs=self.jobs)
+        telemetry = self.telemetry = CampaignTelemetry(jobs=self.jobs,
+                                                       engine=self.engine)
         telemetry.total = len(self.points)
         results: list[PointResult | None] = [None] * len(self.points)
 
@@ -225,15 +252,42 @@ class Campaign:
                 misses.append(index)
 
         if misses:
+            jobs = self._plan_jobs(misses)
             # A timeout needs a worker process to kill: in-process serial
             # execution cannot interrupt a wedged simulation, so a
             # jobs=1 campaign with a deadline runs on a 1-worker pool.
             if self.jobs == 1 and self.timeout is None:
-                self._run_serial(misses, results)
+                self._run_serial(jobs, results)
             else:
-                self._run_pool(misses, results)
+                self._run_pool(misses, jobs, results)
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
+
+    # -- batch planning -------------------------------------------------
+
+    def _plan_jobs(self, misses: list[int]) \
+            -> list[tuple[tuple[int, ...], bool]]:
+        """Partition the missed indices into schedulable jobs: each job is
+        ``(point indices, run_batched)`` — a lockstep cohort or a scalar
+        singleton. A width-1 cohort (only possible under
+        ``engine="batched"``) is demoted to a singleton: per-point
+        execution resolves the engine itself (workers inherit it via
+        :func:`worker_init`), so the point still runs the batched kernel,
+        while keeping the per-point path — with its timeout/retry
+        accounting and test seams — the only way single points execute."""
+        if self.engine == "scalar" or self.sanitize or \
+                self.trace_dir is not None:
+            return [((index,), False) for index in misses]
+        from repro.engine.plan import plan_points
+
+        plan = plan_points([self.points[i] for i in misses], self.engine)
+        jobs = [(tuple(misses[i] for i in cohort.indices), True)
+                for cohort in plan.cohorts if len(cohort.indices) > 1]
+        self.telemetry.cohorts = len(jobs)
+        jobs.extend(((misses[cohort.indices[0]],), False)
+                    for cohort in plan.cohorts if len(cohort.indices) == 1)
+        jobs.extend(((misses[i],), False) for i in plan.scalar_indices)
+        return jobs
 
     # -- cache probe ----------------------------------------------------
 
@@ -250,6 +304,7 @@ class Campaign:
             persist_log=persist_log_from_payload(payload),
             cache_hit=True,
             cached_wall_clock=payload.get("wall_clock", 0.0),
+            engine=payload.get("engine", "scalar"),
         )
 
     def _store(self, point: SimPoint, payload: dict[str, Any]) -> None:
@@ -272,6 +327,8 @@ class Campaign:
             if result.ok:
                 telemetry.simulated += 1
                 telemetry.busy_seconds += result.wall_clock
+                if result.engine == "batched":
+                    telemetry.batched_points += 1
             else:
                 telemetry.failures += 1
         if self.progress is not None:
@@ -294,6 +351,7 @@ class Campaign:
             persist_log=persist_log_from_payload(payload),
             wall_clock=payload.get("wall_clock", 0.0),
             attempts=attempts,
+            engine=payload.get("engine", "scalar"),
             worker=worker,
         )
         self._store(point, payload)
@@ -301,9 +359,42 @@ class Campaign:
 
     # -- serial path ----------------------------------------------------
 
-    def _run_serial(self, misses: list[int],
+    def _run_serial(self, jobs: list[tuple[tuple[int, ...], bool]],
                     results: list[PointResult | None]) -> None:
-        for index in misses:
+        from repro.engine import engine_env
+
+        # Singleton jobs resolve the engine per point (so a width-1
+        # "cohort" under engine="batched" still runs the batched kernel);
+        # in-process that resolution reads the environment, which this
+        # scope pins to the campaign's engine — the serial counterpart of
+        # worker_init's pinning in pool workers.
+        with engine_env(self.engine):
+            self._drain_serial(jobs, results)
+
+    def _drain_serial(self, jobs: list[tuple[tuple[int, ...], bool]],
+                      results: list[PointResult | None]) -> None:
+        pending = deque(jobs)
+        while pending:
+            job, batched = pending.popleft()
+            if batched:
+                try:
+                    payloads = run_cohort_payloads(
+                        [self.points[i] for i in job], self.sanitize,
+                        self.trace_dir)
+                except Exception:  # noqa: BLE001 — split and retry scalar
+                    # The cohort's failure is not any one point's failure:
+                    # re-run each lane as a scalar singleton with its full
+                    # attempt budget.
+                    pending.extendleft(((i,), False)
+                                       for i in reversed(job))
+                    continue
+                for index, payload in zip(job, payloads):
+                    result = self._result_from_payload(
+                        index, self.points[index], payload, 1)
+                    results[index] = result
+                    self._account(result)
+                continue
+            index = job[0]
             point = self.points[index]
             attempts = 0
             while True:
@@ -341,68 +432,86 @@ class Campaign:
     def _make_pool(self, misses: list[int]) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
             max_workers=self.jobs, initializer=worker_init,
-            initargs=(self._preload_specs(misses),))
+            initargs=(self._preload_specs(misses), self.engine))
 
     def _run_pool(self, misses: list[int],
+                  jobs: list[tuple[tuple[int, ...], bool]],
                   results: list[PointResult | None]) -> None:
         """Completion-order collection over a bounded in-flight window.
 
-        At most ``jobs`` points are outstanding, so a submitted point is
-        (modulo executor hand-off) a *running* point and its deadline can
-        honestly start at submission. Results land in ``results`` by
-        index, so the caller still observes submission order.
+        At most ``jobs`` schedulable units are outstanding, so a submitted
+        unit is (modulo executor hand-off) a *running* unit and its
+        deadline can honestly start at submission. A lockstep cohort is
+        one unit: its deadline scales with its lane count, and on any
+        failure (worker exception, blown deadline, dead pool) it splits
+        back into scalar singletons re-queued at the front with the
+        cohort attempt refunded — the cohort's failure is not any one
+        point's failure. Results land in ``results`` by index, so the
+        caller still observes submission order.
         """
         pool = self._make_pool(misses)
-        waiting: deque[int] = deque(misses)      # not yet (re)submitted
-        inflight: dict[Future, int] = {}
-        deadlines: dict[int, float] = {}
+        waiting: deque = deque(jobs)             # not yet (re)submitted
+        inflight: dict[Future, tuple[tuple[int, ...], bool]] = {}
+        deadlines: dict[tuple, float] = {}
         attempts: dict[int, int] = dict.fromkeys(misses, 0)
         try:
             while waiting or inflight:
                 while waiting and len(inflight) < self.jobs:
-                    index = waiting.popleft()
-                    attempts[index] += 1
-                    future = pool.submit(
-                        run_point_payload, self.points[index],
-                        self.sanitize, self.trace_dir)
-                    inflight[future] = index
+                    job = waiting.popleft()
+                    indices, batched = job
+                    for index in indices:
+                        attempts[index] += 1
+                    if batched:
+                        future = pool.submit(
+                            run_cohort_payloads,
+                            [self.points[i] for i in indices],
+                            self.sanitize, self.trace_dir)
+                    else:
+                        future = pool.submit(
+                            run_point_payload, self.points[indices[0]],
+                            self.sanitize, self.trace_dir)
+                    inflight[future] = job
                     if self.timeout is not None:
-                        deadlines[index] = time.monotonic() + self.timeout
+                        deadlines[job] = (time.monotonic()
+                                          + self.timeout * len(indices))
                 budget = None
                 if deadlines:
-                    budget = max(0.0, min(deadlines[i] for i in
+                    budget = max(0.0, min(deadlines[j] for j in
                                           inflight.values())
                                  - time.monotonic())
                 done, _ = wait(set(inflight), timeout=budget,
                                return_when=FIRST_COMPLETED)
                 for future in done:
-                    index = inflight.pop(future, None)
-                    if index is None:
+                    job = inflight.pop(future, None)
+                    if job is None:
                         # A sibling's BrokenExecutor already recycled this
-                        # point onto the fresh pool.
+                        # job onto the fresh pool.
                         continue
-                    deadlines.pop(index, None)
+                    deadlines.pop(job, None)
+                    indices, batched = job
                     try:
                         payload = future.result()
                     except BrokenExecutor as exc:
                         # The pool is dead (worker OOM/segfault): every
                         # sibling future broke with it, so recycle them
-                        # all onto a fresh pool; only this point is
-                        # charged an attempt.
+                        # all onto a fresh pool; only this job is
+                        # charged.
                         pool = self._recycle_pool(
                             pool, inflight, deadlines, waiting, attempts,
                             kill=False)
-                        self._finish_failure(waiting, attempts, results,
-                                             index, repr(exc))
+                        self._fail_job(waiting, attempts, results, job,
+                                       repr(exc))
                     except Exception as exc:  # noqa: BLE001 — worker raised
-                        self._finish_failure(waiting, attempts, results,
-                                             index, repr(exc))
+                        self._fail_job(waiting, attempts, results, job,
+                                       repr(exc))
                     else:
-                        result = self._result_from_payload(
-                            index, self.points[index], payload,
-                            attempts[index])
-                        results[index] = result
-                        self._account(result)
+                        payloads = payload if batched else [payload]
+                        for index, lane_payload in zip(indices, payloads):
+                            result = self._result_from_payload(
+                                index, self.points[index], lane_payload,
+                                attempts[index])
+                            results[index] = result
+                            self._account(result)
                 if self.timeout is not None:
                     pool = self._expire_deadlines(
                         pool, inflight, deadlines, waiting, attempts,
@@ -411,37 +520,52 @@ class Campaign:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def _expire_deadlines(self, pool: ProcessPoolExecutor,
-                          inflight: dict[Future, int],
-                          deadlines: dict[int, float],
-                          waiting: deque[int],
+                          inflight: dict[Future, tuple],
+                          deadlines: dict[tuple, float],
+                          waiting: deque,
                           attempts: dict[int, int],
                           results: list[PointResult | None]) \
             -> ProcessPoolExecutor:
-        """Fail/retry every in-flight point past its deadline and reclaim
+        """Fail/retry every in-flight job past its deadline and reclaim
         the pool slots their workers occupy."""
         now = time.monotonic()
-        expired = [(future, index) for future, index in inflight.items()
-                   if deadlines.get(index, now + 1.0) <= now]
+        expired = [(future, job) for future, job in inflight.items()
+                   if deadlines.get(job, now + 1.0) <= now]
         if not expired:
             return pool
         must_kill = False
-        for future, index in expired:
+        for future, job in expired:
             del inflight[future]
-            del deadlines[index]
+            del deadlines[job]
             self.telemetry.timeouts += 1
             # A future the executor has not started yet cancels cleanly;
             # a running worker must be killed or it keeps the slot.
             if not future.cancel():
                 must_kill = True
-            self._finish_failure(
-                waiting, attempts, results, index,
+            self._fail_job(
+                waiting, attempts, results, job,
                 f"deadline exceeded ({self.timeout}s)")
         if must_kill:
             pool = self._recycle_pool(pool, inflight, deadlines, waiting,
                                       attempts, kill=True)
         return pool
 
-    def _finish_failure(self, waiting: deque[int],
+    def _fail_job(self, waiting: deque, attempts: dict[int, int],
+                  results: list[PointResult | None],
+                  job: tuple[tuple[int, ...], bool], error: str) -> None:
+        """Handle one failed schedulable unit: a cohort splits back into
+        scalar singletons (front of the line, cohort attempt refunded); a
+        singleton retries or records its failure."""
+        indices, batched = job
+        if batched:
+            for index in indices:
+                attempts[index] -= 1
+            waiting.extendleft(((index,), False)
+                               for index in reversed(indices))
+            return
+        self._finish_failure(waiting, attempts, results, indices[0], error)
+
+    def _finish_failure(self, waiting: deque,
                         attempts: dict[int, int],
                         results: list[PointResult | None], index: int,
                         error: str) -> None:
@@ -449,7 +573,7 @@ class Campaign:
         else record its failed :class:`PointResult`."""
         if attempts[index] <= self.retries:
             self.telemetry.retries += 1
-            waiting.appendleft(index)
+            waiting.appendleft(((index,), False))
             return
         result = PointResult(index=index, point=self.points[index],
                              attempts=attempts[index], error=error)
@@ -457,14 +581,14 @@ class Campaign:
         self._account(result)
 
     def _recycle_pool(self, pool: ProcessPoolExecutor,
-                      inflight: dict[Future, int],
-                      deadlines: dict[int, float], waiting: deque[int],
+                      inflight: dict[Future, tuple],
+                      deadlines: dict[tuple, float], waiting: deque,
                       attempts: dict[int, int],
                       kill: bool) -> ProcessPoolExecutor:
         """Replace a dead (or deliberately killed) pool.
 
-        Surviving in-flight points go back to the front of the waiting
-        queue with their submission-time attempt refunded — the pool's
+        Surviving in-flight jobs go back to the front of the waiting
+        queue with their submission-time attempts refunded — the pool's
         death was not their failure, and resubmission charges them again.
         With ``kill``, worker processes are terminated first so a wedged
         simulation actually releases its slot."""
@@ -475,9 +599,10 @@ class Campaign:
                 except OSError:  # pragma: no cover — already reaped
                     pass
         pool.shutdown(wait=False, cancel_futures=True)
-        for index in sorted(inflight.values(), reverse=True):
-            attempts[index] -= 1
-            waiting.appendleft(index)
+        for job in sorted(inflight.values(), reverse=True):
+            for index in job[0]:
+                attempts[index] -= 1
+            waiting.appendleft(job)
         inflight.clear()
         deadlines.clear()
-        return self._make_pool(list(waiting))
+        return self._make_pool([i for job in waiting for i in job[0]])

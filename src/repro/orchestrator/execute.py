@@ -37,16 +37,24 @@ from repro.orchestrator.serialize import payload_from_run
 _WORKER_STATE = {"imports": 0, "preloaded": 0}
 
 
-def worker_init(preload_specs: tuple = ()) -> None:
+def worker_init(preload_specs: tuple = (), engine: str | None = None) -> None:
     """Process-pool initializer: one ``repro`` import per worker, plus
     up-front interning of the traces shared by the submitted points.
 
     Merely unpickling this function reference already imported the heavy
     ``repro`` modules (this module pulls in the core, memory, and policy
     stacks), so per-point submissions start hot.
+
+    ``engine`` pins the worker's default engine (``REPRO_ENGINE``), so a
+    campaign's explicit ``engine=`` choice governs per-point execution in
+    workers too — not just the parent's cohort planning.
     """
     from repro.workloads.interning import preload
 
+    if engine is not None:
+        from repro.engine import ENGINE_ENV_VAR
+
+        os.environ[ENGINE_ENV_VAR] = engine
     _WORKER_STATE["imports"] += 1
     _WORKER_STATE["preloaded"] += preload(preload_specs)
 
@@ -66,10 +74,44 @@ def declare_steady_state(memory: MemorySystem,
     declare_resident_extents(memory, generator.region_extents())
 
 
-def simulate_point(point: SimPoint) \
+def simulate_point(point: SimPoint, engine: str | None = None) \
         -> tuple[CoreStats, list[PersistOp] | None]:
     """Run one point to completion; returns the stats and, when the point
-    asks for it, the write buffer's persist-op log."""
+    asks for it, the write buffer's persist-op log.
+
+    ``engine`` follows the :mod:`repro.engine` contract (None resolves
+    ``REPRO_ENGINE``, default ``auto``). A single point only runs batched
+    under ``engine="batched"`` — ``auto`` batches cohorts of >= 2, which
+    exist only on the campaign paths (:func:`run_cohort_payloads`)."""
+    stats, log, _ = _simulate_engine(point, engine)
+    return stats, log
+
+
+def _simulate_engine(point: SimPoint, engine: str | None) \
+        -> tuple[CoreStats, list[PersistOp] | None, str]:
+    """:func:`simulate_point` plus which engine actually produced the
+    stats (``"scalar"``/``"batched"``) — the honest producer, so a
+    diverged-and-fallen-back lane reports ``"scalar"``."""
+    from repro.engine import resolve_engine, runtime_scalar_reason
+
+    engine = resolve_engine(engine)
+    if engine == "batched" and runtime_scalar_reason() is None:
+        from repro.engine.batched import run_cohort
+        from repro.engine.plan import unbatchable_reason
+
+        if unbatchable_reason(point) is None:
+            lane = run_cohort([point])[0]
+            if lane.error is not None:
+                raise lane.error
+            return lane.stats, None, lane.engine
+    stats, log = _scalar_simulate(point)
+    return stats, log, "scalar"
+
+
+def _scalar_simulate(point: SimPoint) \
+        -> tuple[CoreStats, list[PersistOp] | None]:
+    """The scalar reference path (also the batched kernel's divergence
+    fallback, via ``simulate_point(..., engine="scalar")``)."""
     trace = interned_trace(point.profile, point.length, seed=point.seed)
     if point.warmup > 0:
         memory = warmed_memory(point.config.memory,
@@ -78,7 +120,7 @@ def simulate_point(point: SimPoint) \
         memory = MemorySystem(point.config.memory)
     core = OoOCore(point.config, make_policy(point.scheme), memory=memory,
                    track_values=point.track_values)
-    stats = core.run(trace)
+    stats = core._run(trace)
     log = core.wb.log if point.capture_persist_log else None
     return stats, log
 
@@ -123,11 +165,12 @@ def _run_point_payload(point: SimPoint, sanitize: bool) -> dict[str, Any]:
         # were installed at import and simply stay.
         with sanitized():
             start = time.perf_counter()
-            stats, log = simulate_point(point)
+            stats, log, engine = _simulate_engine(point, None)
     else:
         start = time.perf_counter()
-        stats, log = simulate_point(point)
-    payload = payload_from_run(stats, log, time.perf_counter() - start)
+        stats, log, engine = _simulate_engine(point, None)
+    payload = payload_from_run(stats, log, time.perf_counter() - start,
+                               engine=engine)
     # Worker accounting rides along and is stripped before the payload is
     # cached (pids are not deterministic; cached payloads must be). Only
     # initialized pool workers report — a serial in-process run is not a
@@ -135,3 +178,46 @@ def _run_point_payload(point: SimPoint, sanitize: bool) -> dict[str, Any]:
     if _WORKER_STATE["imports"]:
         payload["worker"] = worker_info()
     return payload
+
+
+class CohortLaneError(RuntimeError):
+    """One lane of a batched cohort failed (its scalar fallback raised
+    too); the campaign splits the cohort to singletons and retries."""
+
+
+def run_cohort_payloads(points: list[SimPoint], sanitize: bool = False,
+                        trace_dir: str | None = None) -> list[dict[str, Any]]:
+    """Pool-worker entry for one planned cohort: run all lanes through the
+    batched kernel, returning one payload per point in lane order.
+
+    Sanitized or traced campaigns never plan cohorts (both need the
+    scalar kernel's instrumentation hooks), but a worker whose
+    environment sets ``REPRO_SANITIZE=1``/``REPRO_TRACE=1`` behind the
+    planner's back still gets correct results: the runtime guards push
+    every lane down the scalar per-point path.
+    """
+    from repro.engine import runtime_scalar_reason
+
+    if sanitize or trace_dir is not None or \
+            runtime_scalar_reason() is not None:
+        return [run_point_payload(point, sanitize, trace_dir)
+                for point in points]
+    from repro.engine.batched import run_cohort
+
+    start = time.perf_counter()
+    lanes = run_cohort(points)
+    # The cohort advanced in lockstep, so per-lane wall clock is the
+    # kernel's elapsed time split evenly across lanes.
+    share = (time.perf_counter() - start) / max(1, len(lanes))
+    payloads = []
+    for point, lane in zip(points, lanes):
+        if lane.error is not None:
+            raise CohortLaneError(
+                f"lane {point.name} failed under the batched kernel and "
+                f"its scalar fallback: {lane.error!r}") from lane.error
+        payload = payload_from_run(lane.stats, None, share,
+                                   engine=lane.engine)
+        if _WORKER_STATE["imports"]:
+            payload["worker"] = worker_info()
+        payloads.append(payload)
+    return payloads

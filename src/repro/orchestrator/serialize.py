@@ -149,7 +149,8 @@ def persist_log_from_list(data: list[dict[str, Any]]) -> list[PersistOp]:
 # ---------------------------------------------------------------------------
 
 def payload_from_run(stats: StatsBase, persist_log: list[PersistOp] | None,
-                     wall_clock: float) -> dict[str, Any]:
+                     wall_clock: float,
+                     engine: str = "scalar") -> dict[str, Any]:
     """What a worker returns (and the disk cache stores) for one point.
 
     The stats travel as a :func:`repro.statsbase.stats_to_dict` tagged
@@ -159,10 +160,16 @@ def payload_from_run(stats: StatsBase, persist_log: list[PersistOp] | None,
     lifted to the top level, so cache inventories and the bench harness
     can derive campaign throughput (cycles/s, instrs/s) without decoding
     the full stats envelope.
+
+    ``engine`` records which kernel actually produced the stats
+    (``"scalar"`` or ``"batched"`` — a diverged lane that fell back
+    reports ``"scalar"``), so engine-drift audits can tell results apart
+    after the fact.
     """
     cycles, instructions = sim_volume(stats)
     return {
         "schema": CACHE_SCHEMA_VERSION,
+        "engine": engine,
         "stats": stats_to_dict(stats),
         "persist_log": (persist_log_to_list(persist_log)
                         if persist_log is not None else None),
@@ -202,15 +209,26 @@ def persist_log_from_payload(payload: dict[str, Any]) \
 # v4: payloads lift "cycles" and "instructions" to the top level so
 # campaign throughput is derivable from cached results without decoding
 # the stats envelope; v3 payloads lack them and must not alias.
-CACHE_SCHEMA_VERSION = 4
+# v5: payloads record the producing "engine" (scalar vs batched kernel);
+# v4 payloads cannot attribute their results and must not alias — stale
+# v4 digests are orphaned (the key material embeds the schema) and
+# reported/reclaimed by the cache's inventory/gc.
+CACHE_SCHEMA_VERSION = 5
 
 
-def point_key_material(point: SimPoint, salt: str) -> str:
+def point_key_material(point: SimPoint, salt: str,
+                       engine: str | None = None) -> str:
     """Canonical JSON string hashed into the point's cache key.
 
     Covers every run parameter (full profile and config, not just names)
     plus a code-version salt, so results from a different simulator version
-    never alias."""
+    never alias.
+
+    ``engine`` is normally None — both kernels are bit-exact, so a point's
+    result is engine-neutral and either producer may serve it. An
+    engine-drift audit passes the engine it insists on, giving that audit
+    a disjoint key space: a scalar-cached result is never served to a
+    ``engine="batched"`` audit (and vice versa)."""
     material = {
         "schema": CACHE_SCHEMA_VERSION,
         "salt": salt,
@@ -224,5 +242,7 @@ def point_key_material(point: SimPoint, salt: str) -> str:
         "track_values": point.track_values,
         "capture_persist_log": point.capture_persist_log,
     }
+    if engine is not None:
+        material["engine"] = engine
     return json.dumps(material, sort_keys=True, separators=(",", ":"),
                       allow_nan=False)

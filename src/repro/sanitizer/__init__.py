@@ -23,9 +23,9 @@ This package is a persistency sanitizer (think TSan for the timing model):
 Enable globally with ``REPRO_SANITIZE=1`` (checked at ``import repro``),
 per-campaign with ``Campaign(sanitize=True)``, or explicitly::
 
-    from repro import sanitizer
+    from repro import sanitizer, simulate
     with sanitizer.sanitized():
-        stats = PersistentProcessor().run(trace)
+        result = simulate("gcc", scheme="ppa")
 """
 
 from __future__ import annotations

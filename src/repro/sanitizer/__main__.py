@@ -4,7 +4,7 @@ and the crash-sweep oracle.
 Usage::
 
     python -m repro.sanitizer [--profiles rb,mcf,gcc] [--schemes ppa]
-        [--length N] [--seed S] [--sweeps K]
+        [--length N] [--seed S] [--sweeps K] [--json]
 
 Every (profile, scheme) pair is simulated with the probes installed — any
 invariant violation aborts the run with the offending event — and, when
@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import Any
 
+from repro.cli import add_json_flag, emit_json
 from repro.orchestrator.execute import simulate_point
 from repro.orchestrator.points import make_point
 from repro.sanitizer.oracle import crash_sweep
@@ -31,33 +33,46 @@ ORACLE_SCHEMES = frozenset({"ppa"})
 
 
 def run_one(profile: str, scheme: str, length: int, seed: int,
-            sweeps: int) -> bool:
+            sweeps: int, quiet: bool = False) -> dict[str, Any]:
     """Simulate one pair under the probes (+ oracle for PPA); prints a
-    verdict line and returns success."""
+    verdict line (unless ``quiet``) and returns the run record."""
     wants_oracle = scheme in ORACLE_SCHEMES and sweeps > 0
     point = make_point(profile, scheme, length=length, seed=seed,
                        track_values=wants_oracle,
                        capture_persist_log=wants_oracle)
     tag = f"{profile}:{scheme}"
+    record: dict[str, Any] = {"profile": profile, "scheme": scheme,
+                              "ok": False}
     try:
         with sanitized() as probe_state:
             stats, persist_log = simulate_point(point)
     except SanitizerError as exc:
-        print(f"  {tag:24s} VIOLATION {exc}")
-        return False
+        record["violation"] = str(exc)
+        if not quiet:
+            print(f"  {tag:24s} VIOLATION {exc}")
+        return record
+    record.update(ok=True, checks=probe_state.total_checks,
+                  ipc=stats.ipc)
     line = (f"  {tag:24s} ok  {probe_state.total_checks} checks, "
             f"ipc {stats.ipc:.3f}")
     if wants_oracle:
         report = crash_sweep(stats, persist_log, samples=sweeps, seed=seed)
         line += f", sweep: {report.summary()}"
+        record["sweep"] = report.summary()
         if not report.consistent:
             worst = report.failures[0]
-            print(line)
-            print(f"  {tag:24s} INCONSISTENT at cycle "
-                  f"{worst.fail_time:.2f}: {worst.mismatches} mismatches")
-            return False
-    print(line)
-    return True
+            record["ok"] = False
+            record["inconsistent_at"] = worst.fail_time
+            record["mismatches"] = worst.mismatches
+            if not quiet:
+                print(line)
+                print(f"  {tag:24s} INCONSISTENT at cycle "
+                      f"{worst.fail_time:.2f}: {worst.mismatches} "
+                      f"mismatches")
+            return record
+    if not quiet:
+        print(line)
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -77,16 +92,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sweeps", type=int, default=64,
                         help="random power-cut samples per PPA run "
                              "(0 disables the oracle)")
+    add_json_flag(parser, "per-run verdicts")
     args = parser.parse_args(argv)
 
-    failures = 0
+    records = []
     for profile in args.profiles.split(","):
         for scheme in args.schemes.split(","):
-            if not run_one(profile.strip(), scheme.strip(), args.length,
-                           args.seed, args.sweeps):
-                failures += 1
-    verdict = "clean" if failures == 0 else f"{failures} FAILING run(s)"
-    print(f"[sanitizer] {verdict}")
+            records.append(run_one(profile.strip(), scheme.strip(),
+                                   args.length, args.seed, args.sweeps,
+                                   quiet=args.json))
+    failures = sum(1 for record in records if not record["ok"])
+    if args.json:
+        emit_json({"runs": records, "failures": failures})
+    else:
+        verdict = "clean" if failures == 0 else f"{failures} FAILING run(s)"
+        print(f"[sanitizer] {verdict}")
     return 0 if failures == 0 else 1
 
 

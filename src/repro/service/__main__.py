@@ -29,6 +29,7 @@ import pathlib
 import signal
 import sys
 
+from repro.cli import add_json_flag
 from repro.orchestrator.cache import ResultCache, default_cache_dir
 
 from repro.service.client import ServiceClient, default_socket_path
@@ -50,7 +51,8 @@ def _cmd_serve(args) -> int:
     scheduler = FleetScheduler(
         cache=cache, workers=args.workers, quota=args.quota,
         timeout=args.timeout, retries=args.retries,
-        sanitize=True if args.sanitize else None)
+        sanitize=True if args.sanitize else None,
+        engine=args.engine)
     socket_path = None if args.port is not None \
         else (args.socket or default_socket_path())
     server = ServiceServer(scheduler, socket_path=socket_path,
@@ -189,6 +191,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="run without the L2 result cache")
     serve.add_argument("--sanitize", action="store_true",
                        help="simulate under the persistency sanitizer")
+    serve.add_argument("--engine", type=str, default=None,
+                       choices=("auto", "scalar", "batched"),
+                       help="simulation engine (default: $REPRO_ENGINE "
+                            "or 'auto'; 'auto' batches compatible "
+                            "submissions into lockstep cohorts)")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser("submit", help="submit a campaign")
@@ -205,12 +212,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-tenant in-flight cap override")
     submit.add_argument("--wait", action="store_true",
                         help="follow the event stream until completion")
-    submit.add_argument("--json", action="store_true")
+    add_json_flag(submit)
     submit.set_defaults(func=_cmd_submit)
 
     status = sub.add_parser("status", help="daemon-wide status")
     _add_endpoint_args(status)
-    status.add_argument("--json", action="store_true")
+    add_json_flag(status)
     status.set_defaults(func=_cmd_status)
 
     health = sub.add_parser("health", help="liveness probe")

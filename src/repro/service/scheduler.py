@@ -38,7 +38,11 @@ from repro.config import sanitize_requested
 from repro.telemetry.metrics import MetricsRegistry
 
 from repro.orchestrator.cache import ResultCache, point_digest
-from repro.orchestrator.execute import run_point_payload, worker_init
+from repro.orchestrator.execute import (
+    run_cohort_payloads,
+    run_point_payload,
+    worker_init,
+)
 from repro.orchestrator.points import SimPoint
 
 # How many times a point may be bounced by a *pool* death (another
@@ -56,6 +60,31 @@ class PointTask:
     digest: str
     attempts: int = 0
     bounces: int = 0
+
+    @property
+    def width(self) -> int:
+        return 1
+
+
+@dataclass
+class CohortTask:
+    """A lockstep cohort scheduled as one unit: its lanes advance on one
+    worker through the batched kernel (:mod:`repro.engine.batched`).
+
+    The cohort counts ``width`` lanes against its tenant's in-flight
+    quota, and any failure splits it back into scalar :class:`PointTask`
+    singletons re-queued at the front of the tenant's queue with fresh
+    attempt budgets — the cohort's failure is not any one lane's failure.
+    """
+
+    job: "CampaignJob"
+    indices: list[int]
+    points: list[SimPoint]
+    digests: list[str]
+
+    @property
+    def width(self) -> int:
+        return len(self.indices)
 
 
 @dataclass
@@ -140,9 +169,17 @@ class FleetScheduler:
 
     def __init__(self, cache: ResultCache | None, workers: int = 2,
                  quota: int | None = None, timeout: float | None = None,
-                 retries: int = 1, sanitize: bool | None = None) -> None:
+                 retries: int = 1, sanitize: bool | None = None,
+                 engine: str | None = None) -> None:
+        from repro.engine import resolve_engine
+
         self.cache = cache
         self.workers = max(1, workers)
+        # Execution engine (repro.engine contract). Submissions are
+        # planned into lockstep cohorts, each a single schedulable unit;
+        # sanitized fleets stay scalar (the sanitizer instruments the
+        # scalar kernel).
+        self.engine = resolve_engine(engine)
         # Per-tenant in-flight cap; by default every tenant may fill the
         # fleet alone — round-robin dispatch still splits it fairly the
         # moment a second tenant shows up.
@@ -205,7 +242,8 @@ class FleetScheduler:
         context.set_forkserver_preload(["repro.orchestrator.execute"])
         return ProcessPoolExecutor(max_workers=self.workers,
                                    mp_context=context,
-                                   initializer=worker_init)
+                                   initializer=worker_init,
+                                   initargs=((), self.engine))
 
     # ------------------------------------------------------------------
     # Submission
@@ -234,10 +272,8 @@ class FleetScheduler:
                           points, meta or {})
         self.jobs[job.id] = job
         job.state = "running"
-        for index, point in enumerate(points):
-            tenant.queue.append(PointTask(
-                job=job, index=index, point=point,
-                digest=point_digest(point)))
+        for task in self._plan_tasks(job, points):
+            tenant.queue.append(task)
         self._counter(tenant_name, "submitted_points").inc(len(points))
         self.metrics.counter("service.campaigns").inc()
         self._wakeup.set()
@@ -246,28 +282,68 @@ class FleetScheduler:
     def _counter(self, tenant: str, name: str):
         return self.metrics.counter(f"tenant.{tenant}.{name}")
 
+    def _plan_tasks(self, job: CampaignJob, points: list[SimPoint]) \
+            -> list[PointTask | CohortTask]:
+        """Schedulable units for one submission: lockstep cohorts plus
+        scalar singletons, ordered by first point index."""
+        singleton = lambda index: PointTask(  # noqa: E731
+            job=job, index=index, point=points[index],
+            digest=point_digest(points[index]))
+        if self.engine == "scalar" or self.sanitize:
+            return [singleton(index) for index in range(len(points))]
+        from repro.engine.plan import plan_points
+
+        plan = plan_points(points, self.engine)
+        # Width-1 cohorts (engine="batched" only) are demoted to point
+        # tasks: the worker resolves the engine per point (pinned by
+        # worker_init), so the point still runs the batched kernel while
+        # keeping the singleton retry/dedup machinery the only per-point
+        # path.
+        tasks: list[PointTask | CohortTask] = [
+            CohortTask(job=job, indices=list(cohort.indices),
+                       points=list(cohort.points),
+                       digests=[point_digest(p) for p in cohort.points])
+            for cohort in plan.cohorts if len(cohort.indices) > 1]
+        self.metrics.counter("service.cohorts").inc(len(tasks))
+        tasks.extend(singleton(cohort.indices[0])
+                     for cohort in plan.cohorts
+                     if len(cohort.indices) == 1)
+        tasks.extend(singleton(index) for index in plan.scalar_indices)
+        tasks.sort(key=lambda t: t.indices[0]
+                   if isinstance(t, CohortTask) else t.index)
+        return tasks
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
 
-    def _next_task(self) -> tuple[TenantState, PointTask] | None:
+    def _next_task(self) \
+            -> tuple[TenantState, PointTask | CohortTask] | None:
         """Strict round-robin: the first tenant (in rotation order) with
         queued work and quota headroom; the rotation advances past every
-        tenant inspected, so service alternates under contention."""
+        tenant inspected, so service alternates under contention.
+
+        A cohort at the head of a tenant's queue counts its full lane
+        width against the quota; a cohort wider than the quota itself is
+        only dispatched when the tenant has nothing else in flight
+        (otherwise it could never run at all)."""
         for _ in range(len(self._rr)):
             name = self._rr[0]
             self._rr.rotate(-1)
             tenant = self.tenants[name]
             if not tenant.queue:
                 continue
-            if tenant.inflight >= tenant.quota:
+            width = tenant.queue[0].width
+            if tenant.inflight and \
+                    tenant.inflight + width > tenant.quota:
                 self._counter(name, "quota_deferred").inc()
                 continue
             return tenant, tenant.queue.popleft()
         return None
 
     def _has_runnable(self) -> bool:
-        return any(t.queue and t.inflight < t.quota
+        return any(t.queue and (not t.inflight or
+                                t.inflight + t.queue[0].width <= t.quota)
                    for t in self.tenants.values())
 
     async def _dispatch_loop(self) -> None:
@@ -281,8 +357,13 @@ class FleetScheduler:
                 await self._wakeup.wait()
                 continue
             tenant, task = picked
-            tenant.inflight += 1
-            runner = asyncio.create_task(self._run_point(tenant, task))
+            tenant.inflight += task.width
+            if isinstance(task, CohortTask):
+                runner = asyncio.create_task(
+                    self._run_cohort(tenant, task))
+            else:
+                runner = asyncio.create_task(
+                    self._run_point(tenant, task))
             self._point_tasks.add(runner)
             runner.add_done_callback(self._point_tasks.discard)
 
@@ -304,6 +385,119 @@ class FleetScheduler:
         finally:
             tenant.inflight -= 1
             self._wakeup.set()
+
+    async def _run_cohort(self, tenant: TenantState,
+                          task: CohortTask) -> None:
+        """Run one lockstep cohort: cache-probe every lane, batch the
+        misses through one worker, and on any failure split the cohort
+        back into scalar singletons at the front of the tenant's queue."""
+        loop = asyncio.get_running_loop()
+        try:
+            lanes = []                        # cache misses, in lane order
+            for index, point, digest in zip(task.indices, task.points,
+                                            task.digests):
+                lane = PointTask(job=task.job, index=index, point=point,
+                                 digest=digest)
+                payload = None
+                if self.cache is not None:
+                    payload = await loop.run_in_executor(
+                        None, self.cache.get, digest)
+                if payload is not None:
+                    self._counter(tenant.name, "cache_hits").inc()
+                    await self._finish_point(tenant, lane, payload, "hit",
+                                             0.0, None)
+                else:
+                    lanes.append(lane)
+            if not lanes:
+                return
+            await self._simulate_cohort(tenant, task, lanes)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — never kill the loop
+            self._split_cohort(tenant, lanes, f"internal: {exc!r}")
+        finally:
+            tenant.inflight -= task.width
+            self._wakeup.set()
+
+    async def _simulate_cohort(self, tenant: TenantState, task: CohortTask,
+                               lanes: list[PointTask]) -> None:
+        loop = asyncio.get_running_loop()
+        # Lead the single-flight for every lane not already claimed —
+        # followers of another leader are simply simulated again here
+        # (bit-exact, so the duplicate is harmless).
+        flights: dict[str, asyncio.Future] = {}
+        for lane in lanes:
+            if lane.digest not in self._inflight_digests:
+                flight = loop.create_future()
+                flights[lane.digest] = flight
+                self._inflight_digests[lane.digest] = flight
+        generation = self._pool_generation
+        timeout = (self.timeout * len(lanes)
+                   if self.timeout is not None else None)
+        for lane in lanes:
+            lane.attempts = 1
+        try:
+            try:
+                payloads = await asyncio.wait_for(
+                    loop.run_in_executor(
+                        self._pool, run_cohort_payloads,
+                        [lane.point for lane in lanes], self.sanitize,
+                        None),
+                    timeout=timeout)
+            except asyncio.TimeoutError:
+                self.metrics.counter("service.timeouts").inc()
+                self._counter(tenant.name, "timeouts").inc()
+                await self._reset_pool(generation)
+                self._split_cohort(
+                    tenant, lanes,
+                    f"cohort deadline exceeded ({timeout}s)")
+                return
+            except asyncio.CancelledError:
+                if self._closed or generation == self._pool_generation:
+                    raise
+                self._split_cohort(tenant, lanes, "pool reset")
+                return
+            except BrokenExecutor as exc:
+                await self._reset_pool(generation)
+                self._split_cohort(tenant, lanes, repr(exc))
+                return
+            except Exception as exc:  # noqa: BLE001 — worker raised
+                self._split_cohort(tenant, lanes, repr(exc))
+                return
+            for lane, payload in zip(lanes, payloads):
+                payload.pop("worker", None)   # pids are not deterministic
+                self._counter(tenant.name, "simulated").inc()
+                self.metrics.counter("service.simulated").inc()
+                wall = payload.get("wall_clock", 0.0)
+                self.metrics.histogram("service.sim_seconds").add(wall)
+                if self.cache is not None:
+                    await loop.run_in_executor(
+                        None, self.cache.put, lane.digest, payload,
+                        {"point": lane.point.name})
+                flight = flights.get(lane.digest)
+                if flight is not None and not flight.done():
+                    flight.set_result(payload)
+                await self._finish_point(tenant, lane, payload, "sim",
+                                         wall, None)
+        finally:
+            for digest, flight in flights.items():
+                if self._inflight_digests.get(digest) is flight:
+                    self._inflight_digests.pop(digest, None)
+                if not flight.done():
+                    # The cohort never produced this lane's payload (it
+                    # split); followers fail with the leader, exactly as
+                    # a failed scalar leader behaves.
+                    flight.cancel()
+
+    def _split_cohort(self, tenant: TenantState, lanes: list[PointTask],
+                      error: str) -> None:
+        """Requeue failed cohort lanes as scalar singletons (front of the
+        tenant's queue, fresh attempt budgets — the cohort's failure is
+        not any one lane's failure)."""
+        self.metrics.counter("service.cohort_splits").inc()
+        for lane in reversed(lanes):
+            lane.attempts = 0
+            tenant.queue.appendleft(lane)
 
     async def _resolve(self, tenant: TenantState, task: PointTask):
         """(payload, source, wall_clock, error) for one point, through
@@ -527,6 +721,7 @@ class FleetScheduler:
             "timeout": self.timeout,
             "retries": self.retries,
             "sanitize": self.sanitize,
+            "engine": self.engine,
             "cache_root": (str(self.cache.root)
                            if self.cache is not None else None),
             "cache_counters": ({"hits": self.cache.counters.hits,

@@ -16,6 +16,7 @@ import argparse
 import json
 import sys
 
+from repro.cli import add_json_flag
 from repro.facade import CORES, simulate
 from repro.persistence.catalog import scheme_names
 from repro.telemetry.export import timeline_summary, top_regions
@@ -47,9 +48,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write the flat JSONL event stream here")
     parser.add_argument("--top", type=int, default=10,
                         help="longest regions to list (default: 10)")
-    parser.add_argument("--json", action="store_true",
-                        help="emit the timeline digest as machine-readable "
-                             "JSON instead of tables")
+    add_json_flag(parser)
     return parser
 
 

@@ -5,13 +5,16 @@ Usage::
     python -m repro.workloads                 # the 41-application table
     python -m repro.workloads gcc             # one profile in detail
     python -m repro.workloads --suite WHISPER # one suite (Table 3 flavour)
+    python -m repro.workloads --json          # machine-readable inventory
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
+from repro.cli import add_json_flag, emit_json
 from repro.workloads.profiles import (
     ALL_PROFILES,
     SUITES,
@@ -64,13 +67,22 @@ def main(argv: list[str] | None = None) -> int:
         description="Inspect the 41 calibrated application profiles.")
     parser.add_argument("name", nargs="?", help="one application to detail")
     parser.add_argument("--suite", choices=SUITES, default=None)
+    add_json_flag(parser, "the profile inventory")
     args = parser.parse_args(argv)
 
     if args.name:
-        print(_detail(profile_by_name(args.name)))
+        profile = profile_by_name(args.name)
+        if args.json:
+            emit_json(dataclasses.asdict(profile))
+        else:
+            print(_detail(profile))
         return 0
     profiles = (profiles_in_suite(args.suite) if args.suite
                 else list(ALL_PROFILES))
+    if args.json:
+        emit_json({"suite": args.suite,
+                   "profiles": [dataclasses.asdict(p) for p in profiles]})
+        return 0
     for profile in profiles:
         print(_summary_row(profile))
     print(f"\n{len(profiles)} applications"

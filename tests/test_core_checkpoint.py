@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import skylake_default
 from repro.core.checkpoint import (
     CheckpointPlan,
     ControllerState,

@@ -3,8 +3,6 @@ CLI fallbacks, and configuration corners."""
 
 import dataclasses
 
-import pytest
-
 from repro.config import skylake_default
 from repro.experiments.runner import run_app, slowdown
 from repro.inorder.core import InOrderCore

@@ -1,0 +1,337 @@
+"""Engine contract tests: resolution, the batch planner, scalar-vs-
+batched parity (golden pins included), forced mid-flight divergence, and
+the cache's engine-aware keying.
+
+The batched kernel must be *bit-exact* against the scalar kernel: every
+stat a lane produces — cycles, line writes, per-region footprints, store
+values — must be indistinguishable from a scalar run of the same point.
+These tests pin that promise three ways: against the frozen golden
+counts, property-based over randomly perturbed cohorts, and through the
+forced-divergence hook that retires lanes to the scalar kernel
+mid-flight.
+"""
+
+import os
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.config import skylake_default
+from repro.engine import (
+    ENGINE_ENV_VAR,
+    ENGINES,
+    default_engine,
+    engine_env,
+    resolve_engine,
+)
+from repro.engine.batched import KERNEL_SCHEMES, run_cohort
+from repro.engine.plan import MIN_AUTO_COHORT, cohort_key, plan_points
+from repro.orchestrator.campaign import Campaign
+from repro.orchestrator.execute import _simulate_engine, simulate_point
+from repro.orchestrator.points import make_point
+
+BASE = skylake_default()
+ALL_SCHEMES = ("baseline", "ppa", "replaycache", "capri", "eadr",
+               "dram-only", "psp-undolog", "psp-redolog", "sb-gate")
+
+
+def _pt(profile="rb", scheme="ppa", config=None, length=1_500, **kw):
+    return make_point(profile, scheme, config=config or BASE,
+                      length=length, **kw)
+
+
+def _prf_sweep(n, profile="rb", scheme="ppa", length=1_500):
+    sizes = [(180, 168), (120, 112), (256, 238), (90, 90), (300, 280),
+             (150, 140), (200, 190), (110, 100)]
+    return [_pt(profile, scheme, BASE.with_prf(i, f), length=length)
+            for i, f in sizes[:n]]
+
+
+class TestEngineResolution:
+    def test_engines_tuple(self):
+        assert ENGINES == ("auto", "scalar", "batched")
+
+    def test_explicit_engine_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "batched")
+        assert resolve_engine("scalar") == "scalar"
+
+    def test_none_resolves_env_default_auto(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert resolve_engine(None) == "auto"
+        monkeypatch.setenv(ENGINE_ENV_VAR, "batched")
+        assert resolve_engine(None) == "batched"
+        assert default_engine() == "batched"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            resolve_engine("vectorized")
+
+    def test_engine_env_pins_and_restores(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "scalar")
+        with engine_env("batched"):
+            assert os.environ[ENGINE_ENV_VAR] == "batched"
+        assert os.environ[ENGINE_ENV_VAR] == "scalar"
+
+    def test_engine_env_restores_unset(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        with engine_env("batched"):
+            assert os.environ[ENGINE_ENV_VAR] == "batched"
+        assert ENGINE_ENV_VAR not in os.environ
+
+
+class TestPlanner:
+    def test_auto_batches_compatible_sweep(self):
+        points = _prf_sweep(4)
+        plan = plan_points(points, "auto")
+        assert len(plan.cohorts) == 1
+        assert plan.cohorts[0].indices == [0, 1, 2, 3]
+        assert plan.batched_points == 4
+        assert plan.scalar_indices == []
+
+    def test_auto_leaves_singletons_scalar(self):
+        points = [_pt("rb", "ppa"), _pt("gcc", "ppa")]
+        plan = plan_points(points, "auto")
+        assert plan.cohorts == []
+        assert sorted(plan.scalar_indices) == [0, 1]
+        assert MIN_AUTO_COHORT == 2
+
+    def test_batched_engine_batches_singletons(self):
+        plan = plan_points([_pt("rb", "ppa")], "batched")
+        assert len(plan.cohorts) == 1
+        assert plan.scalar_indices == []
+
+    def test_scalar_engine_plans_nothing(self):
+        plan = plan_points(_prf_sweep(4), "scalar")
+        assert plan.cohorts == []
+        assert plan.batched_points == 0
+
+    def test_unbatchable_schemes_stay_scalar_with_reason(self):
+        points = [_pt("rb", "psp-undolog"), _pt("rb", "ppa"),
+                  _pt("rb", "ppa", BASE.with_prf(120, 112))]
+        plan = plan_points(points, "auto")
+        assert plan.scalar_indices == [0]
+        assert "psp-undolog" in plan.reasons[0]
+        assert len(plan.cohorts) == 1
+
+    def test_persist_log_capture_is_unbatchable(self):
+        point = _pt("rb", "ppa", capture_persist_log=True)
+        plan = plan_points([point], "batched")
+        assert plan.scalar_indices == [0]
+        assert "persist-log" in plan.reasons[0]
+
+    def test_cohort_key_splits_profiles_and_lengths(self):
+        a, b = _pt("rb", "ppa"), _pt("gcc", "ppa")
+        assert cohort_key(a) != cohort_key(b)
+        assert cohort_key(a) != cohort_key(_pt("rb", "ppa", length=2_000))
+        assert cohort_key(a) == cohort_key(
+            _pt("rb", "ppa", BASE.with_prf(120, 112)))
+
+    def test_run_cohort_rejects_mixed_cohorts(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            run_cohort([_pt("rb", "ppa"), _pt("gcc", "ppa")])
+        with pytest.raises(ValueError, match="unbatchable"):
+            run_cohort([_pt("rb", "psp-undolog")])
+
+
+class TestGoldenParity:
+    """Golden pins must hold bit-exactly under ``engine="batched"`` for
+    every scheme — kernel schemes through the lockstep kernel, the rest
+    through the documented scalar fallback."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_gcc_3000_pins_under_batched(self, scheme):
+        point = make_point("gcc", scheme, length=3_000)
+        scalar = simulate_point(point, engine="scalar")[0]
+        stats, _, engine_used = _simulate_engine(point, "batched")
+        expected = "batched" if scheme in KERNEL_SCHEMES else "scalar"
+        assert engine_used == expected
+        assert stats.to_dict() == scalar.to_dict()
+
+    def test_track_values_parity(self):
+        point = _pt("rb", "ppa", track_values=True)
+        scalar = simulate_point(point, engine="scalar")[0]
+        batched, _, engine_used = _simulate_engine(point, "batched")
+        assert engine_used == "batched"
+        assert [s.value for s in batched.stores] == \
+               [s.value for s in scalar.stores]
+
+
+class TestDivergence:
+    def test_forced_divergence_matches_scalar(self):
+        points = _prf_sweep(3)
+        want = [simulate_point(p, engine="scalar")[0].to_dict()
+                for p in points]
+        lanes = run_cohort(points, diverge_at={1: 400})
+        assert lanes[1].diverged_at == 400
+        assert lanes[1].engine == "scalar"
+        assert lanes[0].engine == lanes[2].engine == "batched"
+        for lane, expected in zip(lanes, want):
+            assert lane.error is None
+            assert lane.stats.to_dict() == expected
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_perturbed_cohorts_bit_exact(self, data):
+        n = data.draw(st.integers(2, 4), label="lanes")
+        scheme = data.draw(st.sampled_from(sorted(KERNEL_SCHEMES)),
+                           label="scheme")
+        points = []
+        for lane in range(n):
+            prf_int = data.draw(st.integers(70, 300), label=f"prf{lane}")
+            prf_fp = data.draw(st.integers(70, prf_int), label=f"fp{lane}")
+            wpq = data.draw(st.sampled_from([4, 16, 64]), label=f"w{lane}")
+            points.append(_pt("rb", scheme,
+                              BASE.with_prf(prf_int, prf_fp).with_wpq(wpq),
+                              length=1_200))
+        diverge_at = {
+            lane: data.draw(st.integers(1, 1_199), label=f"d{lane}")
+            for lane in range(n)
+            if data.draw(st.booleans(), label=f"div{lane}")}
+        lanes = run_cohort(points, diverge_at=diverge_at)
+        for i, (lane, point) in enumerate(zip(lanes, points)):
+            assert lane.error is None
+            want = simulate_point(point, engine="scalar")[0]
+            assert lane.stats.to_dict() == want.to_dict(), f"lane {i}"
+            if i in diverge_at:
+                assert lane.engine == "scalar"
+                assert lane.diverged_at == diverge_at[i]
+
+
+class TestCampaignEngine:
+    def _run(self, engine, points):
+        campaign = Campaign(cache=None, jobs=1, sanitize=False,
+                            engine=engine)
+        campaign.extend(points)
+        return campaign, campaign.run()
+
+    def test_auto_campaign_matches_scalar_bit_exact(self):
+        points = _prf_sweep(4) + [_pt("rb", "psp-undolog")]
+        _, scalar = self._run("scalar", points)
+        campaign, auto = self._run("auto", points)
+        assert campaign.telemetry.engine == "auto"
+        assert campaign.telemetry.cohorts == 1
+        assert campaign.telemetry.batched_points == 4
+        for s, a in zip(scalar, auto):
+            assert a.stats.to_dict() == s.stats.to_dict()
+        engines = [r.engine for r in auto]
+        assert engines[:4] == ["batched"] * 4
+        assert engines[4] == "scalar"
+
+    def test_batched_campaign_demotes_width1_cohorts(self):
+        # A lone batchable point forms a width-1 cohort; the campaign
+        # runs it per-point (keeping the run_point_payload seam) but the
+        # pinned engine still pushes it through the kernel.
+        campaign, results = self._run("batched", [_pt("rb", "ppa")])
+        assert campaign.telemetry.cohorts == 0
+        assert results[0].engine == "batched"
+        assert results[0].stats is not None
+
+
+class TestCacheEngineKeying:
+    def test_engine_digest_is_disjoint(self):
+        from repro.orchestrator.cache import point_digest
+
+        point = _pt("rb", "ppa")
+        neutral = point_digest(point)
+        assert point_digest(point, engine="batched") != neutral
+        assert point_digest(point, engine="scalar") != neutral
+        assert point_digest(point, engine="scalar") != \
+               point_digest(point, engine="batched")
+
+    def test_stale_v4_payload_rejected(self):
+        from repro.orchestrator.serialize import stats_from_payload
+
+        with pytest.raises(ValueError, match="schema 4"):
+            stats_from_payload({"schema": 4, "stats": {}})
+
+    def test_scalar_cached_point_not_served_to_batched_audit(self, tmp_path):
+        # A drift audit that insists on engine="batched" must never be
+        # handed a scalar-produced cache entry: the engine-keyed digest
+        # gives the audit its own key space.
+        from repro.orchestrator.cache import ResultCache, point_digest
+        from repro.orchestrator.serialize import payload_from_run
+
+        cache = ResultCache(tmp_path)
+        point = _pt("rb", "ppa")
+        stats, _ = simulate_point(point, engine="scalar")
+        cache.put(point_digest(point),
+                  payload_from_run(stats, None, 0.1, engine="scalar"))
+        assert cache.get(point_digest(point)) is not None
+        assert cache.get(point_digest(point, engine="batched")) is None
+
+    def test_payload_records_engine(self):
+        from repro.orchestrator.serialize import (
+            CACHE_SCHEMA_VERSION,
+            payload_from_run,
+        )
+
+        stats, _ = simulate_point(_pt("rb", "ppa"), engine="scalar")
+        payload = payload_from_run(stats, None, 0.1, engine="batched")
+        assert payload["schema"] == CACHE_SCHEMA_VERSION == 5
+        assert payload["engine"] == "batched"
+
+
+class TestFacadeEngine:
+    def test_facade_batched_matches_scalar(self):
+        from repro import simulate
+
+        scalar = simulate("gcc", scheme="baseline", length=2_000,
+                          engine="scalar").stats
+        batched = simulate("gcc", scheme="baseline", length=2_000,
+                           engine="batched").stats
+        assert batched.to_dict() == scalar.to_dict()
+
+    def test_facade_rejects_unknown_engine(self):
+        from repro import simulate
+
+        with pytest.raises(ValueError, match="engine"):
+            simulate("gcc", scheme="baseline", length=500,
+                     engine="simd")
+
+
+class TestDeprecatedEntryPoints:
+    @staticmethod
+    def _trace(length=300):
+        from repro.workloads import generate_trace, profile_by_name
+
+        return generate_trace(profile_by_name("rb"), length=length, seed=0)
+
+    def test_core_run_warns_and_delegates(self):
+        from repro.persistence import make_policy
+        from repro.pipeline.core import OoOCore
+
+        trace = self._trace()
+        with pytest.warns(DeprecationWarning, match="repro.simulate"):
+            stats = OoOCore(BASE, make_policy("ppa")).run(trace)
+        assert stats.instructions == 300
+
+    def test_processor_run_warns(self):
+        from repro.core.processor import PersistentProcessor
+
+        with pytest.warns(DeprecationWarning):
+            PersistentProcessor(BASE).run(self._trace())
+
+    def test_experiments_runner_warns(self):
+        from repro.experiments import runner
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            runner.run_app("rb", "ppa", length=300)
+
+    def test_facade_emits_no_deprecation_noise(self, recwarn):
+        from repro import simulate
+
+        simulate("rb", scheme="ppa", length=300, engine="auto")
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestBatchedBenchSuite:
+    def test_batched_suite_registered(self):
+        from repro.bench.suite import SUITES, suite_benchmarks
+
+        assert "batched" in SUITES
+        names = [b.name for b in suite_benchmarks("batched")]
+        assert "campaign:fig16:rb" in names
+        assert "campaign:fig16:rb:batched" in names

@@ -1,7 +1,5 @@
 """Reconstruction of crash-time state from run logs."""
 
-import pytest
-
 from repro.failure.injector import PowerFailureInjector
 from repro.memory.writebuffer import PersistOp
 from repro.pipeline.stats import CoreStats, RegionRecord, StoreRecord

@@ -6,7 +6,6 @@ from repro.config import skylake_default
 from repro.inorder.core import InOrderCore
 from repro.inorder.processor import InOrderPersistentProcessor
 from repro.inorder.value_csq import ValueCsq, ValueCsqEntry
-from repro.isa.trace import Trace
 from repro.workloads.profiles import profile_by_name
 from repro.workloads.synthetic import generate_trace
 

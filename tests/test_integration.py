@@ -1,7 +1,5 @@
 """Cross-module integration: the paper's headline orderings end to end."""
 
-import pytest
-
 from repro.analysis.stats import gmean
 from repro.experiments.runner import run_app, run_multithreaded, slowdown
 

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.config import MemoryConfig, skylake_default
+from repro.config import skylake_default
 from repro.memory.hierarchy import MemorySystem
 
 

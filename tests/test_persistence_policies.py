@@ -5,8 +5,6 @@ import dataclasses
 import pytest
 
 from repro.config import skylake_default
-from repro.isa.instructions import Instruction, Opcode, int_reg
-from repro.isa.trace import Trace
 from repro.persistence.base import PersistencePolicy, SchemeTraits
 from repro.persistence.baseline import NoPersistencePolicy
 from repro.persistence.capri import CapriPolicy
