@@ -71,6 +71,22 @@ class Plan:
     def batched_points(self) -> int:
         return sum(len(c) for c in self.cohorts)
 
+    def summary(self) -> dict:
+        """Introspection digest for observability surfaces: cohort count
+        and widths, the batched/scalar split, and a histogram of why
+        points stayed scalar."""
+        reasons: dict[str, int] = {}
+        for reason in self.reasons.values():
+            reasons[reason] = reasons.get(reason, 0) + 1
+        return {
+            "engine": self.engine,
+            "cohorts": len(self.cohorts),
+            "cohort_widths": sorted(len(c) for c in self.cohorts),
+            "batched_points": self.batched_points,
+            "scalar_points": len(self.scalar_indices),
+            "scalar_reasons": reasons,
+        }
+
 
 def plan_points(points, engine: str) -> Plan:
     """Partition ``points`` (any SimPoint-shaped sequence) into lockstep

@@ -1,0 +1,38 @@
+"""repro.observe — the fleet observability plane.
+
+Four surfaces over the daemon and the campaign stack, all layered on the
+existing :mod:`repro.telemetry` primitives:
+
+* :mod:`repro.observe.prometheus` — Prometheus text exposition of the
+  scheduler's :class:`~repro.telemetry.metrics.MetricsRegistry` (plus
+  fleet/tenant/cache state), served at ``GET /metrics``, and the strict
+  parser CI validates it with.
+* :mod:`repro.observe.slog` — structured JSONL logging with correlation
+  fields (``REPRO_LOG``), zero-overhead when off.
+* :mod:`repro.observe.stitch` — merge scheduler-side spans and worker
+  kernel traces into one Perfetto-loadable trace per campaign.
+* :mod:`repro.observe.profiler` — auto-capture a cProfile dump for any
+  point slower than ``REPRO_SLOW_SIM_PROFILE`` seconds.
+
+``python -m repro.observe`` drives them: ``watch`` (live dashboard),
+``scrape`` (fetch + validate ``/metrics``), ``stitch``.
+
+This module stays import-light — the scheduler and cache import
+:func:`log_for_run` from here on their hot paths.
+"""
+
+from __future__ import annotations
+
+from repro.observe.slog import (
+    LOG_ENV_VAR,
+    StructuredLog,
+    log_for_run,
+    reset_log,
+)
+
+__all__ = [
+    "LOG_ENV_VAR",
+    "StructuredLog",
+    "log_for_run",
+    "reset_log",
+]

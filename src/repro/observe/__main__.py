@@ -1,0 +1,145 @@
+"""Observability CLI.
+
+Usage::
+
+    python -m repro.observe watch [--socket PATH | --port N]
+        [--interval S] [--once] [--json]
+    python -m repro.observe scrape [--socket PATH | --port N] [--check]
+    python -m repro.observe stitch --trace-dir D [--campaign ID]
+        [--out PATH] [--json]
+
+``watch`` renders a refreshing fleet dashboard from a running daemon's
+``/v1/status`` + ``/metrics``; ``scrape`` fetches the raw Prometheus
+exposition (``--check`` validates it with the strict parser — CI's
+format gate, and the only way to scrape a unix-socket daemon without an
+HTTP client that speaks AF_UNIX); ``stitch`` merges one campaign's
+scheduler + worker traces into a single Perfetto-loadable file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cli import add_json_flag, emit_json
+
+from repro.observe.prometheus import parse_prometheus
+from repro.observe.stitch import stitch_campaign
+from repro.observe.watch import snapshot, watch_loop
+
+
+def _client(args):
+    from repro.service.client import ServiceClient, default_socket_path
+
+    if getattr(args, "port", None):
+        return ServiceClient(host=args.host, port=args.port)
+    return ServiceClient(socket_path=args.socket or default_socket_path())
+
+
+def _add_endpoint_args(parser) -> None:
+    parser.add_argument("--socket", type=str, default=None,
+                        help="daemon unix socket path (default: "
+                             "$REPRO_SERVICE_SOCKET or a per-user temp "
+                             "path)")
+    parser.add_argument("--host", type=str, default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None,
+                        help="talk TCP to localhost instead of the socket")
+
+
+def _cmd_watch(args) -> int:
+    client = _client(args)
+    if args.json:
+        try:
+            snap = snapshot(client)
+        except (OSError, RuntimeError, ValueError) as exc:
+            print(f"daemon unreachable or invalid: {exc}",
+                  file=sys.stderr)
+            return 1
+        emit_json(snap)
+        return 0
+    return watch_loop(client, interval=args.interval, once=args.once)
+
+
+def _cmd_scrape(args) -> int:
+    client = _client(args)
+    try:
+        text = client.metrics()
+    except (OSError, RuntimeError) as exc:
+        print(f"daemon unreachable: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        try:
+            parsed = parse_prometheus(text)
+        except ValueError as exc:
+            print(f"invalid exposition: {exc}", file=sys.stderr)
+            return 1
+        print(text, end="")
+        print(f"# scrape ok: {len(parsed.families)} families, "
+              f"{len(parsed.samples)} samples", file=sys.stderr)
+        return 0
+    print(text, end="")
+    return 0
+
+
+def _cmd_stitch(args) -> int:
+    try:
+        summary = stitch_campaign(args.trace_dir, campaign=args.campaign,
+                                  out=args.out)
+    except (OSError, ValueError) as exc:
+        print(f"stitch failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        emit_json(summary)
+        return 0
+    print(f"[{summary['campaign']}] stitched {summary['points']} points "
+          f"-> {summary['out']}")
+    print(f"  {summary['scheduler_spans']} scheduler spans, "
+          f"{summary['worker_traces']} worker traces "
+          f"({summary['worker_events']} events), "
+          f"{summary['events']} events total")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe",
+        description="Fleet observability: dashboard, /metrics scrape, "
+                    "trace stitching.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    watch = sub.add_parser("watch", help="live fleet dashboard")
+    _add_endpoint_args(watch)
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="refresh period in seconds")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
+    add_json_flag(watch, "the dashboard snapshot")
+    watch.set_defaults(func=_cmd_watch)
+
+    scrape = sub.add_parser("scrape",
+                            help="fetch the daemon's /metrics exposition")
+    _add_endpoint_args(scrape)
+    scrape.add_argument("--check", action="store_true",
+                        help="validate the text format with the strict "
+                             "parser (exit 1 on violation)")
+    scrape.set_defaults(func=_cmd_scrape)
+
+    stitch = sub.add_parser("stitch",
+                            help="merge scheduler + worker traces into "
+                                 "one Perfetto trace")
+    stitch.add_argument("--trace-dir", type=str, required=True,
+                        help="the daemon's --trace-dir directory")
+    stitch.add_argument("--campaign", type=str, default=None,
+                        help="campaign id (default: newest manifest)")
+    stitch.add_argument("--out", type=str, default=None,
+                        help="output path (default: "
+                             "<trace-dir>/<campaign>-stitched.json)")
+    add_json_flag(stitch, "the stitch summary")
+    stitch.set_defaults(func=_cmd_stitch)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Auto-capture a cProfile dump for points that simulate too slowly.
+
+With ``REPRO_SLOW_SIM_PROFILE=<seconds>`` set, any point whose
+simulation wall clock reaches the threshold is *re-run* under
+``cProfile`` and the profile dumped as ``<point name>.pstats`` under
+``REPRO_SLOW_SIM_PROFILE_DIR`` (default ``slow-points/``). Re-running
+keeps the measured fast path unprofiled — the original payload (and its
+cached stats) never carries profiler overhead — at the cost of one extra
+simulation for each offender, which is exactly the point: offenders are
+rare and worth a second run with attribution.
+
+Zero-overhead when off: the execution layer checks the environment
+variable before importing this module at all.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Any, Callable
+
+from repro.observe.slog import log_for_run
+
+PROFILE_ENV_VAR = "REPRO_SLOW_SIM_PROFILE"
+PROFILE_DIR_ENV_VAR = "REPRO_SLOW_SIM_PROFILE_DIR"
+DEFAULT_PROFILE_DIR = "slow-points"
+
+
+def profile_threshold() -> float | None:
+    """The configured latency threshold in seconds, or None when off
+    (unset, empty, or unparseable)."""
+    raw = os.environ.get(PROFILE_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        threshold = float(raw)
+    except ValueError:
+        return None
+    return threshold if threshold >= 0.0 else None
+
+
+def profile_dir() -> pathlib.Path:
+    return pathlib.Path(os.environ.get(PROFILE_DIR_ENV_VAR, "").strip()
+                        or DEFAULT_PROFILE_DIR)
+
+
+def maybe_profile_slow_point(point, wall: float,
+                             runner: Callable[[], Any]) \
+        -> pathlib.Path | None:
+    """Capture a profile for ``point`` if ``wall`` reached the threshold.
+
+    ``runner`` re-executes the simulation (zero-arg); its result is
+    discarded — only the attribution matters. Returns the ``.pstats``
+    path, or None when below threshold / disabled / the re-run failed
+    (the original payload already exists, so a profiling failure must
+    never fail the point).
+    """
+    import cProfile
+
+    threshold = profile_threshold()
+    if threshold is None or wall < threshold:
+        return None
+    profile = cProfile.Profile()
+    try:
+        profile.runcall(runner)
+    except Exception:  # noqa: BLE001 — best-effort attribution only
+        return None
+    directory = profile_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    safe = point.name.replace(":", "-").replace("/", "-")
+    path = directory / f"{safe}.pstats"
+    try:
+        profile.dump_stats(path)
+    except OSError:
+        return None
+    log = log_for_run()
+    if log is not None:
+        log.emit("point.slow_profile", point=point.name, wall=wall,
+                 threshold=threshold, profile=str(path))
+    return path

@@ -1,0 +1,113 @@
+"""Structured JSONL logging with correlation fields (``REPRO_LOG``).
+
+One line per event, strict JSON, with ``ts``/``pid``/``event`` stamped
+automatically and correlation fields (``campaign``, ``tenant``,
+``point``, ``engine``, ...) passed by the emitting site. The service
+daemon, the campaign orchestrator, and cache maintenance all log here
+instead of ad-hoc prints, so one ``jq`` pipeline can follow a point from
+submission to cache-put across layers.
+
+Zero-overhead-when-off contract (the tracer's discipline, CI-guarded):
+emitting sites hold a :class:`StructuredLog` *or None* from
+:func:`log_for_run`; with ``REPRO_LOG`` unset that is one environment
+lookup and no ``StructuredLog`` is ever constructed.
+
+``REPRO_LOG`` names the destination file (appended, created on first
+event); the values ``stderr`` and ``-`` select standard error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, IO
+
+LOG_ENV_VAR = "REPRO_LOG"
+
+_STDERR_TARGETS = frozenset({"stderr", "-"})
+
+_lock = threading.Lock()
+_active: "StructuredLog | None" = None
+
+
+class StructuredLog:
+    """An append-only JSONL event sink (thread-safe, crash-tolerant)."""
+
+    def __init__(self, target: str) -> None:
+        self.target = target
+        self.dropped = 0                  # events lost to write errors
+        self._emit_lock = threading.Lock()
+        self._handle: IO[str] | None = None
+
+    def _sink(self) -> IO[str]:
+        if self.target in _STDERR_TARGETS:
+            return sys.stderr
+        if self._handle is None or self._handle.closed:
+            directory = os.path.dirname(self.target)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.target, "a", encoding="utf-8")
+        return self._handle
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Write one event line; never raises (a full disk must not take
+        the scheduler loop down with it — drops are counted instead)."""
+        record: dict[str, Any] = {"ts": time.time(), "pid": os.getpid(),
+                                  "event": event}
+        record.update(fields)
+        try:
+            line = json.dumps(record, allow_nan=False, default=repr)
+        except ValueError:
+            line = json.dumps({"ts": record["ts"], "pid": record["pid"],
+                               "event": event, "error": "unserializable"})
+        with self._emit_lock:
+            try:
+                sink = self._sink()
+                sink.write(line + "\n")
+                sink.flush()
+            except OSError:
+                self.dropped += 1
+
+    def close(self) -> None:
+        with self._emit_lock:
+            if self._handle is not None and not self._handle.closed:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+            self._handle = None
+
+
+def log_for_run() -> StructuredLog | None:
+    """The process's structured log, or None with ``REPRO_LOG`` unset.
+
+    The off path is one environment lookup — no :class:`StructuredLog`
+    is ever constructed (the observe CI guard asserts exactly that).
+    The log is a process-wide singleton per target, so every layer of
+    one daemon appends to the same stream.
+    """
+    global _active
+    target = os.environ.get(LOG_ENV_VAR, "").strip()
+    if not target:
+        return None
+    log = _active
+    if log is not None and log.target == target:
+        return log
+    with _lock:
+        if _active is None or _active.target != target:
+            if _active is not None:
+                _active.close()
+            _active = StructuredLog(target)
+        return _active
+
+
+def reset_log() -> None:
+    """Drop the cached singleton (tests switching targets mid-process)."""
+    global _active
+    with _lock:
+        if _active is not None:
+            _active.close()
+        _active = None

@@ -1,0 +1,174 @@
+"""Cross-process trace stitching: one Perfetto trace per campaign.
+
+A traced service campaign (``serve --trace-dir D``) produces two kinds
+of artifacts in ``D``:
+
+* per-point worker traces (``<point name>.json``, Chrome trace_event
+  form, 1 ts = 1 simulated cycle) written by the pool workers, each
+  carrying a ``trace-context`` instant with the trace/span ID the
+  scheduler propagated into the worker; and
+* one scheduler manifest per campaign (``<job id>-scheduler.json``)
+  holding the scheduler-side spans (queue-wait, cache-probe, simulate,
+  cache-put, dedup-join) per point in wall-clock seconds, plus each
+  point's span ID and worker trace filename.
+
+:func:`stitch_campaign` merges them into one Chrome/Perfetto JSON: the
+scheduler becomes pid 1 (one thread per point, spans in wall-clock µs
+relative to submission), and each simulated point's kernel trace becomes
+its own process (pid 100+index, timestamps still in cycles). Span IDs
+are verified — a worker trace whose embedded context does not match the
+manifest is a stitching error, not a shrug.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+MANIFEST_SUFFIX = "-scheduler.json"
+MANIFEST_SCHEMA = 1
+SCHEDULER_PID = 1
+WORKER_PID_BASE = 100
+
+
+def manifest_path(trace_dir: str | pathlib.Path,
+                  campaign: str) -> pathlib.Path:
+    return pathlib.Path(trace_dir) / f"{campaign}{MANIFEST_SUFFIX}"
+
+
+def find_manifests(trace_dir: str | pathlib.Path) -> list[pathlib.Path]:
+    return sorted(pathlib.Path(trace_dir).glob(f"*{MANIFEST_SUFFIX}"))
+
+
+def _load_json(path: pathlib.Path) -> dict[str, Any]:
+    with path.open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def stitch_campaign(trace_dir: str | pathlib.Path,
+                    campaign: str | None = None,
+                    out: str | pathlib.Path | None = None) \
+        -> dict[str, Any]:
+    """Merge one campaign's scheduler + worker traces; returns a summary
+    (campaign, output path, span/trace counts)."""
+    trace_dir = pathlib.Path(trace_dir)
+    if campaign is not None:
+        manifest_file = manifest_path(trace_dir, campaign)
+        if not manifest_file.is_file():
+            raise FileNotFoundError(
+                f"no scheduler manifest for campaign {campaign!r} "
+                f"in {trace_dir}")
+    else:
+        manifests = find_manifests(trace_dir)
+        if not manifests:
+            raise FileNotFoundError(
+                f"no *{MANIFEST_SUFFIX} manifest in {trace_dir} — "
+                f"was the daemon started with --trace-dir?")
+        manifest_file = max(manifests, key=lambda p: p.stat().st_mtime)
+    manifest = _load_json(manifest_file)
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(f"unsupported manifest schema "
+                         f"{manifest.get('schema')!r} in {manifest_file}")
+    campaign = manifest["campaign"]
+    created_at = manifest["created_at"]
+
+    events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": SCHEDULER_PID, "tid": 0,
+        "ts": 0,
+        "args": {"name": f"fleet scheduler [{campaign}]"},
+    }]
+    scheduler_spans = 0
+    worker_traces = 0
+    worker_spans = 0
+    for entry in manifest["points"]:
+        tid = entry["index"] + 1
+        events.append({"name": "thread_name", "ph": "M",
+                       "pid": SCHEDULER_PID, "tid": tid, "ts": 0,
+                       "args": {"name": entry["point"]}})
+        events.append({"name": "thread_sort_index", "ph": "M",
+                       "pid": SCHEDULER_PID, "tid": tid, "ts": 0,
+                       "args": {"sort_index": tid}})
+        for span in entry["spans"]:
+            start = (span["start"] - created_at) * 1e6
+            events.append({
+                "name": span["name"], "ph": "X", "pid": SCHEDULER_PID,
+                "tid": tid, "ts": start,
+                "dur": max(0.0, (span["end"] - span["start"]) * 1e6),
+                "cat": "scheduler",
+                "args": {"span_id": entry["span_id"],
+                         "source": entry.get("source")},
+            })
+            scheduler_spans += 1
+        trace_file = entry.get("trace_file")
+        if not trace_file:
+            continue
+        worker_path = trace_dir / trace_file
+        if not worker_path.is_file():
+            continue                  # e.g. dropped by a cleanup sweep
+        worker_pid = WORKER_PID_BASE + entry["index"]
+        added = _merge_worker_trace(events, _load_json(worker_path),
+                                    worker_pid, entry)
+        worker_traces += 1
+        worker_spans += added
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.observe.stitch",
+            "campaign": campaign,
+            "time_unit": (f"pid {SCHEDULER_PID}: 1 ts = 1 us wall clock; "
+                          f"pid >= {WORKER_PID_BASE}: 1 ts = 1 core "
+                          f"cycle"),
+        },
+    }
+    out = pathlib.Path(out) if out is not None \
+        else trace_dir / f"{campaign}-stitched.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, allow_nan=False))
+    return {
+        "campaign": campaign,
+        "tenant": manifest.get("tenant"),
+        "out": str(out),
+        "points": len(manifest["points"]),
+        "scheduler_spans": scheduler_spans,
+        "worker_traces": worker_traces,
+        "worker_events": worker_spans,
+        "events": len(events),
+    }
+
+
+def _merge_worker_trace(events: list[dict[str, Any]],
+                        trace: dict[str, Any], worker_pid: int,
+                        entry: dict[str, Any]) -> int:
+    """Append one worker trace re-homed to ``worker_pid``; verifies the
+    embedded trace context against the manifest entry."""
+    worker_events = trace.get("traceEvents", [])
+    context = None
+    for event in worker_events:
+        if event.get("name") == "trace-context" and event.get("ph") == "i":
+            context = event.get("args", {})
+            break
+    if context is not None:
+        if context.get("span_id") != entry["span_id"]:
+            raise ValueError(
+                f"worker trace for {entry['point']!r} carries span_id "
+                f"{context.get('span_id')!r}, manifest says "
+                f"{entry['span_id']!r} — trace dir mixes campaigns?")
+    added = 0
+    named = False
+    for event in worker_events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            event = dict(event)
+            event["args"] = {"name": f"worker [{entry['point']}]"}
+            named = True
+        else:
+            event = dict(event)
+        event["pid"] = worker_pid
+        events.append(event)
+        added += 1
+    if not named:
+        events.append({"name": "process_name", "ph": "M",
+                       "pid": worker_pid, "tid": 0, "ts": 0,
+                       "args": {"name": f"worker [{entry['point']}]"}})
+    return added

@@ -1,0 +1,164 @@
+"""The live fleet dashboard behind ``python -m repro.observe watch``.
+
+Polls one daemon's ``/v1/status`` (fleet, tenants, campaigns, metric
+summaries, cache inventory) and ``/metrics`` (validated with the strict
+parser on every poll — the dashboard doubles as a scrape canary) and
+renders a refreshing terminal view. ``--once`` renders a single frame;
+``--json`` emits the raw snapshot instead, so scripts share the exact
+data the human sees — no second code path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.observe.prometheus import parse_prometheus
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def snapshot(client) -> dict[str, Any]:
+    """One coherent poll: the status document plus scrape statistics."""
+    status = client.status()
+    parsed = parse_prometheus(client.metrics())
+    return {
+        "status": status,
+        "scrape": {
+            "ok": True,
+            "families": len(parsed.families),
+            "samples": len(parsed.samples),
+        },
+    }
+
+
+def _seconds(value: float) -> str:
+    if value >= 3600:
+        return f"{value / 3600:.1f}h"
+    if value >= 60:
+        return f"{value / 60:.1f}m"
+    return f"{value:.1f}s"
+
+
+def _bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (f"{value:.0f}{unit}" if unit == "B"
+                    else f"{value:.1f}{unit}")
+        value /= 1024
+    return f"{value:.1f}GiB"           # pragma: no cover — unreachable
+
+
+def _quantiles(metrics: dict[str, Any], name: str) -> str:
+    summary = metrics.get(name)
+    if not summary or not summary.get("count"):
+        return "-"
+    return (f"p50 {summary['p50']:.2f}s · p95 {summary['p95']:.2f}s · "
+            f"p99 {summary['p99']:.2f}s (n={summary['count']})")
+
+
+def _counter(metrics: dict[str, Any], name: str) -> float:
+    entry = metrics.get(name)
+    return entry.get("value", 0.0) if entry else 0.0
+
+
+def render(snap: dict[str, Any]) -> str:
+    """One dashboard frame as a plain string."""
+    status = snap["status"]
+    metrics = status.get("metrics", {})
+    lines: list[str] = []
+    lines.append(
+        f"repro.service — up {_seconds(status['uptime'])} · "
+        f"{status['workers']} workers (pool gen "
+        f"{status['pool_generation']}) · engine {status['engine']}"
+        + (" · sanitize" if status.get("sanitize") else ""))
+
+    cache_line = f"cache    {status['cache_root'] or 'off'}"
+    counters = status.get("cache_counters")
+    if counters:
+        cache_line += (f" · {counters['hits']} hits / "
+                       f"{counters['misses']} misses")
+    inventory = status.get("cache_inventory")
+    if inventory:
+        engines = " ".join(f"{engine}={count}" for engine, count
+                           in sorted(inventory["engines"].items()))
+        cache_line += (f" · {inventory['entries']} entries "
+                       f"({_bytes(inventory['bytes'])})")
+        if engines:
+            cache_line += f" · {engines}"
+        if inventory.get("stale_schema"):
+            cache_line += f" · {inventory['stale_schema']} stale-schema"
+    lines.append(cache_line)
+
+    lines.append(
+        "engine   "
+        f"cohorts {int(_counter(metrics, 'service.cohorts'))} "
+        f"(splits {int(_counter(metrics, 'service.cohort_splits'))}) · "
+        f"lanes batched "
+        f"{int(_counter(metrics, 'service.lanes_batched'))} / "
+        f"scalar {int(_counter(metrics, 'service.lanes_scalar'))} · "
+        f"divergences "
+        f"{int(_counter(metrics, 'service.lane_divergences'))} · "
+        f"width {_quantile_ints(metrics, 'service.cohort_width')}")
+    lines.append(
+        f"latency  sim {_quantiles(metrics, 'service.sim_seconds')} · "
+        f"queue {_quantiles(metrics, 'service.queue_wait_seconds')}")
+    lines.append(
+        "fleet    "
+        f"timeouts {int(_counter(metrics, 'service.timeouts'))} · "
+        f"pool resets {int(_counter(metrics, 'service.pool_resets'))} · "
+        f"dedup {int(_counter(metrics, 'service.single_flight_dedup'))} "
+        f"· quota waits {int(_counter(metrics, 'service.quota_waits'))}")
+
+    tenants = status.get("tenants", [])
+    if tenants:
+        lines.append("tenants:")
+        for tenant in tenants:
+            name = tenant["name"]
+            lines.append(
+                f"  {name:12s} inflight {tenant['inflight']}/"
+                f"{tenant['quota']} · queued {tenant['queued']} · "
+                f"point {_quantiles(metrics, f'tenant.{name}.point_seconds')}")
+    campaigns = status.get("campaigns", [])
+    if campaigns:
+        lines.append("campaigns:")
+        for job in campaigns:
+            lines.append(
+                f"  {job['id']} [{job['tenant']}] {job['state']:8s} "
+                f"{job['done']}/{job['total']} · {job['cache_hits']} hit "
+                f"· {job['simulated']} sim · {job['deduped']} dup · "
+                f"{job['failures']} fail")
+    scrape = snap.get("scrape") or {}
+    lines.append(f"scrape   /metrics ok: {scrape.get('families', 0)} "
+                 f"families, {scrape.get('samples', 0)} samples")
+    return "\n".join(lines)
+
+
+def _quantile_ints(metrics: dict[str, Any], name: str) -> str:
+    summary = metrics.get(name)
+    if not summary or not summary.get("count"):
+        return "-"
+    return (f"p50 {summary['p50']:.0f} · max {summary['max']:.0f} "
+            f"(n={summary['count']})")
+
+
+def watch_loop(client, interval: float = 2.0, once: bool = False,
+               frames: int | None = None) -> int:
+    """Refreshing dashboard; returns a process exit code. ``frames``
+    bounds the loop for tests."""
+    rendered = 0
+    while True:
+        try:
+            snap = snapshot(client)
+        except (OSError, RuntimeError, ValueError) as exc:
+            print(f"[observe] daemon unreachable or invalid: {exc}")
+            return 1
+        frame = render(snap)
+        if once:
+            print(frame)
+            return 0
+        print(_CLEAR + frame, flush=True)
+        rendered += 1
+        if frames is not None and rendered >= frames:
+            return 0
+        time.sleep(interval)

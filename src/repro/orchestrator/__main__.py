@@ -133,6 +133,11 @@ def _cmd_status(args) -> int:
     for salt, count in sorted(info["salts"].items()):
         marker = " (current)" if salt == info["current_salt"] else " (stale)"
         print(f"  salt {salt}: {count} entries{marker}")
+    for engine, count in sorted(info["engines"].items()):
+        print(f"  engine {engine}: {count} entries (current salt)")
+    if info["stale_schema"]:
+        print(f"stale schema:  {info['stale_schema']} entries "
+              f"(orphaned payload schema — 'gc' reclaims them)")
     if info["tmp_orphans"]:
         print(f"tmp orphans:   {info['tmp_orphans']} "
               f"({info['tmp_bytes']} bytes) — 'gc' reaps ones older "

@@ -298,8 +298,15 @@ class ResultCache:
 
         Holds the advisory maintenance lock, so concurrent sweepers from
         other processes serialize instead of double-counting."""
+        from repro.observe.slog import log_for_run
+
         with self.locked():
-            return self._gc_locked(all_entries, tmp_max_age)
+            removed = self._gc_locked(all_entries, tmp_max_age)
+        log = log_for_run()
+        if log is not None:
+            log.emit("cache.gc", root=str(self.root), removed=removed,
+                     all_entries=all_entries)
+        return removed
 
     def _gc_locked(self, all_entries: bool, tmp_max_age: float) -> int:
         current = code_salt()
@@ -385,7 +392,7 @@ class ResultCache:
                 removed_bytes += size
                 evicted_shards += 1
             self._drop_empty_shards()
-            return {
+            report = {
                 "max_bytes": max_bytes,
                 "bytes": total,
                 "evicted_shards": evicted_shards,
@@ -393,6 +400,12 @@ class ResultCache:
                 "removed_bytes": removed_bytes,
                 "corrupt_removed": corrupt_removed,
             }
+        from repro.observe.slog import log_for_run
+
+        log = log_for_run()
+        if log is not None:
+            log.emit("cache.evict", root=str(self.root), **report)
+        return report
 
     def _drop_empty_shards(self) -> None:
         for shard in self.root.glob("*"):

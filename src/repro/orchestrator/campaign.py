@@ -209,6 +209,9 @@ class Campaign:
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
         self.points: list[SimPoint] = []
         self.telemetry = CampaignTelemetry(jobs=self.jobs)
+        # Structured log (repro.observe.slog) or None; resolved per run()
+        # so REPRO_LOG set between runs takes effect.
+        self._slog = None
 
     # ------------------------------------------------------------------
     # Building
@@ -237,9 +240,17 @@ class Campaign:
     def run(self) -> list[PointResult]:
         """Execute every queued point; results come back in submission
         order with deterministic content (the simulator is seeded)."""
+        from repro.observe.slog import log_for_run
+
         telemetry = self.telemetry = CampaignTelemetry(jobs=self.jobs,
                                                        engine=self.engine)
         telemetry.total = len(self.points)
+        self._slog = log_for_run()
+        if self._slog is not None:
+            self._slog.emit("campaign.start", points=len(self.points),
+                            jobs=self.jobs, engine=self.engine,
+                            sanitize=self.sanitize,
+                            trace_dir=self.trace_dir)
         results: list[PointResult | None] = [None] * len(self.points)
 
         misses: list[int] = []
@@ -261,6 +272,11 @@ class Campaign:
             else:
                 self._run_pool(misses, jobs, results)
         assert all(r is not None for r in results)
+        if self._slog is not None:
+            self._slog.emit("campaign.done",
+                            **{key: value for key, value
+                               in telemetry.to_dict().items()
+                               if key != "worker_imports"})
         return results  # type: ignore[return-value]
 
     # -- batch planning -------------------------------------------------
@@ -331,6 +347,15 @@ class Campaign:
                     telemetry.batched_points += 1
             else:
                 telemetry.failures += 1
+        if self._slog is not None:
+            self._slog.emit(
+                "campaign.point", point=result.point.name,
+                index=result.index,
+                source=("hit" if result.cache_hit
+                        else "sim" if result.ok else "fail"),
+                engine=result.engine, wall=result.wall_clock,
+                attempts=result.attempts, error=result.error,
+                done=telemetry.done, total=telemetry.total)
         if self.progress is not None:
             self.progress(telemetry, result)
         if result.error is not None and self.fail_fast:

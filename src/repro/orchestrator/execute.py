@@ -125,8 +125,16 @@ def _scalar_simulate(point: SimPoint) \
     return stats, log
 
 
+def point_trace_filename(point: SimPoint) -> str:
+    """The Chrome-trace filename a traced run writes for ``point``
+    (shared with the scheduler's stitch manifest)."""
+    return point.name.replace(":", "-").replace("/", "-") + ".json"
+
+
 def run_point_payload(point: SimPoint, sanitize: bool = False,
-                      trace_dir: str | None = None) -> dict[str, Any]:
+                      trace_dir: str | None = None,
+                      trace_ctx: dict[str, Any] | None = None) \
+        -> dict[str, Any]:
     """Pool-worker entry: simulate and return a JSON payload.
 
     Returning the serialized form (rather than the live objects) keeps the
@@ -138,7 +146,10 @@ def run_point_payload(point: SimPoint, sanitize: bool = False,
     With ``trace_dir``, the point runs under a fresh telemetry tracer and
     its Chrome trace is written to ``<trace_dir>/<point name>.json`` —
     including the events of a failed/violating run, which is exactly when
-    the timeline is most wanted."""
+    the timeline is most wanted. ``trace_ctx`` (e.g. ``{"trace_id":
+    "c0001", "span_id": "c0001/3"}``) is stamped into the trace as a
+    ``trace-context`` instant so :mod:`repro.observe.stitch` can merge
+    this worker's timeline with the submitting scheduler's spans."""
     if trace_dir is None:
         return _run_point_payload(point, sanitize)
     import pathlib
@@ -147,8 +158,10 @@ def run_point_payload(point: SimPoint, sanitize: bool = False,
     from repro.telemetry.export import write_chrome_trace
 
     tracer = Tracer()
-    trace_path = pathlib.Path(trace_dir) / (
-        point.name.replace(":", "-").replace("/", "-") + ".json")
+    if trace_ctx:
+        tracer.instant("meta", "trace-context", 0.0, cat="meta",
+                       **trace_ctx)
+    trace_path = pathlib.Path(trace_dir) / point_trace_filename(point)
     try:
         with tracing(tracer):
             return _run_point_payload(point, sanitize)
@@ -169,14 +182,21 @@ def _run_point_payload(point: SimPoint, sanitize: bool) -> dict[str, Any]:
     else:
         start = time.perf_counter()
         stats, log, engine = _simulate_engine(point, None)
-    payload = payload_from_run(stats, log, time.perf_counter() - start,
-                               engine=engine)
+    elapsed = time.perf_counter() - start
+    payload = payload_from_run(stats, log, elapsed, engine=engine)
     # Worker accounting rides along and is stripped before the payload is
     # cached (pids are not deterministic; cached payloads must be). Only
     # initialized pool workers report — a serial in-process run is not a
     # worker and would always read 0 imports.
     if _WORKER_STATE["imports"]:
         payload["worker"] = worker_info()
+    # Slow-point attribution (repro.observe.profiler): re-run offenders
+    # under cProfile. The env check keeps the common path import-free.
+    if os.environ.get("REPRO_SLOW_SIM_PROFILE"):
+        from repro.observe.profiler import maybe_profile_slow_point
+
+        maybe_profile_slow_point(point, elapsed,
+                                 lambda: _simulate_engine(point, None))
     return payload
 
 
@@ -186,7 +206,9 @@ class CohortLaneError(RuntimeError):
 
 
 def run_cohort_payloads(points: list[SimPoint], sanitize: bool = False,
-                        trace_dir: str | None = None) -> list[dict[str, Any]]:
+                        trace_dir: str | None = None,
+                        trace_ctx: dict[str, Any] | None = None) \
+        -> list[dict[str, Any]]:
     """Pool-worker entry for one planned cohort: run all lanes through the
     batched kernel, returning one payload per point in lane order.
 
@@ -200,7 +222,7 @@ def run_cohort_payloads(points: list[SimPoint], sanitize: bool = False,
 
     if sanitize or trace_dir is not None or \
             runtime_scalar_reason() is not None:
-        return [run_point_payload(point, sanitize, trace_dir)
+        return [run_point_payload(point, sanitize, trace_dir, trace_ctx)
                 for point in points]
     from repro.engine.batched import run_cohort
 
@@ -217,6 +239,11 @@ def run_cohort_payloads(points: list[SimPoint], sanitize: bool = False,
                 f"its scalar fallback: {lane.error!r}") from lane.error
         payload = payload_from_run(lane.stats, None, share,
                                    engine=lane.engine)
+        if lane.diverged_at is not None:
+            # Deterministic (the divergence point is a property of the
+            # inputs), so it is safe in cached payloads; the scheduler's
+            # cohort metrics count these as lanes retired to scalar.
+            payload["diverged_at"] = lane.diverged_at
         if _WORKER_STATE["imports"]:
             payload["worker"] = worker_info()
         payloads.append(payload)

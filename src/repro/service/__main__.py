@@ -5,6 +5,7 @@ Usage::
     python -m repro.service serve [--socket PATH | --port N]
         [--workers K] [--quota Q] [--timeout S] [--retries R]
         [--cache-dir DIR | --no-cache] [--sanitize]
+        [--trace-dir DIR] [--heartbeat S]
     python -m repro.service submit fig16 --tenant alice [--apps a,b]
         [--length N] [--quota Q] [--wait] [--json]
     python -m repro.service submit matrix --tenant bob --apps mcf,lbm
@@ -52,7 +53,8 @@ def _cmd_serve(args) -> int:
         cache=cache, workers=args.workers, quota=args.quota,
         timeout=args.timeout, retries=args.retries,
         sanitize=True if args.sanitize else None,
-        engine=args.engine)
+        engine=args.engine, trace_dir=args.trace_dir,
+        heartbeat=args.heartbeat)
     socket_path = None if args.port is not None \
         else (args.socket or default_socket_path())
     server = ServiceServer(scheduler, socket_path=socket_path,
@@ -196,6 +198,14 @@ def main(argv: list[str] | None = None) -> int:
                        help="simulation engine (default: $REPRO_ENGINE "
                             "or 'auto'; 'auto' batches compatible "
                             "submissions into lockstep cohorts)")
+    serve.add_argument("--trace-dir", type=str, default=None,
+                       help="capture per-point kernel traces plus "
+                            "scheduler stitch manifests under this "
+                            "directory (forces the scalar kernel; merge "
+                            "with 'python -m repro.observe stitch')")
+    serve.add_argument("--heartbeat", type=float, default=10.0,
+                       help="seconds between liveness heartbeats on "
+                            "campaign event streams (0 disables)")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser("submit", help="submit a campaign")

@@ -136,6 +136,20 @@ class ServiceClient:
     def status(self) -> dict[str, Any]:
         return self.request("GET", "/v1/status")
 
+    def metrics(self) -> str:
+        """Raw Prometheus text exposition from ``GET /metrics`` (the one
+        non-JSON endpoint, so it bypasses :meth:`request`)."""
+        with self._connect() as sock:
+            self._send(sock, "GET", "/metrics", None)
+            with sock.makefile("rb") as handle:
+                status, headers = self._read_head(handle)
+                length = int(headers.get("content-length", 0))
+                raw = handle.read(length) if length else handle.read()
+        if status >= 400:
+            raise ServiceError(status, raw.decode("utf-8",
+                                                  "replace") or "error")
+        return raw.decode("utf-8")
+
     def submit(self, tenant: str, sweep: str | None = None,
                apps: list[str] | None = None, length: int | None = None,
                matrix: dict[str, Any] | None = None,

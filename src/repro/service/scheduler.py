@@ -35,10 +35,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.config import sanitize_requested
+from repro.observe.slog import log_for_run
 from repro.telemetry.metrics import MetricsRegistry
 
 from repro.orchestrator.cache import ResultCache, point_digest
 from repro.orchestrator.execute import (
+    point_trace_filename,
     run_cohort_payloads,
     run_point_payload,
     worker_init,
@@ -60,6 +62,11 @@ class PointTask:
     digest: str
     attempts: int = 0
     bounces: int = 0
+    enqueued_at: float = field(default_factory=time.time)
+    # Scheduler-side stitch spans ([{name, start, end}] in wall-clock
+    # seconds); a list only when the fleet traces (--trace-dir), so the
+    # untraced path stays one `is None` test per record site.
+    spans: list[dict[str, Any]] | None = None
 
     @property
     def width(self) -> int:
@@ -81,6 +88,7 @@ class CohortTask:
     indices: list[int]
     points: list[SimPoint]
     digests: list[str]
+    enqueued_at: float = field(default_factory=time.time)
 
     @property
     def width(self) -> int:
@@ -121,6 +129,8 @@ class CampaignJob:
         # index -> worker payload (the cache/worker wire form); outcomes
         # carry the light per-point digest for status/results endpoints.
         self.payloads: dict[int, dict[str, Any]] = {}
+        # index -> scheduler-side stitch spans (traced fleets only).
+        self.sched_spans: dict[int, list[dict[str, Any]]] = {}
         self.outcomes: list[dict[str, Any] | None] = [None] * len(points)
         self.events: list[dict[str, Any]] = []
         self._event_cond = asyncio.Condition()
@@ -167,10 +177,16 @@ class CampaignJob:
 class FleetScheduler:
     """Round-robin multiplexer of tenant campaigns onto a process pool."""
 
+    # How long one disk-inventory scan is served from memory before the
+    # next /v1/status (or /metrics scrape) pays for a fresh one.
+    CACHE_INVENTORY_TTL = 10.0
+
     def __init__(self, cache: ResultCache | None, workers: int = 2,
                  quota: int | None = None, timeout: float | None = None,
                  retries: int = 1, sanitize: bool | None = None,
-                 engine: str | None = None) -> None:
+                 engine: str | None = None,
+                 trace_dir: str | None = None,
+                 heartbeat: float | None = 10.0) -> None:
         from repro.engine import resolve_engine
 
         self.cache = cache
@@ -188,6 +204,13 @@ class FleetScheduler:
         self.retries = max(0, retries)
         self.sanitize = sanitize_requested() if sanitize is None \
             else sanitize
+        # Traced fleets run scalar (runtime_scalar_reason: the tracer
+        # instruments the scalar kernel) and collect scheduler-side
+        # stitch spans per point; ``repro.observe stitch`` merges them
+        # with the worker kernel traces written under this directory.
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
+        self.heartbeat = heartbeat if heartbeat and heartbeat > 0 else None
+        self._slog = log_for_run()
         self.metrics = MetricsRegistry()
         self.tenants: dict[str, TenantState] = {}
         self.jobs: dict[str, CampaignJob] = {}
@@ -199,7 +222,10 @@ class FleetScheduler:
         self._pool_lock: asyncio.Lock | None = None
         self._wakeup: asyncio.Event | None = None
         self._dispatcher: asyncio.Task | None = None
+        self._heartbeat_task: asyncio.Task | None = None
         self._point_tasks: set[asyncio.Task] = set()
+        # (monotonic deadline, inventory dict) — cache_inventory() TTL.
+        self._inventory: tuple[float, dict[str, Any]] | None = None
         self.started_at = time.time()
         self._closed = False
 
@@ -212,13 +238,18 @@ class FleetScheduler:
         self._wakeup = asyncio.Event()
         self._pool = self._make_pool()
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        if self.heartbeat is not None:
+            self._heartbeat_task = asyncio.create_task(
+                self._heartbeat_loop())
 
     async def close(self) -> None:
         self._closed = True
-        if self._dispatcher is not None:
-            self._dispatcher.cancel()
+        for looper in (self._dispatcher, self._heartbeat_task):
+            if looper is None:
+                continue
+            looper.cancel()
             try:
-                await self._dispatcher
+                await looper
             except asyncio.CancelledError:
                 pass
         for task in list(self._point_tasks):
@@ -244,6 +275,25 @@ class FleetScheduler:
                                    mp_context=context,
                                    initializer=worker_init,
                                    initargs=((), self.engine))
+
+    async def _heartbeat_loop(self) -> None:
+        """Periodic liveness beat on every unfinished campaign's event
+        stream, so a client tailing a stalled campaign (wedged worker,
+        quota starvation) sees progress *of time* even when no point
+        completes between beats. ``client.wait()`` ignores non-point
+        event types, so old clients are unaffected."""
+        while True:
+            await asyncio.sleep(self.heartbeat)
+            now = time.time()
+            for job in list(self.jobs.values()):
+                if job.finished.is_set():
+                    continue
+                await job.record({
+                    "type": "heartbeat", "campaign": job.id,
+                    "tenant": job.tenant, "ts": now,
+                    "done": job.done, "total": job.total,
+                    "age": now - job.created_at,
+                })
 
     # ------------------------------------------------------------------
     # Submission
@@ -276,20 +326,64 @@ class FleetScheduler:
             tenant.queue.append(task)
         self._counter(tenant_name, "submitted_points").inc(len(points))
         self.metrics.counter("service.campaigns").inc()
+        if self._slog is not None:
+            self._slog.emit("campaign.submitted", campaign=job.id,
+                            tenant=tenant_name, points=len(points),
+                            meta=job.meta)
         self._wakeup.set()
         return job
 
     def _counter(self, tenant: str, name: str):
         return self.metrics.counter(f"tenant.{tenant}.{name}")
 
+    def _record_queue_wait(self, tenant: TenantState,
+                           task: PointTask | CohortTask) -> None:
+        wait = max(0.0, time.time() - task.enqueued_at)
+        self.metrics.histogram("service.queue_wait_seconds").add(wait)
+        self.metrics.histogram(
+            f"tenant.{tenant.name}.queue_wait_seconds").add(wait)
+        if isinstance(task, PointTask) and task.spans is not None:
+            task.spans.append({"name": "queue-wait",
+                               "start": task.enqueued_at,
+                               "end": time.time()})
+
+    @staticmethod
+    def _span(task: PointTask, name: str, start: float) -> None:
+        """Record one closed scheduler-side span (traced fleets only)."""
+        if task.spans is not None:
+            task.spans.append({"name": name, "start": start,
+                               "end": time.time()})
+
+    def _lane_metrics(self, payload: dict[str, Any], wall: float) -> None:
+        """Engine introspection counters from one simulated payload:
+        which kernel actually ran, lockstep divergence, and retired
+        instruction throughput split batched-vs-scalar."""
+        engine = payload.get("engine", "scalar")
+        self.metrics.counter(f"service.lanes_{engine}").inc()
+        if payload.get("diverged_at") is not None:
+            self.metrics.counter("service.lane_divergences").inc()
+        instructions = payload.get("instructions", 0)
+        if wall > 0 and instructions:
+            self.metrics.histogram(
+                f"service.{engine}_instrs_per_sec").add(
+                    instructions / wall)
+
     def _plan_tasks(self, job: CampaignJob, points: list[SimPoint]) \
             -> list[PointTask | CohortTask]:
         """Schedulable units for one submission: lockstep cohorts plus
         scalar singletons, ordered by first point index."""
-        singleton = lambda index: PointTask(  # noqa: E731
-            job=job, index=index, point=points[index],
-            digest=point_digest(points[index]))
-        if self.engine == "scalar" or self.sanitize:
+        tracing = self.trace_dir is not None
+
+        def singleton(index: int) -> PointTask:
+            return PointTask(
+                job=job, index=index, point=points[index],
+                digest=point_digest(points[index]),
+                spans=[] if tracing else None)
+
+        # Traced fleets stay scalar for the same reason sanitized ones
+        # do: runtime_scalar_reason() forces the scalar kernel in the
+        # worker, so a cohort would only be re-split there anyway.
+        if self.engine == "scalar" or self.sanitize or tracing:
             return [singleton(index) for index in range(len(points))]
         from repro.engine.plan import plan_points
 
@@ -305,6 +399,9 @@ class FleetScheduler:
                        digests=[point_digest(p) for p in cohort.points])
             for cohort in plan.cohorts if len(cohort.indices) > 1]
         self.metrics.counter("service.cohorts").inc(len(tasks))
+        for cohort_task in tasks:
+            self.metrics.histogram("service.cohort_width").add(
+                float(cohort_task.width))
         tasks.extend(singleton(cohort.indices[0])
                      for cohort in plan.cohorts
                      if len(cohort.indices) == 1)
@@ -374,6 +471,7 @@ class FleetScheduler:
     async def _run_point(self, tenant: TenantState,
                          task: PointTask) -> None:
         try:
+            self._record_queue_wait(tenant, task)
             payload, source, wall, error = await self._resolve(tenant, task)
             await self._finish_point(tenant, task, payload, source, wall,
                                      error)
@@ -392,8 +490,9 @@ class FleetScheduler:
         misses through one worker, and on any failure split the cohort
         back into scalar singletons at the front of the tenant's queue."""
         loop = asyncio.get_running_loop()
+        lanes: list[PointTask] = []           # cache misses, in lane order
         try:
-            lanes = []                        # cache misses, in lane order
+            self._record_queue_wait(tenant, task)
             for index, point, digest in zip(task.indices, task.points,
                                             task.digests):
                 lane = PointTask(job=task.job, index=index, point=point,
@@ -470,6 +569,7 @@ class FleetScheduler:
                 self.metrics.counter("service.simulated").inc()
                 wall = payload.get("wall_clock", 0.0)
                 self.metrics.histogram("service.sim_seconds").add(wall)
+                self._lane_metrics(payload, wall)
                 if self.cache is not None:
                     await loop.run_in_executor(
                         None, self.cache.put, lane.digest, payload,
@@ -504,8 +604,10 @@ class FleetScheduler:
         cache probe -> single-flight join -> pool simulation."""
         loop = asyncio.get_running_loop()
         if self.cache is not None:
+            probe_start = time.time()
             payload = await loop.run_in_executor(None, self.cache.get,
                                                  task.digest)
+            self._span(task, "cache-probe", probe_start)
             if payload is not None:
                 self._counter(tenant.name, "cache_hits").inc()
                 return payload, "hit", 0.0, None
@@ -516,21 +618,27 @@ class FleetScheduler:
             # exact point: join it instead of burning a second slot.
             self._counter(tenant.name, "deduped").inc()
             self.metrics.counter("service.single_flight_dedup").inc()
+            join_start = time.time()
             try:
                 payload = await asyncio.shield(leader)
             except Exception as exc:  # noqa: BLE001 — leader failed
                 return None, "fail", 0.0, f"single-flight leader: {exc!r}"
+            self._span(task, "dedup-join", join_start)
             return payload, "dedup", 0.0, None
 
         flight: asyncio.Future = loop.create_future()
         self._inflight_digests[task.digest] = flight
         try:
+            sim_start = time.time()
             payload, wall, error = await self._simulate(tenant, task)
             if payload is not None:
+                self._span(task, "simulate", sim_start)
                 if self.cache is not None:
+                    put_start = time.time()
                     await loop.run_in_executor(
                         None, self.cache.put, task.digest, payload,
                         {"point": task.point.name})
+                    self._span(task, "cache-put", put_start)
                 flight.set_result(payload)
                 return payload, "sim", wall, None
             flight.set_exception(RuntimeError(error or "failed"))
@@ -545,6 +653,14 @@ class FleetScheduler:
     async def _simulate(self, tenant: TenantState, task: PointTask):
         """Run the point on the pool with deadline + bounded retries."""
         loop = asyncio.get_running_loop()
+        trace_ctx = None
+        if self.trace_dir is not None:
+            # The worker stamps this context into its kernel trace as a
+            # `trace-context` instant; `repro.observe stitch` matches it
+            # against the scheduler manifest to merge both processes
+            # into one per-campaign Perfetto trace.
+            trace_ctx = {"trace_id": task.job.id,
+                         "span_id": f"{task.job.id}/{task.index}"}
         while True:
             task.attempts += 1
             generation = self._pool_generation
@@ -552,11 +668,17 @@ class FleetScheduler:
             try:
                 payload = await asyncio.wait_for(
                     loop.run_in_executor(self._pool, run_point_payload,
-                                         task.point, self.sanitize, None),
+                                         task.point, self.sanitize,
+                                         self.trace_dir, trace_ctx),
                     timeout=self.timeout)
             except asyncio.TimeoutError:
                 self.metrics.counter("service.timeouts").inc()
                 self._counter(tenant.name, "timeouts").inc()
+                if self._slog is not None:
+                    self._slog.emit("point.timeout", campaign=task.job.id,
+                                    tenant=tenant.name,
+                                    point=task.point.name,
+                                    timeout=self.timeout)
                 # The worker is wedged past its deadline: kill the fleet
                 # generation it runs in so the slot comes back.
                 await self._reset_pool(generation)
@@ -593,6 +715,7 @@ class FleetScheduler:
                 wall = payload.get("wall_clock",
                                    time.perf_counter() - start)
                 self.metrics.histogram("service.sim_seconds").add(wall)
+                self._lane_metrics(payload, wall)
                 return payload, wall, None
             if task.attempts <= self.retries:
                 self._counter(tenant.name, "retries").inc()
@@ -616,6 +739,10 @@ class FleetScheduler:
             self._pool = self._make_pool()
             self._pool_generation += 1
             self.metrics.counter("service.pool_resets").inc()
+            if self._slog is not None:
+                self._slog.emit("pool.reset",
+                                generation=self._pool_generation,
+                                workers=self.workers)
 
     async def _finish_point(self, tenant: TenantState, task: PointTask,
                             payload: dict[str, Any] | None, source: str,
@@ -635,6 +762,15 @@ class FleetScheduler:
             outcome["cycles"] = payload.get("cycles", 0.0)
             outcome["instructions"] = payload.get("instructions", 0)
         job.outcomes[task.index] = outcome
+        self.metrics.histogram(
+            f"tenant.{tenant.name}.point_seconds").add(wall)
+        if task.spans is not None:
+            job.sched_spans[task.index] = task.spans
+        if self._slog is not None:
+            self._slog.emit("point.done", campaign=job.id,
+                            tenant=job.tenant, point=task.point.name,
+                            index=task.index, source=source, wall=wall,
+                            attempts=task.attempts, error=error)
         job.done += 1
         if source == "hit":
             job.hits += 1
@@ -652,12 +788,63 @@ class FleetScheduler:
                           "tenant": job.tenant, "done": job.done,
                           "total": job.total, **outcome})
         if job.done == job.total:
+            if self._slog is not None:
+                self._slog.emit("campaign.done", campaign=job.id,
+                                tenant=job.tenant, state=job.state,
+                                cache_hits=job.hits,
+                                simulated=job.simulated,
+                                deduped=job.deduped,
+                                failures=job.failures)
+            if self.trace_dir is not None:
+                self._write_stitch_manifest(job)
             await job.record({"type": "campaign", "campaign": job.id,
                               "tenant": job.tenant, "state": job.state,
                               **{k: job.to_dict()[k] for k in
                                  ("cache_hits", "simulated", "deduped",
                                   "failures")}})
             job.finished.set()
+
+    def _write_stitch_manifest(self, job: CampaignJob) -> None:
+        """Scheduler-side half of the stitched campaign trace: which
+        points ran, their span IDs, their scheduler spans, and (for
+        simulated points) which worker trace file carries the kernel
+        side. ``repro.observe stitch`` joins the two on span_id."""
+        import json
+        import pathlib
+
+        from repro.observe.stitch import MANIFEST_SCHEMA, manifest_path
+
+        points = []
+        for index, point in enumerate(job.points):
+            outcome = job.outcomes[index] or {}
+            source = outcome.get("source", "fail")
+            points.append({
+                "index": index,
+                "point": point.name,
+                "span_id": f"{job.id}/{index}",
+                "source": source,
+                "trace_file": (point_trace_filename(point)
+                               if source == "sim" else None),
+                "spans": job.sched_spans.get(index, []),
+            })
+        manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "campaign": job.id,
+            "tenant": job.tenant,
+            "created_at": job.created_at,
+            "trace_id": job.id,
+            "points": points,
+        }
+        try:
+            root = pathlib.Path(self.trace_dir)
+            root.mkdir(parents=True, exist_ok=True)
+            manifest_path(root, job.id).write_text(
+                json.dumps(manifest, indent=2) + "\n")
+        except OSError:
+            # Losing a manifest must never fail the campaign itself.
+            if self._slog is not None:
+                self._slog.emit("stitch.manifest_error", campaign=job.id,
+                                trace_dir=self.trace_dir)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -712,6 +899,27 @@ class FleetScheduler:
         except (ValueError, KeyError, RuntimeError):
             return None               # not a stock sweep shape; no summary
 
+    def cache_inventory(self) -> dict[str, Any] | None:
+        """Disk-cache breakdown (entry/byte totals, per-engine entry
+        counts, stale-schema orphans) for status and /metrics, cached
+        for :data:`CACHE_INVENTORY_TTL` so scrapes don't rescan disk."""
+        if self.cache is None:
+            return None
+        now = time.monotonic()
+        if self._inventory is not None and now < self._inventory[0]:
+            return self._inventory[1]
+        info = self.cache.inventory()
+        snapshot = {
+            "entries": info["entries"],
+            "bytes": info["bytes"],
+            "engines": info["engines"],
+            "stale_schema": info["stale_schema"],
+            "tmp_orphans": info["tmp_orphans"],
+            "sim_seconds": info["sim_seconds"],
+        }
+        self._inventory = (now + self.CACHE_INVENTORY_TTL, snapshot)
+        return snapshot
+
     def status(self) -> dict[str, Any]:
         jobs = sorted(self.jobs.values(), key=lambda j: j.id)
         return {
@@ -722,11 +930,14 @@ class FleetScheduler:
             "retries": self.retries,
             "sanitize": self.sanitize,
             "engine": self.engine,
+            "heartbeat": self.heartbeat,
+            "trace_dir": self.trace_dir,
             "cache_root": (str(self.cache.root)
                            if self.cache is not None else None),
             "cache_counters": ({"hits": self.cache.counters.hits,
                                 "misses": self.cache.counters.misses}
                                if self.cache is not None else None),
+            "cache_inventory": self.cache_inventory(),
             "tenants": [t.to_dict() for t in self.tenants.values()],
             "campaigns": [j.to_dict() for j in jobs],
             "metrics": self.metrics.to_dict(),

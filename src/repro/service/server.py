@@ -7,6 +7,7 @@ socket (the default for a local daemon) or localhost TCP.
 API (all JSON)::
 
     GET  /healthz                       liveness + uptime
+    GET  /metrics                       Prometheus text exposition
     GET  /v1/status                     fleet, tenants, campaigns, metrics
     POST /v1/campaigns                  submit; body below
     GET  /v1/campaigns/<id>             one campaign's live snapshot
@@ -172,6 +173,18 @@ class ServiceServer:
             f"Connection: close\r\n\r\n".encode() + payload)
         await writer.drain()
 
+    async def _respond_text(self, writer: asyncio.StreamWriter,
+                            status: int, text: str,
+                            content_type: str = "text/plain") -> None:
+        payload = text.encode("utf-8")
+        reason = {200: "OK"}.get(status, "?")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + payload)
+        await writer.drain()
+
     async def _stream_headers(self, writer: asyncio.StreamWriter) -> None:
         # Close-delimited NDJSON: no Content-Length; the stream ends when
         # the campaign finishes and the server closes the connection.
@@ -192,6 +205,14 @@ class ServiceServer:
             await self._respond(writer, 200, {
                 "ok": True, "service": "repro.service",
                 "uptime": self.scheduler.status()["uptime"]})
+        elif method == "GET" and path == "/metrics":
+            from repro.observe.prometheus import (
+                CONTENT_TYPE,
+                render_prometheus,
+            )
+            await self._respond_text(
+                writer, 200, render_prometheus(self.scheduler),
+                content_type=CONTENT_TYPE)
         elif method == "GET" and path == "/v1/status":
             await self._respond(writer, 200, self.scheduler.status())
         elif method == "POST" and path == "/v1/campaigns":

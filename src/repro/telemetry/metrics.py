@@ -5,25 +5,34 @@ waits, store commit→durable latencies, write-buffer occupancy — without
 touching the legacy stats dataclasses, which stay bit-exact for the
 figures and the cache. A registry lives on each :class:`Tracer`, so with
 tracing off none of this is ever allocated.
+
+Thread-safety: the service daemon hits one registry from its asyncio
+thread *and* from executor callback threads (cache probes run in the
+default executor), so metric creation and every mutation are guarded by
+locks. The locks are uncontended on the single-threaded tracing paths
+and cost nothing at all with tracing off (no registry exists).
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any
 
 
 class MetricCounter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "counter", "value": self.value}
@@ -32,19 +41,21 @@ class MetricCounter:
 class MetricGauge:
     """A last-written value plus its observed maximum."""
 
-    __slots__ = ("name", "value", "max_value", "samples")
+    __slots__ = ("name", "value", "max_value", "samples", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
         self.max_value = -math.inf
         self.samples = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
-        if value > self.max_value:
-            self.max_value = value
-        self.samples += 1
+        with self._lock:
+            self.value = value
+            if value > self.max_value:
+                self.max_value = value
+            self.samples += 1
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "gauge", "value": self.value,
@@ -57,17 +68,30 @@ class MetricHistogram:
 
     Runs are bounded (tens of thousands of events), so raw samples are
     affordable and keep percentiles exact; the summary form buckets only
-    at export time.
+    at export time. Samples must be finite — NaN would poison every
+    percentile silently, so :meth:`add` rejects it loudly instead.
     """
 
-    __slots__ = ("name", "samples")
+    __slots__ = ("name", "samples", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.samples: list[float] = []
+        self._lock = threading.Lock()
 
     def add(self, value: float) -> None:
-        self.samples.append(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"histogram {self.name!r} sample must be finite, "
+                f"got {value!r}")
+        with self._lock:
+            self.samples.append(value)
+
+    def snapshot(self) -> list[float]:
+        """A consistent copy of the samples (safe to sort/iterate while
+        other threads keep recording)."""
+        with self._lock:
+            return list(self.samples)
 
     @property
     def count(self) -> int:
@@ -75,69 +99,111 @@ class MetricHistogram:
 
     @property
     def total(self) -> float:
-        return sum(self.samples)
+        return sum(self.snapshot())
 
     @property
     def mean(self) -> float:
-        return self.total / len(self.samples) if self.samples else 0.0
+        samples = self.snapshot()
+        return sum(samples) / len(samples) if samples else 0.0
 
     def percentile(self, p: float) -> float:
-        """Exact nearest-rank percentile, ``p`` in [0, 100]."""
-        if not self.samples:
+        """Exact nearest-rank percentile, ``p`` in [0, 100].
+
+        ``p`` outside the range — including NaN, which fails every
+        comparison — raises ``ValueError``. An empty histogram reports
+        0.0 for any valid ``p``.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p!r}")
+        ordered = sorted(self.snapshot())
+        if not ordered:
             return 0.0
-        ordered = sorted(self.samples)
         rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
         return ordered[min(rank, len(ordered) - 1)]
 
     def to_dict(self) -> dict[str, Any]:
-        if not self.samples:
+        ordered = sorted(self.snapshot())
+        if not ordered:
             return {"type": "histogram", "count": 0}
-        ordered = sorted(self.samples)
+
+        def rank(p: float) -> float:
+            at = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+            return ordered[min(at, len(ordered) - 1)]
+
         return {
             "type": "histogram",
             "count": len(ordered),
-            "sum": self.total,
-            "mean": self.mean,
+            "sum": sum(ordered),
+            "mean": sum(ordered) / len(ordered),
             "min": ordered[0],
             "max": ordered[-1],
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
+            "p50": rank(50),
+            "p90": rank(90),
+            "p95": rank(95),
+            "p99": rank(99),
         }
 
 
 class MetricsRegistry:
-    """Create-on-first-use registry of named metrics."""
+    """Create-on-first-use registry of named metrics (thread-safe)."""
 
-    __slots__ = ("_counters", "_gauges", "_histograms")
+    __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
 
     def __init__(self) -> None:
         self._counters: dict[str, MetricCounter] = {}
         self._gauges: dict[str, MetricGauge] = {}
         self._histograms: dict[str, MetricHistogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> MetricCounter:
         metric = self._counters.get(name)
         if metric is None:
-            metric = self._counters[name] = MetricCounter(name)
+            with self._lock:
+                metric = self._counters.get(name)
+                if metric is None:
+                    metric = self._counters[name] = MetricCounter(name)
         return metric
 
     def gauge(self, name: str) -> MetricGauge:
         metric = self._gauges.get(name)
         if metric is None:
-            metric = self._gauges[name] = MetricGauge(name)
+            with self._lock:
+                metric = self._gauges.get(name)
+                if metric is None:
+                    metric = self._gauges[name] = MetricGauge(name)
         return metric
 
     def histogram(self, name: str) -> MetricHistogram:
         metric = self._histograms.get(name)
         if metric is None:
-            metric = self._histograms[name] = MetricHistogram(name)
+            with self._lock:
+                metric = self._histograms.get(name)
+                if metric is None:
+                    metric = self._histograms[name] = MetricHistogram(name)
         return metric
+
+    def all_counters(self) -> list[MetricCounter]:
+        """Registered counters, sorted by name (a consistent copy)."""
+        with self._lock:
+            return [self._counters[n] for n in sorted(self._counters)]
+
+    def all_gauges(self) -> list[MetricGauge]:
+        """Registered gauges, sorted by name (a consistent copy)."""
+        with self._lock:
+            return [self._gauges[n] for n in sorted(self._gauges)]
+
+    def all_histograms(self) -> list[MetricHistogram]:
+        """Registered histograms, sorted by name (a consistent copy)."""
+        with self._lock:
+            return [self._histograms[n] for n in sorted(self._histograms)]
 
     def to_dict(self) -> dict[str, Any]:
         """JSON summary of every registered metric, sorted by name."""
         out: dict[str, Any] = {}
-        for group in (self._counters, self._gauges, self._histograms):
+        with self._lock:
+            groups = [dict(self._counters), dict(self._gauges),
+                      dict(self._histograms)]
+        for group in groups:
             for name in sorted(group):
                 out[name] = group[name].to_dict()
         return out
