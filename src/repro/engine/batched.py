@@ -1,19 +1,30 @@
-"""The batched lockstep kernel: N compatible runs per trace walk.
+"""The batched lockstep kernels: N compatible runs per trace walk.
 
 A cohort is a list of :class:`~repro.orchestrator.points.SimPoint`-shaped
 points sharing an interned trace and a cache geometry (see
-:mod:`repro.engine.plan`). The kernel advances every lane one instruction
-at a time over structure-of-arrays state — per-lane free lists, CSQ
-occupancy, write-buffer slots, WPQ rings, and register ready-times held in
-parallel lists indexed by lane — so the per-instruction work that is
-lane-invariant (decode, memory-script lookup, branch structure) is paid
-once per cohort instead of once per run.
+:mod:`repro.engine.plan`). :func:`run_cohort` dispatches a cohort to one
+of three kernels:
 
-The arithmetic is a faithful transliteration of the scalar model
-(:mod:`repro.pipeline.core` + the PPA policy + WB/NVM device models): the
-same float operations in the same order, so the results are bit-exact
-against the golden-count pins. The cache hierarchy itself is not
-re-simulated per lane — its decisions are lane-invariant and come
+* the **list kernel** (this module) — the reference implementation:
+  per-lane free lists, CSQ occupancy, write-buffer slots, WPQ rings, and
+  register ready-times held in parallel Python lists indexed by lane, so
+  the per-instruction work that is lane-invariant (decode, memory-script
+  lookup, branch structure) is paid once per cohort instead of once per
+  run. Serves the out-of-order schemes in :data:`KERNEL_SCHEMES`.
+* the **columnar kernel** (:mod:`repro.engine.columns`) — the same
+  arithmetic over numpy ``[lane]``/``[lane, reg]`` arrays with a
+  uniform-path fast lane, used for wide cohorts when numpy is available
+  and ``REPRO_BATCHED_VECTOR`` is not 0 (see
+  :func:`repro.engine.vector_enabled`).
+* the **in-order lane kernel** (:mod:`repro.engine.inorder_lanes`) — for
+  ``core="inorder"`` points (schemes in
+  :data:`INORDER_KERNEL_SCHEMES`).
+
+The arithmetic is a faithful transliteration of the scalar models
+(:mod:`repro.pipeline.core` + the persistence policies + WB/NVM device
+models): the same float operations in the same order, so the results are
+bit-exact against the golden-count pins. The cache hierarchy itself is
+not re-simulated per lane — its decisions are lane-invariant and come
 precompiled from :mod:`repro.engine.memscript`; only the NVM device terms
 (WPQ admission, port contention) are evaluated per lane.
 
@@ -21,28 +32,84 @@ Divergence: any lane that raises mid-flight (e.g. a PRF deadlock under an
 undersized config) is retired from the lockstep set and re-run from
 scratch on the scalar kernel, which reproduces scalar behaviour —
 including the error itself — exactly. ``diverge_at`` forces this path for
-testing.
+testing. Lane failures travel as :class:`LaneError` (type name, message,
+formatted traceback), never as live exception objects, so a result list
+always survives the process-pool pickle boundary.
 """
 
 from __future__ import annotations
 
+import random
+import traceback as _traceback
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from heapq import heappop, heappush
 
 from repro.engine.memscript import MODE_APP_DIRECT, MODE_CONST, memory_script
 from repro.isa.decoded import OP_LOAD, OP_STORE, OP_SYNC
 from repro.isa.instructions import Opcode
+from repro.persistence.capri import (
+    DEFAULT_MEAN_REGION,
+    DEFAULT_PATH_BANDWIDTH_GBS,
+    REDO_BUFFER_BYTES,
+    SEAL_STALL_CYCLES,
+)
 from repro.pipeline.core import _SYNC_LATENCY, def_value
 from repro.pipeline.stats import CoreStats, RegionRecord, StoreRecord
 from repro.workloads.interning import interned_trace, region_extents
 
 _INF = float("inf")
 
-# Schemes the kernel implements natively. "eadr" and "dram-only" run the
-# baseline policy (NoPersistencePolicy) on a different backend, which the
-# memory script already encodes.
-KERNEL_SCHEMES = frozenset({"ppa", "baseline", "eadr", "dram-only"})
+# Out-of-order schemes the lockstep kernels implement natively. "eadr" and
+# "dram-only" run the baseline policy (NoPersistencePolicy) on a different
+# backend, which the memory script already encodes; "capri" adds the
+# compiler-region seal floor and the redo-buffer/dedicated-path device.
+KERNEL_SCHEMES = frozenset({"ppa", "baseline", "eadr", "dram-only", "capri"})
+
+# Schemes the in-order lane kernel implements (the facade's in-order
+# dispatch accepts exactly these two).
+INORDER_KERNEL_SCHEMES = frozenset({"ppa", "baseline"})
+
+# Cohorts at least this wide default to the columnar kernel: below it the
+# fixed per-instruction cost of issuing numpy expressions exceeds the
+# interpreter cost of the per-lane list loop. The ppa scheme pays extra
+# per-instruction stall/region-close machinery that amortizes more
+# slowly, so its crossover sits much higher (measured; see bench suite
+# "wide").
+VECTOR_MIN_LANES = 12
+VECTOR_MIN_LANES_PPA = 48
+
+
+@dataclass(frozen=True)
+class LaneError:
+    """A lane failure reduced to picklable strings.
+
+    Live exception objects can hold arbitrary (unpicklable) payloads and
+    would break cohort result delivery across the process pool, so lane
+    errors travel as (type name, message, formatted traceback) and are
+    re-raised as :class:`CohortLaneError` at the consumer.
+    """
+
+    type_name: str
+    message: str
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "LaneError":
+        try:
+            message = str(exc)
+        except Exception:
+            message = f"<unprintable {type(exc).__name__}>"
+        try:
+            formatted = "".join(_traceback.format_exception(
+                type(exc), exc, exc.__traceback__))
+        except Exception:
+            formatted = ""
+        return cls(type_name=type(exc).__name__, message=message,
+                   traceback=formatted)
+
+    def __str__(self) -> str:
+        return f"{self.type_name}: {self.message}"
 
 
 @dataclass
@@ -54,7 +121,7 @@ class LaneResult:
     # Instruction index at which the lane left the lockstep set (None when
     # it ran batched to completion).
     diverged_at: int | None = None
-    error: BaseException | None = None
+    error: LaneError | None = None
 
 
 def lane_summary(results: list[LaneResult]) -> dict:
@@ -94,14 +161,22 @@ def _latency_list(core, dec) -> list:
     })
 
 
-def run_cohort(points, *, diverge_at=None) -> list[LaneResult]:
+def run_cohort(points, *, diverge_at=None,
+               vector: bool | None = None) -> list[LaneResult]:
     """Run every point of a compatible cohort in lockstep; returns one
     :class:`LaneResult` per point, in order.
 
     ``diverge_at`` maps lane index -> instruction index at which that lane
     is forcibly retired to the scalar kernel (testing hook for the
     divergence path).
+
+    ``vector`` pins the kernel choice for out-of-order cohorts: True
+    forces the columnar (numpy) kernel, False forces the list kernel,
+    None (the default) picks the columnar kernel for cohorts of
+    :data:`VECTOR_MIN_LANES`+ lanes when ``REPRO_BATCHED_VECTOR`` allows
+    it. Value-tracking cohorts always use the list kernel.
     """
+    from repro.engine import vector_enabled
     from repro.engine.plan import cohort_key, unbatchable_reason
 
     if not points:
@@ -114,11 +189,42 @@ def run_cohort(points, *, diverge_at=None) -> list[LaneResult]:
     if len(keys) != 1:
         raise ValueError("cohort mixes incompatible points")
 
+    p0 = points[0]
+    if getattr(p0, "core", "ooo") == "inorder":
+        from repro.engine.inorder_lanes import run_inorder_cohort
+
+        return run_inorder_cohort(points, diverge_at=diverge_at)
+
+    want = vector
+    if want is None:
+        floor = (VECTOR_MIN_LANES_PPA if p0.scheme == "ppa"
+                 else VECTOR_MIN_LANES)
+        want = (vector_enabled() and not p0.track_values
+                and len(points) >= floor)
+    if want and not p0.track_values:
+        from repro.engine import columns
+
+        if p0.scheme in columns.VECTOR_SCHEMES and columns.available():
+            try:
+                return columns.run_cohort_vector(points,
+                                                 diverge_at=diverge_at)
+            except Exception:
+                # An explicitly forced vector run must surface its own
+                # failure; the automatic path degrades to the reference
+                # kernel, whose results are identical by contract.
+                if vector:
+                    raise
+    return _run_cohort_lists(points, diverge_at=diverge_at)
+
+
+def _run_cohort_lists(points, *, diverge_at=None) -> list[LaneResult]:
+    """The list-based lockstep kernel (reference implementation)."""
     n = len(points)
     p0 = points[0]
     scheme = p0.scheme
     is_ppa = scheme == "ppa"
-    stats_scheme = "ppa" if is_ppa else "baseline"
+    is_capri = scheme == "capri"
+    stats_scheme = scheme if scheme in ("ppa", "capri") else "baseline"
     trace = interned_trace(p0.profile, p0.length, seed=p0.seed)
     warm = p0.warmup > 0
     extents = region_extents(p0.profile) if warm else None
@@ -214,6 +320,49 @@ def run_cohort(points, *, diverge_at=None) -> list[LaneResult]:
     region_start = [0] * n
     region_stores = [0] * n
     last_store_commit = [0.0] * n
+
+    # Capri policy state. Region boundaries are a pure function of seq
+    # (one RNG walk shared by every lane); the seal floor, redo buffer,
+    # and dedicated persist path are per lane. The redo buffer always
+    # coalesces and its path has persist_path_latency=0, so its slot/
+    # admission arithmetic needs no eviction floor: an op whose drain has
+    # completed by ``time`` fails the coalescing-window check anyway, and
+    # slot admission reads the Kth-from-last accepted time, which prefix
+    # pruning does not move.
+    if is_capri:
+        cap_rng = random.Random(0xCA9B1)
+        cap_p = 1.0 / DEFAULT_MEAN_REGION
+
+        def _cap_draw():
+            ln = 1
+            while cap_rng.random() > cap_p:
+                ln += 1
+            return 2 if ln < 2 else ln
+
+        cap_bounds = []
+        nb = _cap_draw()
+        while nb < length:
+            cap_bounds.append(nb)
+            nb += _cap_draw()
+        cap_bounds.append(nb)  # sentinel at/after length, never reached
+        cap_ptr = 0
+        commit_floor = [0.0] * n
+        redo_entries = REDO_BUFFER_BYTES // 64
+        path_cfgs = [replace(c,
+                             write_bandwidth_gbs=DEFAULT_PATH_BANDWIDTH_GBS,
+                             wpq_entries=redo_entries,
+                             persist_path_latency=0) for c in nvms]
+        # The dedicated path is a single NvmModel regardless of the main
+        # memory's controller count.
+        path_cpl = [c.cycles_per_line / 1.0 for c in path_cfgs]
+        path_wlat = [c.write_latency for c in path_cfgs]
+        path_port = [0.0] * n
+        path_ring = [[0.0] * redo_entries for __ in range(n)]
+        path_cnt = [0] * n
+        path_smax = [0.0] * n
+        path_writes = [0] * n
+        redo_live = [dict() for __ in range(n)]
+        redo_slots = [[] for __ in range(n)]
 
     # Write buffer (persist ops are [durable_at, done_at, region_tag]).
     wb_entries = [p.writebuffer_entries for p in ppas]
@@ -427,8 +576,30 @@ def run_cohort(points, *, diverge_at=None) -> list[LaneResult]:
                 if not live:
                     break
 
+        if is_capri and seq == cap_bounds[cap_ptr]:
+            cap_ptr += 1
+            cap_close = True
+        else:
+            cap_close = False
+
         for l in live:
             try:
+                if cap_close:
+                    # CapriPolicy.pre_rename: the compiler-inserted seal
+                    # micro-op closes the region and briefly blocks
+                    # retirement of the next one.
+                    lc0 = last_commit[l]
+                    cf = lc0 + SEAL_STALL_CYCLES
+                    commit_floor[l] = cf
+                    regions[l].append(RegionRecord(
+                        region_id=region_id[l], start_seq=region_start[l],
+                        end_seq=seq, store_count=region_stores[l],
+                        boundary_time=lc0, drain_wait=cf - lc0,
+                        cause="compiler"))
+                    region_id[l] += 1
+                    region_start[l] = seq
+                    region_stores[l] = 0
+
                 # ---------------- rename stage ----------------
                 t = fetch_ready[l]
                 rob_r = rob_rel[l]
@@ -622,6 +793,52 @@ def run_cohort(points, *, diverge_at=None) -> list[LaneResult]:
                 lc = last_commit[l]
                 if tentative < lc:
                     tentative = lc
+                if is_capri:
+                    # CapriPolicy.adjust_commit: the seal floor gates
+                    # every commit in the next region.
+                    cf = commit_floor[l]
+                    if cf > tentative:
+                        tentative = cf
+                    if opcode == OP_STORE:
+                        # CapriPolicy.store_commit_time: the store commits
+                        # into the redo buffer; a backed-up drain to NVM
+                        # backpressures the commit until an entry frees.
+                        op = redo_live[l].get(line)
+                        if op is not None and op[1] > tentative:
+                            if op[0] > tentative:
+                                tentative = op[0]
+                        else:
+                            free = redo_slots[l]
+                            if (len(free) - bisect_right(free, tentative)
+                                    >= redo_entries):
+                                admit = free[len(free) - redo_entries]
+                            else:
+                                admit = tentative
+                            # Dedicated-path NvmModel.write_line (same
+                            # ring + running-max WPQ reduction as the
+                            # main device, path latency 0).
+                            cnt = path_cnt[l]
+                            ring = path_ring[l]
+                            smax = path_smax[l]
+                            if admit > smax:
+                                smax = admit
+                                path_smax[l] = smax
+                            accepted = admit
+                            if cnt >= redo_entries:
+                                gate = ring[cnt % redo_entries]
+                                if gate > smax:
+                                    accepted = gate
+                            pf = path_port[l]
+                            start = accepted if accepted >= pf else pf
+                            path_port[l] = start + path_cpl[l]
+                            done = start + path_wlat[l]
+                            ring[cnt % redo_entries] = done
+                            path_cnt[l] = cnt + 1
+                            path_writes[l] += 1
+                            insort(free, accepted)
+                            redo_live[l][line] = [accepted, done]
+                            if accepted > tentative:
+                                tentative = accepted
                 if is_ppa:
                     if opcode == OP_STORE:
                         # PpaPolicy.store_commit_time
@@ -720,6 +937,12 @@ def run_cohort(points, *, diverge_at=None) -> list[LaneResult]:
                         advance_floor(l, commit)
                         persist_store(l, line, merge_time)
                         record.durable_at = wb_last_sd[l]
+                    elif is_capri:
+                        # CapriPolicy.store_committed: durable on redo-
+                        # buffer entry (battery-backed).
+                        record.region_id = region_id[l]
+                        record.durable_at = commit
+                        region_stores[l] += 1
 
                 if mis:
                     resteer = complete + penalty[l]
@@ -742,6 +965,15 @@ def run_cohort(points, *, diverge_at=None) -> list[LaneResult]:
         if is_ppa:
             # policy.finish(last_commit_time)
             close_region(l, length or 0, last_commit[l], "end")
+        elif is_capri:
+            # CapriPolicy.finish: the trailing region closes at the last
+            # commit with no drain wait (redo entries are already
+            # durable).
+            lc0 = last_commit[l]
+            regions[l].append(RegionRecord(
+                region_id=region_id[l], start_seq=region_start[l],
+                end_seq=length or 0, store_count=region_stores[l],
+                boundary_time=lc0, drain_wait=0.0, cause="end"))
         stats = CoreStats(scheme=stats_scheme)
         stats.name = trace.name
         stats.instructions = length
@@ -758,16 +990,24 @@ def run_cohort(points, *, diverge_at=None) -> list[LaneResult]:
         stats.persist_coalesced = wb_coal[l]
         stats.wb_full_stall_cycles = wb_stall[l]
         stats.load_level_counts = Counter(script.level_counts)
+        if is_capri:
+            stats.extra["capri_path_writes"] = path_writes[l]
         stats.extra["l2_miss_rate"] = script.l2_miss_rate
         stats.extra["eviction_writebacks"] = script.eviction_writebacks
         results[l] = LaneResult(stats)
 
+    return finish_diverged(points, results, diverged)
+
+
+def finish_diverged(points, results, diverged) -> list[LaneResult]:
+    """Re-run each diverged lane on the scalar kernel and slot the
+    results in; failures are reduced to :class:`LaneError`. Shared by
+    every lockstep kernel."""
     for l, (at, __) in diverged.items():
         try:
             stats = _scalar_rerun(points[l])
             results[l] = LaneResult(stats, engine="scalar", diverged_at=at)
         except Exception as err:
             results[l] = LaneResult(None, engine="scalar", diverged_at=at,
-                                    error=err)
-
+                                    error=LaneError.from_exception(err))
     return results

@@ -1,0 +1,915 @@
+"""The columnar lockstep kernel: numpy lane state for wide cohorts.
+
+This is the vectorized twin of the list kernel in
+:mod:`repro.engine.batched`: per-lane timing state lives in numpy
+``[lane]`` / ``[lane, reg]`` float64 arrays and every per-instruction
+float operation of the scalar model is issued once as a vector expression
+across the whole cohort, in the same order, so results stay bit-exact —
+including physical-register identity (``StoreRecord.data_preg``), which
+requires replicating the scalar free-list stack and reclamation-heap pop
+order precisely.
+
+Design notes (each reduction is exactness-preserving):
+
+* **Reclamation heaps -> sorted pending rings.** Scalar code pushes
+  ``(commit, old_preg)`` with nondecreasing commit times (region-close
+  releases land at the drain, which also bounds every earlier push), so
+  the heap is equivalent to a sorted array consumed from the front.
+  Ties (several commits in one cycle, deferred releases at one drain)
+  are kept preg-sorted — heapq pops equal-time entries in preg order —
+  via a short vectorized bubble on push and a per-lane merge on close.
+* **Free lists -> columnar stacks.** Reclaimed pregs append in pop
+  order; allocation pops the top. Thresholds advance monotonically
+  (rename times are nondecreasing), so head pointers only move forward
+  and the vectorized pop-prefix loop is amortized O(1) per instruction.
+* **Write-buffer slots -> top-K rows.** Slot admission reads the Kth
+  largest accepted time among live entries; entries at or below the
+  floor can never change that statistic (the floor never exceeds the
+  query time), so the floor is dropped and each lane keeps only its
+  top-K accepted times as a sorted row with ``-inf`` padding.
+* **WB coalescing -> shared line rows.** Persist lines are
+  lane-invariant, so the live map is one dict ``line -> row`` of
+  ``[line_row, lane]`` op arrays; staleness is checked per lane against
+  the op's done time instead of pruning.
+* **WPQ deques -> rings + running max** (same reduction as the list
+  kernel, vectorized over ``[lane, controller, slot]``).
+* **Uniform-path fast lane.** The hot loop is mask-free over the live
+  lane set; lanes that diverge (forced via ``diverge_at``, PRF
+  deadlocks, or any per-lane failure) are retired by compacting every
+  state array and finish on the scalar kernel via
+  :func:`repro.engine.batched.finish_diverged`. Rare per-lane events
+  (region closes, rename stalls that force a boundary) drop to Python
+  for exactly the affected lanes.
+
+The kernel serves the out-of-order schemes in :data:`VECTOR_SCHEMES`
+with ``track_values=False``; value-tracking cohorts and capri (whose
+redo-buffer walk is dominated by per-lane boundary state) stay on the
+list kernel.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.engine.memscript import MODE_APP_DIRECT, MODE_CONST, memory_script
+from repro.isa.decoded import OP_LOAD, OP_STORE, OP_SYNC
+from repro.pipeline.core import _SYNC_LATENCY
+from repro.pipeline.stats import CoreStats, RegionRecord, StoreRecord
+from repro.workloads.interning import interned_trace, region_extents
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is part of the toolchain
+    np = None
+
+_INF = float("inf")
+
+# Out-of-order schemes with a columnar implementation.
+VECTOR_SCHEMES = frozenset({"ppa", "baseline", "eadr", "dram-only"})
+
+
+def available() -> bool:
+    """Whether the columnar kernel can run (numpy importable)."""
+    return np is not None
+
+
+def run_cohort_vector(points, *, diverge_at=None):
+    """Run a compatible out-of-order cohort on the columnar kernel.
+
+    Same contract as :func:`repro.engine.batched.run_cohort`; the caller
+    (the dispatcher) has already validated compatibility.
+    """
+    from repro.engine.batched import (
+        LaneResult,
+        _latency_list,
+        finish_diverged,
+    )
+
+    n0 = len(points)
+    p0 = points[0]
+    scheme = p0.scheme
+    if p0.track_values:
+        raise ValueError("columnar kernel does not track values")
+    if scheme not in VECTOR_SCHEMES:
+        raise ValueError(f"no columnar kernel for scheme {scheme!r}")
+    is_ppa = scheme == "ppa"
+    stats_scheme = "ppa" if is_ppa else "baseline"
+    trace = interned_trace(p0.profile, p0.length, seed=p0.seed)
+    warm = p0.warmup > 0
+    extents = region_extents(p0.profile) if warm else None
+    script = memory_script(trace, p0.config.memory, warm, extents)
+
+    dec = trace.decoded()
+    length = dec.length
+    opcode_ids = dec.opcode_ids
+    dest_cls = dec.dest_cls
+    dest_idx = dec.dest_idx
+    all_srcs = dec.srcs
+    addrs = dec.addrs
+    line_addrs = dec.line_addrs
+    pcs = dec.pcs
+    mispredicted = dec.mispredicted
+    entries = script.entries
+    l1_hit = p0.config.memory.l1d.hit_latency
+    SYNC_LAT = _SYNC_LATENCY
+    f8 = np.float64
+    i8 = np.int64
+
+    cores = [p.config.core for p in points]
+    nvms = [p.config.memory.nvm for p in points]
+
+    # ---------------- per-lane state (columnar arrays) ----------------
+    width = np.array([c.width for c in cores], dtype=i8)
+    penalty = np.array([c.branch_mispredict_penalty for c in cores],
+                       dtype=f8)
+    lat_agen = np.array([c.lat_agen for c in cores], dtype=f8)
+    lat_tab = np.array([_latency_list(c, dec) for c in cores], dtype=f8)
+
+    fetch_ready = np.zeros(n0, dtype=f8)
+    last_commit = np.zeros(n0, dtype=f8)
+    last_sample = np.zeros(n0, dtype=f8)
+    oor = np.zeros(n0, dtype=f8)
+    ren_cycle = np.full(n0, -1.0, dtype=f8)
+    ren_used = np.zeros(n0, dtype=i8)
+    com_cycle = np.full(n0, -1.0, dtype=f8)
+    com_used = np.zeros(n0, dtype=i8)
+
+    rob_sz = np.array([c.rob_size for c in cores], dtype=i8)
+    rob_rel = np.zeros((n0, int(rob_sz.max())), dtype=f8)
+    lq_sz = np.array([c.lq_size for c in cores], dtype=i8)
+    lq_rel = np.zeros((n0, int(lq_sz.max())), dtype=f8)
+    sq_sz = np.array([c.sq_size for c in cores], dtype=i8)
+    sq_rel = np.zeros((n0, int(sq_sz.max())), dtype=f8)
+
+    # Per register class (0 = int, 1 = fp): RAT/CRT columns, ready
+    # times, the free stack, and the sorted pending-reclamation ring.
+    # Kept in 2-lists so lane compaction can rebind them in place.
+    arch = [(c.int_arch_regs, c.fp_arch_regs) for c in cores]
+    sizes = [(c.int_prf_size, c.fp_prf_size) for c in cores]
+    prf_max = max(max(s) for s in sizes)
+    arch_max = max(max(a) for a in arch)
+    # Ring capacity: <= length entries ever queued per class, plus slack
+    # for the reclaim window gather to stay in (inf-padded) bounds.
+    pcap = 2 * length + 20
+    rat, crt, ready_arr = [], [], []
+    fstk, fcnt = [], []
+    ptime, ppreg, phead, ptail = [], [], [], []
+    masked, defer, dcnt = [], [], []
+    for cls in (0, 1):
+        r_ = np.zeros((n0, arch_max), dtype=i8)
+        f_ = np.zeros((n0, prf_max), dtype=i8)
+        fc_ = np.zeros(n0, dtype=i8)
+        for lane in range(n0):
+            a = arch[lane][cls]
+            s = sizes[lane][cls]
+            r_[lane, :a] = np.arange(a)
+            f_[lane, :s - a] = np.arange(a, s)
+            fc_[lane] = s - a
+        rat.append(r_)
+        crt.append(r_.copy())
+        ready_arr.append(np.zeros((n0, prf_max), dtype=f8))
+        fstk.append(f_)
+        fcnt.append(fc_)
+        ptime.append(np.full((n0, pcap), _INF, dtype=f8))
+        ppreg.append(np.zeros((n0, pcap), dtype=i8))
+        phead.append(np.zeros(n0, dtype=i8))
+        ptail.append(np.zeros(n0, dtype=i8))
+        if is_ppa:
+            masked.append(np.zeros((n0, prf_max), dtype=bool))
+            defer.append(np.zeros((n0, prf_max), dtype=i8))
+            dcnt.append(np.zeros(n0, dtype=i8))
+
+    hist0 = np.zeros((n0, prf_max + 1), dtype=f8)
+    hist1 = np.zeros((n0, prf_max + 1), dtype=f8)
+    commit_arr = np.zeros((n0, length), dtype=f8)
+
+    n_stores = sum(1 for s in range(length)
+                   if opcode_ids[s] == OP_STORE)
+    st_commit = np.zeros((n0, n_stores), dtype=f8)
+    st_preg = np.zeros((n0, n_stores), dtype=i8)
+    st_rid = np.full((n0, n_stores), -1, dtype=i8)
+    st_dur = np.full((n0, n_stores), _INF, dtype=f8)
+    st_seq: list[int] = []
+    st_pc: list[int] = []
+    st_addr: list[int] = []
+    st_line: list[int] = []
+    st_cls: list[int] = []
+    si = 0
+
+    # NVM device(s): [lane, controller] state, WPQ rings as
+    # [lane, controller, slot] with the running-max drain reduction.
+    nctl = np.array([max(1, c.num_controllers) for c in nvms], dtype=i8)
+    max_ctl = int(nctl.max())
+    cpl = np.array([c.cycles_per_line / 1.0 for c in nvms], dtype=f8)
+    cpl_q = cpl * 0.25
+    rcpl = np.array([c.read_cycles_per_line / 1.0 for c in nvms], dtype=f8)
+    wlat = np.array([c.write_latency for c in nvms], dtype=f8)
+    rlat = np.array([c.read_latency for c in nvms], dtype=f8)
+    wpq_n = np.array([c.wpq_entries for c in nvms], dtype=i8)
+    wpq_max = int(wpq_n.max())
+    port_free = np.zeros((n0, max_ctl), dtype=f8)
+    rport_free = np.zeros((n0, max_ctl), dtype=f8)
+    wpq_ring = np.zeros((n0, max_ctl, wpq_max), dtype=f8)
+    wpq_cnt = np.zeros((n0, max_ctl), dtype=i8)
+    wpq_smax = np.zeros((n0, max_ctl), dtype=f8)
+    nvm_writes = np.zeros(n0, dtype=i8)
+    nvm_reads_c = np.zeros(n0, dtype=i8)
+
+    # PPA policy + write-buffer state.
+    csq_cnt = csq_entries = min_def = async_wb = coalescing = None
+    region_id = region_start = region_stores = last_store_commit = None
+    wb_K = wb_kidx = wb_top = topk_j = path_lat = None
+    wb_region_seq = wb_region_sd = wb_acc_max = None
+    wb_issued = wb_coal = wb_stall = None
+    wrow_acc = wrow_done = wrow_tag = None
+    regions_py: list[list] = []
+    wb_rows: dict[int, int] = {}
+    wb_nrows = 0
+    if is_ppa:
+        ppas = [p.config.ppa for p in points]
+        csq_cnt = np.zeros(n0, dtype=i8)
+        csq_entries = np.array([p.csq_entries for p in ppas], dtype=i8)
+        min_def = np.array([p.min_deferred_for_boundary for p in ppas],
+                           dtype=i8)
+        async_wb = np.array([p.async_writeback for p in ppas], dtype=bool)
+        coalescing = np.array([p.persist_coalescing for p in ppas],
+                              dtype=bool)
+        region_id = np.zeros(n0, dtype=i8)
+        region_start = np.zeros(n0, dtype=i8)
+        region_stores = np.zeros(n0, dtype=i8)
+        last_store_commit = np.zeros(n0, dtype=f8)
+        wb_K = np.array([p.writebuffer_entries for p in ppas], dtype=i8)
+        Kmax = int(wb_K.max())
+        wb_kidx = Kmax - wb_K
+        wb_top = np.full((n0, Kmax), -_INF, dtype=f8)
+        topk_j = np.arange(Kmax)[None, :]
+        path_lat = np.array([c.persist_path_latency for c in nvms],
+                            dtype=f8)
+        wb_region_seq = np.zeros(n0, dtype=i8)
+        wb_region_sd = np.zeros(n0, dtype=f8)
+        wb_acc_max = np.full(n0, -_INF, dtype=f8)
+        wb_issued = np.zeros(n0, dtype=i8)
+        wb_coal = np.zeros(n0, dtype=i8)
+        wb_stall = np.zeros(n0, dtype=f8)
+        wrow_cap = max(1, n_stores)
+        wrow_acc = np.zeros((wrow_cap, n0), dtype=f8)
+        wrow_done = np.zeros((wrow_cap, n0), dtype=f8)
+        wrow_tag = np.zeros((wrow_cap, n0), dtype=i8)
+        regions_py = [[] for __ in range(n0)]
+
+    gl = np.arange(n0)
+    n = n0
+    AR = np.arange(n)
+    diverged: dict[int, tuple[int, BaseException | None]] = {}
+    forced = dict(diverge_at) if diverge_at else None
+    drop_set: set[int] = set()
+
+    # ---------------- device / structure helpers ----------------
+
+    def vw(rows, line, submit):
+        """NvmModel.write_line over a lane subset; (accepted, done, bp)."""
+        k = (line >> 6) % nctl[rows]
+        cnt = wpq_cnt[rows, k]
+        sm = np.maximum(wpq_smax[rows, k], submit)
+        wpq_smax[rows, k] = sm
+        wn = wpq_n[rows]
+        slot = cnt % wn
+        gate = wpq_ring[rows, k, slot]
+        accepted = np.where((cnt >= wn) & (gate > sm), gate, submit)
+        start = np.maximum(accepted, port_free[rows, k])
+        port_free[rows, k] = start + cpl[rows]
+        done = start + wlat[rows]
+        wpq_ring[rows, k, slot] = done
+        wpq_cnt[rows, k] = cnt + 1
+        nvm_writes[rows] += 1
+        return accepted, done, accepted - submit
+
+    def vr(rows, line, submit):
+        """NvmModel.read over a lane subset; returns the latency vector."""
+        k = (line >> 6) % nctl[rows]
+        start = np.maximum(submit, rport_free[rows, k])
+        rport_free[rows, k] = start + rcpl[rows]
+        queue = start - submit
+        cont = np.minimum(np.maximum(port_free[rows, k] - submit, 0.0),
+                          cpl_q[rows])
+        nvm_reads_c[rows] += 1
+        return rlat[rows] + queue + cont
+
+    def replay(entry, base_time, line):
+        """One memory-script entry over every live lane; completion
+        times, float-op order identical to the scalar replay."""
+        mode = entry[0]
+        base = entry[1]
+        fills = entry[4]
+        if mode == MODE_CONST:
+            lat = base
+        else:
+            x = base_time + base
+            if mode == MODE_APP_DIRECT:
+                lat = base + vr(AR, line, x)
+            else:
+                probe = entry[2]
+                pr = probe + vr(AR, line, x + probe)
+                if entry[3] is not None:
+                    vw(AR, entry[3], x + pr)
+                lat = base + pr
+        if fills:
+            back = vw(AR, fills[0], base_time)[2]
+            for fill_line in fills[1:]:
+                back = back + vw(AR, fill_line, base_time)[2]
+            lat = lat + back
+        return base_time + lat
+
+    # Head-of-pending time per class (inf when empty): makes the
+    # every-instruction "anything reclaimable?" precheck two cheap
+    # vector ops instead of a double fancy gather.
+    nxt = [np.full(n0, _INF, dtype=f8), np.full(n0, _INF, dtype=f8)]
+
+    def reclaim(cls, rows, thr):
+        """Pop every pending entry with time <= thr onto the free stack
+        (scalar heap-drain order: ascending (time, preg))."""
+        nx = nxt[cls]
+        m = nx[rows] <= thr
+        if not m.any():
+            return
+        rows0 = rows = rows[m]
+        thr = thr[m]
+        pt = ptime[cls]
+        pp = ppreg[cls]
+        hd = phead[cls]
+        fs = fstk[cls]
+        fc = fcnt[cls]
+        while rows.size > 4:
+            h = hd[rows]
+            fc_r = fc[rows]
+            fs[rows, fc_r] = pp[rows, h]
+            fc[rows] = fc_r + 1
+            hd[rows] = h + 1
+            m = pt[rows, h + 1] <= thr
+            rows = rows[m]
+            thr = thr[m]
+        if rows.size:
+            # Few lanes left: scalar pops beat numpy dispatch overhead.
+            lims = thr.tolist()
+            for k, r in enumerate(rows.tolist()):
+                lim = lims[k]
+                h = int(hd[r])
+                f = int(fc[r])
+                row_t = pt[r]
+                row_p = pp[r]
+                row_f = fs[r]
+                while row_t[h] <= lim:
+                    row_f[f] = row_p[h]
+                    f += 1
+                    h += 1
+                hd[r] = h
+                fc[r] = f
+        nx[rows0] = pt[rows0, hd[rows0]]
+
+    def pend_push(cls, rows, times, pregs):
+        """Append (time, preg) per lane; times are >= every queued time,
+        so only the preg-sorted tail tie group may need a short bubble."""
+        pt = ptime[cls]
+        pp = ppreg[cls]
+        tl = ptail[cls]
+        pos = tl[rows]
+        pt[rows, pos] = times
+        pp[rows, pos] = pregs
+        tl[rows] = pos + 1
+        was_empty = phead[cls][rows] == pos
+        if was_empty.any():
+            nxt[cls][rows[was_empty]] = times[was_empty]
+        while rows.size > 4:
+            prev = pos - 1
+            m = (pt[rows, prev] == times) & (pp[rows, prev] > pregs)
+            if not m.any():
+                return
+            rows = rows[m]
+            pos = pos[m]
+            times = times[m]
+            pregs = pregs[m]
+            pp[rows, pos] = pp[rows, pos - 1]
+            pos = pos - 1
+            pp[rows, pos] = pregs
+        if rows.size:
+            # Scalar insertion for the last few lanes' tie groups.
+            rl = rows.tolist()
+            pl = pos.tolist()
+            tml = times.tolist()
+            pgl = pregs.tolist()
+            for k, r in enumerate(rl):
+                p = pl[k]
+                tme = tml[k]
+                pg = pgl[k]
+                row_t = pt[r]
+                row_p = pp[r]
+                while row_t[p - 1] == tme and row_p[p - 1] > pg:
+                    row_p[p] = row_p[p - 1]
+                    p -= 1
+                row_p[p] = pg
+
+    def close_lane(r, end_seq, boundary, cause):
+        """PpaPolicy._close_region for one lane; returns the drain."""
+        drain = boundary
+        sd = float(wb_region_sd[r])
+        if sd > drain:
+            drain = sd
+        am = float(wb_acc_max[r])
+        if am > drain:
+            drain = am
+        wb_region_seq[r] += 1
+        wb_region_sd[r] = 0.0
+        wb_acc_max[r] = -_INF
+        for cls in (0, 1):
+            dc = int(dcnt[cls][r])
+            if dc:
+                # rf.end_region(drain): release the deferred pregs at the
+                # drain time. A "prf" close runs at rename time, whose
+                # boundary may precede queued commit-time reclaims, so
+                # this is a general sorted merge-insert, not an append.
+                released = sorted(defer[cls][r, :dc].tolist())
+                pt = ptime[cls]
+                pp = ppreg[cls]
+                tl = int(ptail[cls][r])
+                hd = int(phead[cls][r])
+                row_t = pt[r, hd:tl]
+                lo = hd + int(np.searchsorted(row_t, drain, side="left"))
+                hi = hd + int(np.searchsorted(row_t, drain, side="right"))
+                if lo < hi:
+                    released = sorted(released + pp[r, lo:hi].tolist())
+                m = len(released)
+                shift = m - (hi - lo)
+                if shift and hi < tl:
+                    pt[r, hi + shift:tl + shift] = pt[r, hi:tl].copy()
+                    pp[r, hi + shift:tl + shift] = pp[r, hi:tl].copy()
+                pt[r, lo:lo + m] = drain
+                pp[r, lo:lo + m] = released
+                ptail[cls][r] = tl + shift
+                nxt[cls][r] = pt[r, hd]
+                dcnt[cls][r] = 0
+            masked[cls][r, :] = False
+        csq_cnt[r] = 0
+        regions_py[r].append(RegionRecord(
+            region_id=int(region_id[r]), start_seq=int(region_start[r]),
+            end_seq=end_seq, store_count=int(region_stores[r]),
+            boundary_time=boundary, drain_wait=drain - boundary,
+            cause=cause))
+        region_id[r] += 1
+        region_start[r] = end_seq
+        region_stores[r] = 0
+        return drain
+
+    def compact(idx):
+        """Drop retired lanes: re-index every row-major state array."""
+        nonlocal n, AR, gl, width, penalty, lat_agen, lat_tab, \
+            fetch_ready, last_commit, last_sample, oor, ren_cycle, \
+            ren_used, com_cycle, com_used, rob_sz, rob_rel, lq_sz, \
+            lq_rel, sq_sz, sq_rel, hist0, hist1, commit_arr, st_commit, \
+            st_preg, st_rid, st_dur, nctl, cpl, cpl_q, rcpl, wlat, rlat, \
+            wpq_n, port_free, rport_free, wpq_ring, wpq_cnt, wpq_smax, \
+            nvm_writes, nvm_reads_c, csq_cnt, csq_entries, min_def, \
+            async_wb, coalescing, region_id, region_start, \
+            region_stores, last_store_commit, wb_K, wb_kidx, wb_top, \
+            path_lat, wb_region_seq, wb_region_sd, wb_acc_max, \
+            wb_issued, wb_coal, wb_stall, wrow_acc, wrow_done, \
+            wrow_tag, regions_py
+        gl = gl[idx]
+        width = width[idx]
+        penalty = penalty[idx]
+        lat_agen = lat_agen[idx]
+        lat_tab = lat_tab[idx]
+        fetch_ready = fetch_ready[idx]
+        last_commit = last_commit[idx]
+        last_sample = last_sample[idx]
+        oor = oor[idx]
+        ren_cycle = ren_cycle[idx]
+        ren_used = ren_used[idx]
+        com_cycle = com_cycle[idx]
+        com_used = com_used[idx]
+        rob_sz = rob_sz[idx]
+        rob_rel = rob_rel[idx]
+        lq_sz = lq_sz[idx]
+        lq_rel = lq_rel[idx]
+        sq_sz = sq_sz[idx]
+        sq_rel = sq_rel[idx]
+        hist0 = hist0[idx]
+        hist1 = hist1[idx]
+        commit_arr = commit_arr[idx]
+        st_commit = st_commit[idx]
+        st_preg = st_preg[idx]
+        st_rid = st_rid[idx]
+        st_dur = st_dur[idx]
+        nctl = nctl[idx]
+        cpl = cpl[idx]
+        cpl_q = cpl_q[idx]
+        rcpl = rcpl[idx]
+        wlat = wlat[idx]
+        rlat = rlat[idx]
+        wpq_n = wpq_n[idx]
+        port_free = port_free[idx]
+        rport_free = rport_free[idx]
+        wpq_ring = wpq_ring[idx]
+        wpq_cnt = wpq_cnt[idx]
+        wpq_smax = wpq_smax[idx]
+        nvm_writes = nvm_writes[idx]
+        nvm_reads_c = nvm_reads_c[idx]
+        for cls in (0, 1):
+            rat[cls] = rat[cls][idx]
+            crt[cls] = crt[cls][idx]
+            ready_arr[cls] = ready_arr[cls][idx]
+            fstk[cls] = fstk[cls][idx]
+            fcnt[cls] = fcnt[cls][idx]
+            ptime[cls] = ptime[cls][idx]
+            ppreg[cls] = ppreg[cls][idx]
+            phead[cls] = phead[cls][idx]
+            ptail[cls] = ptail[cls][idx]
+            nxt[cls] = nxt[cls][idx]
+            if is_ppa:
+                masked[cls] = masked[cls][idx]
+                defer[cls] = defer[cls][idx]
+                dcnt[cls] = dcnt[cls][idx]
+        if is_ppa:
+            csq_cnt = csq_cnt[idx]
+            csq_entries = csq_entries[idx]
+            min_def = min_def[idx]
+            async_wb = async_wb[idx]
+            coalescing = coalescing[idx]
+            region_id = region_id[idx]
+            region_start = region_start[idx]
+            region_stores = region_stores[idx]
+            last_store_commit = last_store_commit[idx]
+            wb_K = wb_K[idx]
+            wb_kidx = wb_kidx[idx]
+            wb_top = wb_top[idx]
+            path_lat = path_lat[idx]
+            wb_region_seq = wb_region_seq[idx]
+            wb_region_sd = wb_region_sd[idx]
+            wb_acc_max = wb_acc_max[idx]
+            wb_issued = wb_issued[idx]
+            wb_coal = wb_coal[idx]
+            wb_stall = wb_stall[idx]
+            wrow_acc = wrow_acc[:, idx]
+            wrow_done = wrow_done[:, idx]
+            wrow_tag = wrow_tag[:, idx]
+            regions_py = [regions_py[i] for i in idx]
+        n = len(idx)
+        AR = np.arange(n)
+
+    def retire(rows, seq):
+        """Mark lanes diverged at ``seq`` and drop them from the walk."""
+        for r in rows:
+            diverged[int(gl[r])] = (seq, None)
+        keep = np.ones(n, dtype=bool)
+        keep[list(rows)] = False
+        compact(np.nonzero(keep)[0])
+
+    # ---------------- lockstep walk ----------------
+    rob_cnt = 0
+    lq_cnt = 0
+    sq_cnt = 0
+
+    for seq in range(length):
+        if forced:
+            hit = [i for i in range(n) if forced.get(int(gl[i])) == seq]
+            if hit:
+                for i in hit:
+                    forced.pop(int(gl[i]), None)
+                retire(hit, seq)
+                if n == 0:
+                    break
+        opcode = opcode_ids[seq]
+        dcls = dest_cls[seq]
+        didx = dest_idx[seq]
+        srcs_seq = all_srcs[seq]
+        mem_entry = entries[seq]
+        line = line_addrs[seq]
+
+        # ---------------- rename stage ----------------
+        t = np.maximum(fetch_ready, rob_rel[AR, rob_cnt % rob_sz])
+        if opcode == OP_LOAD:
+            t = np.maximum(t, lq_rel[AR, lq_cnt % lq_sz])
+        elif opcode == OP_STORE:
+            t = np.maximum(t, sq_rel[AR, sq_cnt % sq_sz])
+
+        if dcls >= 0:
+            free_c = fcnt[dcls]
+            # A lane stalls iff its free stack would still be empty after
+            # draining reclaims <= t: empty now and no pending entry <= t.
+            # Non-stalled lanes defer that drain to the rename-time
+            # reclaim below — no pop happens in between, so the stack
+            # contents at allocation are identical.
+            stalled = np.nonzero((free_c == 0) & (nxt[dcls] > t))[0]
+            while stalled.size:
+                # policy.rename_blocked(cls, t, seq), vectorized over the
+                # stalled subset; PRF deadlocks retire the lane (the
+                # scalar rerun reproduces the exception), region-forcing
+                # closes drop to Python per lane.
+                nt = nxt[dcls][stalled]
+                if is_ppa:
+                    dt = dcnt[0][stalled] + dcnt[1][stalled]
+                    dead = (dt == 0) & (nt == _INF)
+                    simple = ~dead & (nt != _INF) & (dt < min_def[stalled])
+                else:
+                    dead = nt == _INF
+                    simple = ~dead
+                if dead.any():
+                    for r in stalled[dead]:
+                        drop_set.add(int(r))
+                    keepm = ~dead
+                    stalled = stalled[keepm]
+                    nt = nt[keepm]
+                    simple = simple[keepm]
+                    if not stalled.size:
+                        break
+                resume = np.where(simple, nt, 0.0)
+                if is_ppa and not simple.all():
+                    for j in np.nonzero(~simple)[0]:
+                        r = int(stalled[j])
+                        if r in drop_set:
+                            continue
+                        boundary = float(t[r])
+                        lsc = float(last_store_commit[r])
+                        if lsc > boundary:
+                            boundary = lsc
+                        try:
+                            resume[j] = close_lane(r, seq, boundary,
+                                                   "prf") + 1.0
+                        except Exception:
+                            drop_set.add(r)
+                    if drop_set:
+                        keep2 = np.array([int(r) not in drop_set
+                                          for r in stalled])
+                        stalled = stalled[keep2]
+                        resume = resume[keep2]
+                        if not stalled.size:
+                            break
+                ts = t[stalled]
+                oor[stalled] += np.maximum(resume - ts, 0.0)
+                t[stalled] = np.maximum(ts, resume)
+                reclaim(dcls, stalled, t[stalled])
+                stalled = stalled[free_c[stalled] == 0]
+
+        # rename_bw.take(t); ceil == float(int(t)) + (t > int(t)) for
+        # the nonnegative times this model produces.
+        cyc = np.ceil(t)
+        prev = ren_cycle
+        cyc = np.maximum(cyc, prev)
+        cyc = cyc + ((cyc == prev) & (ren_used >= width))
+        ren_used = np.where(cyc > prev, 1, ren_used + 1)
+        ren_cycle = cyc
+        rename_time = cyc
+
+        # Histogram sampling: reclaims both classes to the rename time,
+        # which also subsumes the allocate-stage reclaim (for weight == 0
+        # lanes both are provably no-ops: the last sampling already
+        # drained everything <= this rename time, and later pushes commit
+        # strictly after it). Per-lane indices are unique, so a plain
+        # fancy += replaces np.add.at.
+        weight = rename_time - last_sample
+        wmask = weight > 0
+        if wmask.all():
+            reclaim(0, AR, rename_time)
+            reclaim(1, AR, rename_time)
+            hist0[AR, fcnt[0]] += weight
+            hist1[AR, fcnt[1]] += weight
+        elif wmask.any():
+            rw = np.nonzero(wmask)[0]
+            rt_w = rename_time[rw]
+            reclaim(0, rw, rt_w)
+            reclaim(1, rw, rt_w)
+            hist0[rw, fcnt[0][rw]] += weight[rw]
+            hist1[rw, fcnt[1][rw]] += weight[rw]
+        last_sample = rename_time
+
+        if srcs_seq:
+            sp_pregs = [rat[c_][:, i_].copy() for c_, i_ in srcs_seq]
+        else:
+            sp_pregs = []
+        if dcls >= 0:
+            # rf.allocate(didx, rename_time); its reclaim is subsumed by
+            # the histogram reclaim above.
+            fc2 = fcnt[dcls] - 1
+            preg = fstk[dcls][AR, fc2]
+            fcnt[dcls] = fc2
+            rat[dcls][:, didx] = preg
+
+        # ---------------- execute ----------------
+        ready = rename_time + 1.0
+        for (c_, __), spv in zip(srcs_seq, sp_pregs):
+            ready = np.maximum(ready, ready_arr[c_][AR, spv])
+
+        if opcode == OP_LOAD:
+            complete = replay(mem_entry, ready + lat_agen, line)
+        elif opcode == OP_STORE:
+            complete = ready + lat_agen
+            rfo_entry = mem_entry[0]
+            if rfo_entry is None:
+                rfo_done = complete
+            else:
+                rfo_done = replay(rfo_entry, complete, line)
+        elif opcode == OP_SYNC:
+            complete = ready + SYNC_LAT
+        else:
+            complete = ready + lat_tab[:, opcode]
+
+        if dcls >= 0:
+            ready_arr[dcls][AR, preg] = complete
+
+        # ---------------- commit ----------------
+        tentative = np.maximum(complete + 1.0, last_commit)
+        if is_ppa:
+            if opcode == OP_STORE:
+                closers = csq_cnt >= csq_entries
+                if closers.any():
+                    # PpaPolicy.store_commit_time: a full CSQ forces a
+                    # region boundary before this store may commit.
+                    for r in np.nonzero(closers)[0]:
+                        r = int(r)
+                        if r in drop_set:
+                            continue
+                        try:
+                            d = close_lane(r, seq, float(tentative[r]),
+                                           "csq")
+                        except Exception:
+                            drop_set.add(r)
+                            continue
+                        if d > tentative[r]:
+                            tentative[r] = d
+                if not async_wb.all():
+                    rd = np.maximum(np.maximum(tentative, wb_region_sd),
+                                    wb_acc_max)
+                    if async_wb.any():
+                        tentative = np.where(~async_wb, rd, tentative)
+                    else:
+                        tentative = rd
+            elif opcode == OP_SYNC:
+                for r in range(n):
+                    if r in drop_set:
+                        continue
+                    try:
+                        d = close_lane(r, seq + 1, float(tentative[r]),
+                                       "sync")
+                    except Exception:
+                        drop_set.add(r)
+                        continue
+                    if d > tentative[r]:
+                        tentative[r] = d
+
+        # commit_bw.take(tentative)
+        cyc = np.ceil(tentative)
+        prev = com_cycle
+        cyc = np.maximum(cyc, prev)
+        cyc = cyc + ((cyc == prev) & (com_used >= width))
+        com_used = np.where(cyc > prev, 1, com_used + 1)
+        com_cycle = cyc
+        commit = cyc
+        last_commit = commit
+        commit_arr[:, seq] = commit
+        rob_rel[AR, rob_cnt % rob_sz] = commit
+        rob_cnt += 1
+
+        if dcls >= 0:
+            old = crt[dcls][:, didx].copy()
+            crt[dcls][:, didx] = preg
+            if is_ppa:
+                mk = masked[dcls][AR, old]
+                if mk.any():
+                    dr_ = np.nonzero(mk)[0]
+                    dcur = dcnt[dcls]
+                    defer[dcls][dr_, dcur[dr_]] = old[dr_]
+                    dcur[dr_] += 1
+                    nm = np.nonzero(~mk)[0]
+                    if nm.size:
+                        pend_push(dcls, nm, commit[nm], old[nm])
+                else:
+                    pend_push(dcls, AR, commit, old)
+            else:
+                pend_push(dcls, AR, commit, old)
+
+        if opcode == OP_LOAD:
+            lq_rel[AR, lq_cnt % lq_sz] = commit
+            lq_cnt += 1
+        elif opcode == OP_STORE:
+            merge_from = np.maximum(commit, rfo_done)
+            merge_entry = mem_entry[1]
+            if merge_entry is None:
+                merge_time = merge_from + l1_hit
+            else:
+                merge_time = replay(merge_entry, merge_from, line)
+            sq_rel[AR, sq_cnt % sq_sz] = merge_time
+            sq_cnt += 1
+            st_seq.append(seq)
+            st_pc.append(pcs[seq])
+            st_addr.append(addrs[seq])
+            st_line.append(line)
+            data_cls = srcs_seq[0][0]
+            st_cls.append(data_cls)
+            dp = sp_pregs[0]
+            st_commit[:, si] = commit
+            st_preg[:, si] = dp
+            if is_ppa:
+                # PpaPolicy.store_committed + WriteBuffer.persist_store.
+                st_rid[:, si] = region_id
+                last_store_commit = commit
+                masked[data_cls][AR, dp] = True
+                csq_cnt += 1
+                region_stores += 1
+                row = wb_rows.get(line)
+                if row is None:
+                    row = wb_nrows
+                    wb_nrows += 1
+                    wb_rows[line] = row
+                    coal = np.zeros(n, dtype=bool)
+                    acc_old = None
+                else:
+                    acc_old = wrow_acc[row].copy()
+                    coal = coalescing & (wrow_done[row] > merge_time)
+                wb_coal += coal
+                miss = ~coal
+                wb_issued += miss
+                dur = np.empty(n, dtype=f8)
+                mr_ = np.nonzero(miss)[0]
+                if mr_.size:
+                    tm = merge_time[mr_]
+                    admit = np.maximum(wb_top[mr_, wb_kidx[mr_]], tm)
+                    wb_stall[mr_] += admit - tm
+                    acc, dn, __ = vw(mr_, line, admit + path_lat[mr_])
+                    row_t = wb_top[mr_]
+                    pos = (row_t < acc[:, None]).sum(axis=1)[:, None]
+                    out = np.where(
+                        topk_j < pos - 1,
+                        np.concatenate([row_t[:, 1:], row_t[:, :1]],
+                                       axis=1),
+                        row_t)
+                    out = np.where(topk_j == pos - 1, acc[:, None], out)
+                    wb_top[mr_] = out
+                    wrow_acc[row, mr_] = acc
+                    wrow_done[row, mr_] = dn
+                    wrow_tag[row, mr_] = wb_region_seq[mr_]
+                    wb_acc_max[mr_] = np.maximum(wb_acc_max[mr_], acc)
+                    dur[mr_] = acc
+                cr = np.nonzero(coal)[0]
+                if cr.size:
+                    dur[cr] = acc_old[cr]
+                    retag = wrow_tag[row, cr] != wb_region_seq[cr]
+                    if retag.any():
+                        rr = cr[retag]
+                        wrow_tag[row, rr] = wb_region_seq[rr]
+                        wb_acc_max[rr] = np.maximum(wb_acc_max[rr],
+                                                    acc_old[rr])
+                dur = np.maximum(dur, merge_time + path_lat)
+                wb_region_sd = np.maximum(wb_region_sd, dur)
+                st_dur[:, si] = dur
+            si += 1
+
+        if mispredicted[seq]:
+            fetch_ready = np.maximum(fetch_ready, complete + penalty)
+
+        if drop_set:
+            retire(drop_set, seq)
+            drop_set.clear()
+            if n == 0:
+                break
+
+    # ---------------- finalize ----------------
+    results: list[LaneResult | None] = [None] * n0
+    for i in range(n):
+        g = int(gl[i])
+        if is_ppa:
+            # policy.finish(last_commit_time)
+            close_lane(i, length or 0, float(last_commit[i]), "end")
+        stats = CoreStats(scheme=stats_scheme)
+        stats.name = trace.name
+        stats.instructions = length
+        stats.cycles = float(last_commit[i])
+        stats.rename_oor_stall_cycles = float(oor[i])
+        if is_ppa:
+            stats.regions = regions_py[i]
+            stats.persist_ops = int(wb_issued[i])
+            stats.persist_coalesced = int(wb_coal[i])
+            stats.wb_full_stall_cycles = float(wb_stall[i])
+        sc_row = st_commit[i]
+        sp_row = st_preg[i]
+        sr_row = st_rid[i]
+        sd_row = st_dur[i]
+        stats.stores = [
+            StoreRecord(seq=st_seq[j], pc=st_pc[j], addr=st_addr[j],
+                        line_addr=st_line[j], value=0,
+                        data_preg=int(sp_row[j]), data_cls=st_cls[j],
+                        commit_time=float(sc_row[j]),
+                        region_id=int(sr_row[j]),
+                        durable_at=float(sd_row[j]))
+            for j in range(si)]
+        stats.free_reg_hist_int = Counter(
+            {k: float(v) for k, v in enumerate(hist0[i]) if v != 0.0})
+        stats.free_reg_hist_fp = Counter(
+            {k: float(v) for k, v in enumerate(hist1[i]) if v != 0.0})
+        stats.commit_times = commit_arr[i].tolist()
+        stats.nvm_line_writes = int(nvm_writes[i])
+        stats.nvm_reads = int(nvm_reads_c[i])
+        stats.load_level_counts = Counter(script.level_counts)
+        stats.extra["l2_miss_rate"] = script.l2_miss_rate
+        stats.extra["eviction_writebacks"] = script.eviction_writebacks
+        results[g] = LaneResult(stats)
+
+    return finish_diverged(points, results, diverged)

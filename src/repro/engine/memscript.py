@@ -107,9 +107,15 @@ def _load_entry(events: list, level: str, backend: str, c_sram: float,
 
 
 def build_script(trace, cfg: MemoryConfig, warm: bool,
-                 extents=None) -> MemScript:
+                 extents=None, core: str = "ooo") -> MemScript:
     """Replay ``trace`` through a recording memory system and compile the
-    per-instruction replay entries."""
+    per-instruction replay entries.
+
+    ``core`` selects whose store behaviour is compiled: the out-of-order
+    core issues an RFO at execute and merges at commit (two probes per
+    store), while the in-order core merges only (no RFO), so the two
+    evolve the caches differently and need distinct scripts.
+    """
     recorder = _RecordingNvm()
     if warm:
         memory = warmed_memory(cfg, extents, nvm=recorder)
@@ -152,7 +158,7 @@ def build_script(trace, cfg: MemoryConfig, warm: bool,
                                        c_sram, probe, consts)
         elif opcode == OP_STORE:
             line = line_addrs[seq]
-            if l1d.lookup(line):
+            if core == "inorder" or l1d.lookup(line):
                 rfo = None
             else:
                 del events[:]
@@ -181,13 +187,13 @@ _scripts: dict[tuple, tuple[object, MemScript]] = {}
 
 
 def memory_script(trace, cfg: MemoryConfig, warm: bool,
-                  extents=None) -> MemScript:
+                  extents=None, core: str = "ooo") -> MemScript:
     """The (cached) memory script for one trace + cache geometry."""
-    key = (id(trace), geometry_key(cfg), warm)
+    key = (id(trace), geometry_key(cfg), warm, core)
     hit = _scripts.get(key)
     if hit is not None and hit[0] is trace:
         return hit[1]
-    script = build_script(trace, cfg, warm, extents)
+    script = build_script(trace, cfg, warm, extents, core)
     if len(_scripts) >= _SCRIPT_CAP:
         _scripts.pop(next(iter(_scripts)))
     _scripts[key] = (trace, script)

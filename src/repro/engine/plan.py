@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.engine.batched import KERNEL_SCHEMES
+from repro.engine.batched import INORDER_KERNEL_SCHEMES, KERNEL_SCHEMES
 from repro.engine.memscript import geometry_key
 
 MIN_AUTO_COHORT = 2
@@ -31,7 +31,12 @@ MIN_AUTO_COHORT = 2
 
 def unbatchable_reason(point) -> str | None:
     """Why ``point`` cannot run on the batched kernel (None = it can)."""
-    if point.scheme not in KERNEL_SCHEMES:
+    core = getattr(point, "core", "ooo")
+    if core == "inorder":
+        if point.scheme not in INORDER_KERNEL_SCHEMES:
+            return (f"scheme {point.scheme!r} has no batched in-order "
+                    "kernel")
+    elif point.scheme not in KERNEL_SCHEMES:
         return f"scheme {point.scheme!r} has no batched kernel"
     if point.capture_persist_log:
         return "persist-log capture needs the scalar write buffer"
@@ -42,7 +47,8 @@ def cohort_key(point) -> tuple:
     """Grouping key: points with equal keys may share a lockstep walk."""
     return (point.profile, point.length, point.seed, point.warmup > 0,
             point.scheme, point.track_values,
-            geometry_key(point.config.memory))
+            geometry_key(point.config.memory),
+            getattr(point, "core", "ooo"))
 
 
 @dataclass

@@ -145,9 +145,23 @@ def _run_ooo(profile, run_trace, scheme, config, length, warmup,
 
 
 def _run_inorder(profile, run_trace, scheme, config, length,
-                 seed) -> SimResult:
+                 seed, engine) -> SimResult:
     from repro.workloads.interning import interned_trace
 
+    if engine == "batched" and run_trace is None and scheme == "baseline":
+        # A profile run can go through the batched in-order lane kernel;
+        # ``ppa`` stays scalar here because ``result.crash_api`` needs
+        # the value-CSQ processor.
+        from repro.engine import runtime_scalar_reason
+        from repro.orchestrator.execute import simulate_point
+        from repro.orchestrator.points import make_point
+
+        if runtime_scalar_reason() is None:
+            point = make_point(profile=profile, scheme=scheme,
+                               config=config, length=length, warmup=0,
+                               seed=seed, core="inorder")
+            stats, _ = simulate_point(point, engine="batched")
+            return SimResult(stats=stats, telemetry=None, crash_api=None)
     if run_trace is None:
         run_trace = interned_trace(profile, length, seed=seed)
     if scheme == "ppa":
@@ -197,9 +211,12 @@ def simulate(trace_or_profile, *, scheme: str = "ppa", core: str = "ooo",
     ``REPRO_ENGINE``, default ``"auto"``): a single facade call batches
     only under ``engine="batched"`` — ``"auto"`` batches cohorts of >= 2
     points, which exist on the campaign paths. Batched runs return stats
-    only (no telemetry, no crash API), bit-exact with the scalar kernel;
-    combinations the kernel does not cover (``ppa`` here, the in-order and
-    multicore models, raw ``Trace`` input) run scalar regardless.
+    only (no telemetry, no crash API), bit-exact with the scalar kernel.
+    That covers ``baseline``/``eadr``/``dram-only``/``capri`` on the
+    out-of-order core and ``baseline`` on the in-order core; combinations
+    that need the value-tracking processors for ``result.crash_api``
+    (``ppa`` on either core), the multicore model, and raw ``Trace``
+    input run scalar regardless.
     """
     if core not in CORES:
         raise ValueError(f"unknown core {core!r}; options: {list(CORES)}")
@@ -230,6 +247,6 @@ def _dispatch(profile, run_trace, scheme, core, config, length, warmup,
                         warmup, seed, engine)
     if core == "inorder":
         return _run_inorder(profile, run_trace, scheme, config, length,
-                            seed)
+                            seed, engine)
     return _run_multicore(profile, scheme, config, length, warmup, seed,
                           threads)

@@ -7,6 +7,10 @@ Prometheus-compatible scraper ingests. Mapping rules:
 * registry name ``tenant.<t>.<rest>`` becomes family
   ``repro_tenant_<rest>{tenant="<t>"}`` — one family per metric, one
   labelled series per tenant;
+* registry name ``service.scalar_reason.<slug>`` becomes one labelled
+  family ``repro_service_scalar_reason{reason="<slug>"}`` — the batch
+  planner's per-reason scalar-fallback counts stay a single family no
+  matter how many distinct reasons show up;
 * any other dotted name maps to ``repro_`` + dots→underscores;
 * histograms render as native Prometheus histograms (cumulative
   ``_bucket{le=...}`` series over fixed log-scale bounds, ``_sum``,
@@ -56,6 +60,8 @@ def family_for(name: str) -> tuple[str, dict[str, str]]:
     if parts[0] == "tenant" and len(parts) >= 3:
         rest = "_".join(_sanitize(p) for p in parts[2:])
         return f"repro_tenant_{rest}", {"tenant": parts[1]}
+    if parts[:2] == ["service", "scalar_reason"] and len(parts) >= 3:
+        return "repro_service_scalar_reason", {"reason": ".".join(parts[2:])}
     return "repro_" + "_".join(_sanitize(p) for p in parts), {}
 
 

@@ -7,11 +7,15 @@ Usage::
     python -m repro.orchestrator run matrix --apps mcf,lbm \\
         --schemes ppa,baseline [--jobs N]
     python -m repro.orchestrator status [--cache-dir DIR]
+        [--plan SWEEP] [--engine MODE]
     python -m repro.orchestrator gc [--all] [--cache-dir DIR]
 
-``run fig16`` (or fig15/fig17/fig18) executes the figure's sweep as a
-campaign: a cold run simulates every point across the pool; a warm rerun
-resolves everything from the disk cache and simulates nothing.
+``run fig16`` (or capri/fig15/fig17/fig18/inorder) executes the figure's
+sweep as a campaign: a cold run simulates every point across the pool; a
+warm rerun resolves everything from the disk cache and simulates nothing.
+``status --plan fig16`` previews how that sweep would batch — cohort
+widths plus a histogram of why any point would stay on the scalar kernel
+— without simulating anything.
 """
 
 from __future__ import annotations
@@ -119,10 +123,25 @@ def _cmd_run(args) -> int:
     return 0 if telemetry.failures == 0 else 1
 
 
+def _plan_preview(campaign: str, engine: str | None) -> dict:
+    """How a named sweep would batch, without simulating anything."""
+    from repro.engine import resolve_engine
+    from repro.engine.plan import plan_points
+
+    spec = sweep_spec(campaign)
+    plan = plan_points(build_sweep(spec), resolve_engine(engine))
+    summary = plan.summary()
+    summary["campaign"] = campaign
+    summary["points"] = summary["batched_points"] + summary["scalar_points"]
+    return summary
+
+
 def _cmd_status(args) -> int:
     cache = ResultCache(pathlib.Path(args.cache_dir)
                         if args.cache_dir else default_cache_dir())
     info = cache.inventory()
+    if args.plan:
+        info["plan"] = _plan_preview(args.plan, args.engine)
     if args.json:
         print(json.dumps(info, indent=2, allow_nan=False))
         return 0
@@ -150,6 +169,15 @@ def _cmd_status(args) -> int:
         print(f"throughput:    {info['sim_cycles'] / seconds:.0f} "
               f"cycles/s, {info['sim_instructions'] / seconds:.0f} "
               f"instrs/s (over current-salt entries)")
+    if args.plan:
+        plan = info["plan"]
+        print(f"plan preview:  {plan['campaign']} under "
+              f"engine={plan['engine']}: {plan['points']} points -> "
+              f"{plan['batched_points']} batched in {plan['cohorts']} "
+              f"cohorts (widths {plan['cohort_widths']}), "
+              f"{plan['scalar_points']} scalar")
+        for reason, count in sorted(plan["scalar_reasons"].items()):
+            print(f"  scalar x{count}: {reason}")
     return 0
 
 
@@ -180,7 +208,8 @@ def main(argv: list[str] | None = None) -> int:
 
     run = sub.add_parser("run", help="execute a named campaign")
     run.add_argument("campaign",
-                     help="fig15|fig16|fig17|fig18 sweep, or 'matrix'")
+                     help="capri|fig15|fig16|fig17|fig18|inorder sweep, "
+                          "or 'matrix'")
     run.add_argument("--jobs", type=int, default=1,
                      help="worker processes (1 = in-process serial)")
     run.add_argument("--length", type=int, default=None,
@@ -220,6 +249,15 @@ def main(argv: list[str] | None = None) -> int:
 
     status = sub.add_parser("status", help="show cache inventory")
     status.add_argument("--cache-dir", type=str, default=None)
+    status.add_argument("--plan", type=str, default=None,
+                        metavar="SWEEP",
+                        help="also preview how the named sweep would "
+                             "batch: cohort widths plus per-reason "
+                             "scalar-fallback counts")
+    status.add_argument("--engine", type=str, default=None,
+                        choices=("auto", "scalar", "batched"),
+                        help="engine mode for --plan (default: "
+                             "$REPRO_ENGINE or 'auto')")
     add_json_flag(status)
     status.set_defaults(func=_cmd_status)
 

@@ -114,6 +114,11 @@ class CampaignTelemetry:
     engine: str = "scalar"          # resolved engine mode for this run
     cohorts: int = 0                # lockstep cohorts planned (>= 2 lanes)
     batched_points: int = 0         # points whose result ran batched
+    # unbatchable_reason -> count: why planned points stayed on the scalar
+    # kernel (engine choice, scheme with no batched kernel, cohort of 1,
+    # campaign-wide sanitize/trace instrumentation, ...). Only simulated
+    # (cache-missed) points are planned, so hits never show up here.
+    scalar_reasons: dict[str, int] = field(default_factory=dict)
     jobs: int = 1
     busy_seconds: float = 0.0       # summed worker simulation time
     # pid -> number of `repro` imports that worker performed (via its
@@ -145,6 +150,7 @@ class CampaignTelemetry:
             "engine": self.engine,
             "cohorts": self.cohorts,
             "batched_points": self.batched_points,
+            "scalar_reasons": dict(sorted(self.scalar_reasons.items())),
             "jobs": self.jobs,
             "busy_seconds": self.busy_seconds,
             "worker_imports": {str(pid): count for pid, count
@@ -293,10 +299,16 @@ class Campaign:
         accounting and test seams — the only way single points execute."""
         if self.engine == "scalar" or self.sanitize or \
                 self.trace_dir is not None:
+            reason = ("engine=scalar" if self.engine == "scalar"
+                      else "sanitizer needs scalar instrumentation"
+                      if self.sanitize
+                      else "tracing needs scalar instrumentation")
+            self.telemetry.scalar_reasons[reason] = len(misses)
             return [((index,), False) for index in misses]
         from repro.engine.plan import plan_points
 
         plan = plan_points([self.points[i] for i in misses], self.engine)
+        self.telemetry.scalar_reasons = plan.summary()["scalar_reasons"]
         jobs = [(tuple(misses[i] for i in cohort.indices), True)
                 for cohort in plan.cohorts if len(cohort.indices) > 1]
         self.telemetry.cohorts = len(jobs)

@@ -15,7 +15,11 @@ from typing import Callable, Sequence
 from repro.analysis.stats import gmean
 from repro.config import SystemConfig, skylake_default
 
-from repro.orchestrator.points import SimPoint, make_point
+from repro.orchestrator.points import (
+    DEFAULT_WARMUP,
+    SimPoint,
+    make_point,
+)
 
 SWEEP_LENGTH = 12_000
 
@@ -35,6 +39,10 @@ class SweepSpec:
     apps: tuple[str, ...] = SWEEP_APPS
     schemes: tuple[str, ...] = ("ppa", "baseline")
     length: int = SWEEP_LENGTH
+    # Core model every point runs on ("ooo" or "inorder"). The in-order
+    # model always runs cold, so in-order sweeps are built with warmup=0
+    # — that keeps their cohort keys (and cache digests) canonical.
+    core: str = "ooo"
 
 
 def _prf_spec() -> SweepSpec:
@@ -70,11 +78,38 @@ def _bandwidth_spec() -> SweepSpec:
                       for g in (1.0, 2.3, 4.0, 6.0)))
 
 
+def _capri_spec() -> SweepSpec:
+    # Fig8-shaped comparator sweep widened over the fig16 PRF grid so
+    # every (app, scheme) column forms a lockstep cohort. With capri in
+    # KERNEL_SCHEMES all three scheme columns batch.
+    base = skylake_default()
+    sizes = ((80, 80), (100, 100), (120, 120), (140, 140), (180, 168),
+             (280, 224))
+    return SweepSpec(
+        name="capri", title="PPA and Capri slowdown vs PRF size",
+        configs=tuple((f"{i}/{f}", base.with_prf(i, f)) for i, f in sizes),
+        schemes=("ppa", "capri", "baseline"))
+
+
+def _inorder_spec() -> SweepSpec:
+    # §7.1's value-CSQ in-order core over the fig16 PRF grid. Both
+    # scheme columns run through the batched in-order lane kernel (the
+    # facade's crash-API constraint does not apply to stats-only points).
+    base = skylake_default()
+    sizes = ((80, 80), (120, 120), (180, 168), (280, 224))
+    return SweepSpec(
+        name="inorder", title="In-order PPA slowdown vs PRF size",
+        configs=tuple((f"{i}/{f}", base.with_prf(i, f)) for i, f in sizes),
+        core="inorder")
+
+
 SWEEPS: dict[str, Callable[[], SweepSpec]] = {
+    "capri": _capri_spec,
     "fig15": _wpq_spec,
     "fig16": _prf_spec,
     "fig17": _csq_spec,
     "fig18": _bandwidth_spec,
+    "inorder": _inorder_spec,
 }
 
 
@@ -103,11 +138,15 @@ def sweep_spec(name: str, apps: Sequence[str] | None = None,
 def build_sweep(spec: SweepSpec) -> list[SimPoint]:
     """Expand a sweep into the flat, deterministic point list."""
     points = []
+    # The in-order model always runs cold; warmup=0 keeps the points'
+    # cohort keys and cache digests canonical for that core.
+    warmup = 0 if spec.core == "inorder" else DEFAULT_WARMUP
     for label, config in spec.configs:
         for app in spec.apps:
             for scheme in spec.schemes:
                 points.append(make_point(
                     app, scheme, config=config, length=spec.length,
+                    warmup=warmup, core=spec.core,
                     label=f"{spec.name}:{label}:{app}:{scheme}"))
     return points
 

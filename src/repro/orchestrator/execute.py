@@ -102,7 +102,11 @@ def _simulate_engine(point: SimPoint, engine: str | None) \
         if unbatchable_reason(point) is None:
             lane = run_cohort([point])[0]
             if lane.error is not None:
-                raise lane.error
+                # lane.error is a picklable LaneError record, not a live
+                # exception — re-raise it as the cohort error type.
+                raise CohortLaneError(
+                    f"point {point.name} failed under the batched kernel "
+                    f"and its scalar fallback: {lane.error}")
             return lane.stats, None, lane.engine
     stats, log = _scalar_simulate(point)
     return stats, log, "scalar"
@@ -113,13 +117,22 @@ def _scalar_simulate(point: SimPoint) \
     """The scalar reference path (also the batched kernel's divergence
     fallback, via ``simulate_point(..., engine="scalar")``)."""
     trace = interned_trace(point.profile, point.length, seed=point.seed)
-    if point.warmup > 0:
-        memory = warmed_memory(point.config.memory,
-                               region_extents(point.profile))
+    if point.core == "inorder":
+        # The in-order model always runs cold (the facade ignores warmup
+        # and so does the batched in-order kernel).
+        from repro.inorder.core import InOrderCore
+
+        core = InOrderCore(point.config,
+                           memory=MemorySystem(point.config.memory),
+                           persistent=point.scheme == "ppa")
     else:
-        memory = MemorySystem(point.config.memory)
-    core = OoOCore(point.config, make_policy(point.scheme), memory=memory,
-                   track_values=point.track_values)
+        if point.warmup > 0:
+            memory = warmed_memory(point.config.memory,
+                                   region_extents(point.profile))
+        else:
+            memory = MemorySystem(point.config.memory)
+        core = OoOCore(point.config, make_policy(point.scheme),
+                       memory=memory, track_values=point.track_values)
     stats = core._run(trace)
     log = core.wb.log if point.capture_persist_log else None
     return stats, log
@@ -234,9 +247,11 @@ def run_cohort_payloads(points: list[SimPoint], sanitize: bool = False,
     payloads = []
     for point, lane in zip(points, lanes):
         if lane.error is not None:
+            # lane.error is a picklable LaneError record (type name,
+            # message, traceback) — never a live exception object.
             raise CohortLaneError(
                 f"lane {point.name} failed under the batched kernel and "
-                f"its scalar fallback: {lane.error!r}") from lane.error
+                f"its scalar fallback: {lane.error}")
         payload = payload_from_run(lane.stats, None, share,
                                    engine=lane.engine)
         if lane.diverged_at is not None:

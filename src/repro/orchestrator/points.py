@@ -42,26 +42,37 @@ class SimPoint:
     # Also return the write buffer's persist-op log (needed to drive the
     # failure injector against a cached run).
     capture_persist_log: bool = False
+    # Core model: "ooo" (the paper's default) or "inorder" (the value-CSQ
+    # in-order core of §7.1).
+    core: str = "ooo"
     label: str = ""
 
     @property
     def name(self) -> str:
-        return self.label or f"{self.profile.name}:{self.scheme}"
+        if self.label:
+            return self.label
+        if self.core != "ooo":
+            return f"{self.profile.name}:{self.scheme}:{self.core}"
+        return f"{self.profile.name}:{self.scheme}"
 
 
 def make_point(profile: WorkloadProfile | str, scheme: str,
                config: SystemConfig | None = None,
                length: int = DEFAULT_LENGTH, warmup: int = DEFAULT_WARMUP,
                seed: int = 0, track_values: bool = False,
-               capture_persist_log: bool = False,
+               capture_persist_log: bool = False, core: str = "ooo",
                label: str = "") -> SimPoint:
     """Build a :class:`SimPoint` with the configuration resolved."""
     if isinstance(profile, str):
         profile = profile_by_name(profile)
+    if core not in ("ooo", "inorder"):
+        raise ValueError(f"unknown core model {core!r} "
+                         "(options: ooo, inorder)")
     return SimPoint(profile=profile, scheme=scheme,
                     config=config_for(scheme, config), length=length,
                     warmup=warmup, seed=seed, track_values=track_values,
-                    capture_persist_log=capture_persist_log, label=label)
+                    capture_persist_log=capture_persist_log, core=core,
+                    label=label)
 
 
 def memo_key(point: SimPoint) -> tuple:
@@ -72,7 +83,7 @@ def memo_key(point: SimPoint) -> tuple:
     the leading tag namespaces single-core keys away from multicore ones.
     """
     return ("app", point.profile, point.scheme, point.config, point.length,
-            point.warmup, point.seed, point.track_values)
+            point.warmup, point.seed, point.track_values, point.core)
 
 
 def multicore_memo_key(profile: WorkloadProfile, scheme: str,

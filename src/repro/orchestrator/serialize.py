@@ -92,6 +92,7 @@ def point_to_dict(point: SimPoint) -> dict[str, Any]:
         "seed": point.seed,
         "track_values": point.track_values,
         "capture_persist_log": point.capture_persist_log,
+        "core": point.core,
         "label": point.label,
     }
 
@@ -106,6 +107,7 @@ def point_from_dict(data: dict[str, Any]) -> SimPoint:
         seed=data.get("seed", 0),
         track_values=data.get("track_values", False),
         capture_persist_log=data.get("capture_persist_log", False),
+        core=data.get("core", "ooo"),
         label=data.get("label", ""),
     )
 
@@ -242,6 +244,11 @@ def point_key_material(point: SimPoint, salt: str,
         "track_values": point.track_values,
         "capture_persist_log": point.capture_persist_log,
     }
+    # Only non-default cores enter the key material, so every digest
+    # minted before the in-order core joined the point schema stays
+    # valid — "ooo" points hash exactly as they always did.
+    if point.core != "ooo":
+        material["core"] = point.core
     if engine is not None:
         material["engine"] = engine
     return json.dumps(material, sort_keys=True, separators=(",", ":"),

@@ -368,6 +368,18 @@ class FleetScheduler:
                 f"service.{engine}_instrs_per_sec").add(
                     instructions / wall)
 
+    def _count_scalar_reasons(self, reasons: dict[str, int]) -> None:
+        """Fleet-wide ``service.scalar_reason.<slug>`` counters: why
+        planned points stayed on the scalar kernel, keyed by the
+        planner's ``unbatchable_reason`` strings (slugged for metric
+        names). Answers "why didn't this sweep batch?" from /metrics."""
+        import re
+
+        for reason, count in reasons.items():
+            slug = re.sub(r"[^a-z0-9]+", "_", reason.lower()).strip("_")
+            self.metrics.counter(f"service.scalar_reason.{slug}").inc(
+                count)
+
     def _plan_tasks(self, job: CampaignJob, points: list[SimPoint]) \
             -> list[PointTask | CohortTask]:
         """Schedulable units for one submission: lockstep cohorts plus
@@ -384,10 +396,16 @@ class FleetScheduler:
         # do: runtime_scalar_reason() forces the scalar kernel in the
         # worker, so a cohort would only be re-split there anyway.
         if self.engine == "scalar" or self.sanitize or tracing:
+            reason = ("engine=scalar" if self.engine == "scalar"
+                      else "sanitizer needs scalar instrumentation"
+                      if self.sanitize
+                      else "tracing needs scalar instrumentation")
+            self._count_scalar_reasons({reason: len(points)})
             return [singleton(index) for index in range(len(points))]
         from repro.engine.plan import plan_points
 
         plan = plan_points(points, self.engine)
+        self._count_scalar_reasons(plan.summary()["scalar_reasons"])
         # Width-1 cohorts (engine="batched" only) are demoted to point
         # tasks: the worker resolves the engine per point (pinned by
         # worker_init), so the point still runs the batched kernel while

@@ -48,7 +48,8 @@ class TestFingerprint:
 
 class TestSuites:
     def test_known_suites(self):
-        assert set(SUITES) == {"smoke", "quick", "full", "batched"}
+        assert set(SUITES) == {"smoke", "quick", "full", "batched",
+                               "wide"}
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError, match="unknown suite"):

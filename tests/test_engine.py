@@ -335,3 +335,259 @@ class TestBatchedBenchSuite:
         names = [b.name for b in suite_benchmarks("batched")]
         assert "campaign:fig16:rb" in names
         assert "campaign:fig16:rb:batched" in names
+
+    def test_wide_suite_registered(self):
+        from repro.bench.suite import SUITES, suite_benchmarks
+
+        assert "wide" in SUITES
+        names = [b.name for b in suite_benchmarks("wide")]
+        assert names == ["wide:cohort96:scalar", "wide:cohort96:list",
+                         "wide:cohort96:vector"]
+
+    def test_committed_wide_artifact_hits_vector_speedup(self):
+        # The acceptance headline: the committed wide artifact must show
+        # the columnar kernel at >= 2x the list kernel's instrs/s on the
+        # 96-lane cohort. Reads the repo's BENCH_*.json trajectory; skips
+        # when run outside a checkout that carries one.
+        import pathlib
+
+        from repro.bench.harness import load_report
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        wide = []
+        for path in sorted(root.glob("BENCH_*.json")):
+            report = load_report(path)
+            if report.suite == "wide":
+                wide.append(report)
+        if not wide:
+            pytest.skip("no committed wide BENCH artifact")
+        best = max(wide, key=lambda r:
+                   r.result("wide:cohort96:vector").instrs_per_sec)
+        vector = best.result("wide:cohort96:vector")
+        listed = best.result("wide:cohort96:list")
+        assert vector.deterministic and listed.deterministic
+        assert vector.cycles == listed.cycles
+        assert vector.instructions == listed.instructions
+        assert vector.instrs_per_sec >= 2.0 * listed.instrs_per_sec
+
+
+class TestVectorKernel:
+    """The numpy columnar kernel must be bit-exact against the list
+    kernel and the scalar engine; ``REPRO_BATCHED_VECTOR=0`` is the
+    escape hatch back to the list-based reference path."""
+
+    # (scheme, golden cycles) for gcc at length 3000 — the OOO_GOLDEN
+    # pins, exercised with the vector path forced on and off. capri
+    # rides along to document that forcing vector on a scheme outside
+    # VECTOR_SCHEMES falls back to the (bit-identical) list kernel.
+    PINS = [("baseline", 2156.0), ("ppa", 2170.0), ("eadr", 2776.0),
+            ("dram-only", 1860.0), ("capri", 2543.0)]
+
+    @pytest.mark.parametrize("vector", [True, False],
+                             ids=["vector", "list"])
+    @pytest.mark.parametrize("scheme,cycles", PINS,
+                             ids=[row[0] for row in PINS])
+    def test_gcc_3000_pins_vector_on_and_off(self, scheme, cycles,
+                                             vector):
+        point = make_point("gcc", scheme, length=3_000)
+        lane = run_cohort([point], vector=vector)[0]
+        assert lane.error is None
+        assert lane.stats.instructions == 3_000
+        assert lane.stats.cycles == cycles
+
+    def test_vector_env_escape_hatch(self, monkeypatch):
+        from repro.engine import VECTOR_ENV_VAR, vector_enabled
+
+        monkeypatch.delenv(VECTOR_ENV_VAR, raising=False)
+        assert vector_enabled()
+        for off in ("0", "false", "off", "no"):
+            monkeypatch.setenv(VECTOR_ENV_VAR, off)
+            assert not vector_enabled()
+        monkeypatch.setenv(VECTOR_ENV_VAR, "1")
+        assert vector_enabled()
+
+    def test_auto_floors_are_sane(self):
+        from repro.engine.batched import (
+            VECTOR_MIN_LANES,
+            VECTOR_MIN_LANES_PPA,
+        )
+
+        assert MIN_AUTO_COHORT <= VECTOR_MIN_LANES < VECTOR_MIN_LANES_PPA
+
+    def test_capri_outside_vector_schemes(self):
+        from repro.engine.columns import VECTOR_SCHEMES
+
+        assert "capri" not in VECTOR_SCHEMES
+        assert VECTOR_SCHEMES < KERNEL_SCHEMES
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(data=st.data())
+    def test_vector_list_scalar_triple_parity(self, data):
+        """Random lane counts, randomized per-lane configs, forced
+        mid-block divergence: vectorized == list-based == scalar,
+        bit-exactly."""
+        from repro.engine.columns import VECTOR_SCHEMES
+
+        n = data.draw(st.integers(2, 5), label="lanes")
+        scheme = data.draw(st.sampled_from(sorted(VECTOR_SCHEMES)),
+                           label="scheme")
+        points = []
+        for lane in range(n):
+            prf_int = data.draw(st.integers(70, 300), label=f"prf{lane}")
+            prf_fp = data.draw(st.integers(70, prf_int), label=f"fp{lane}")
+            wpq = data.draw(st.sampled_from([4, 16, 64]), label=f"w{lane}")
+            points.append(_pt("rb", scheme,
+                              BASE.with_prf(prf_int, prf_fp).with_wpq(wpq),
+                              length=1_200))
+        diverge_at = {
+            lane: data.draw(st.integers(1, 1_199), label=f"d{lane}")
+            for lane in range(n)
+            if data.draw(st.booleans(), label=f"div{lane}")}
+        vec = run_cohort(points, vector=True, diverge_at=diverge_at)
+        ref = run_cohort(points, vector=False, diverge_at=diverge_at)
+        for i, point in enumerate(points):
+            assert vec[i].error is None and ref[i].error is None
+            want = simulate_point(point, engine="scalar")[0].to_dict()
+            assert vec[i].stats.to_dict() == want, f"vector lane {i}"
+            assert ref[i].stats.to_dict() == want, f"list lane {i}"
+            assert vec[i].diverged_at == ref[i].diverged_at == \
+                diverge_at.get(i)
+
+
+class TestLaneErrorTransport:
+    """Lane failures must cross the process pool as picklable records,
+    whatever exotic exception the kernel (or its scalar fallback)
+    raised."""
+
+    class _Unpicklable(RuntimeError):
+        def __init__(self, message):
+            super().__init__(message)
+            self.hostage = lambda: None      # lambdas cannot pickle
+
+    def test_unpicklable_exception_reduces_to_record(self, monkeypatch):
+        import pickle
+
+        from repro.engine import batched
+
+        def boom(point):
+            raise self._Unpicklable("lane exploded")
+
+        monkeypatch.setattr(batched, "_scalar_rerun", boom)
+        lane = run_cohort(_prf_sweep(2), diverge_at={0: 100})[0]
+        assert lane.error is not None
+        assert lane.stats is None
+        assert lane.error.type_name == "_Unpicklable"
+        assert "lane exploded" in lane.error.message
+        assert "lane exploded" in lane.error.traceback
+        assert str(lane.error) == "_Unpicklable: lane exploded"
+        # The whole LaneResult — not just the error — must survive the
+        # pool's pickle round trip.
+        clone = pickle.loads(pickle.dumps(lane))
+        assert clone.error == lane.error
+        with pytest.raises(Exception):
+            pickle.dumps(self._Unpicklable("direct"))
+
+    def test_simulate_engine_raises_cohort_lane_error(self, monkeypatch):
+        from repro.engine import batched
+        from repro.engine.batched import LaneError, LaneResult
+        from repro.orchestrator.execute import CohortLaneError
+
+        def fake_cohort(points, **kwargs):
+            return [LaneResult(None, engine="scalar", error=LaneError(
+                "WeirdError", "no transport"))]
+
+        monkeypatch.setattr(batched, "run_cohort", fake_cohort)
+        with pytest.raises(CohortLaneError,
+                           match="WeirdError: no transport"):
+            _simulate_engine(_pt("rb", "ppa"), "batched")
+
+
+class TestInOrderBatching:
+    """The in-order lane kernel: both INORDER_KERNEL_SCHEMES batch, the
+    planner separates cores, and the facade routes stats-only in-order
+    baseline runs through the kernel."""
+
+    @pytest.mark.parametrize("scheme", ["ppa", "baseline"])
+    def test_inorder_cohort_matches_scalar(self, scheme):
+        points = [_pt("rb", scheme, BASE.with_wpq(w), length=800,
+                      warmup=0, core="inorder") for w in (8, 16, 24)]
+        lanes = run_cohort(points)
+        for lane, point in zip(lanes, points):
+            assert lane.error is None
+            assert lane.engine == "batched"
+            want = simulate_point(point, engine="scalar")[0]
+            assert lane.stats.to_dict() == want.to_dict()
+
+    def test_inorder_unbatchable_scheme_reason(self):
+        from repro.engine.plan import unbatchable_reason
+
+        point = _pt("rb", "eadr", length=800, warmup=0, core="inorder")
+        reason = unbatchable_reason(point)
+        assert reason is not None and "in-order" in reason
+        plan = plan_points([point], "batched")
+        assert plan.reasons[0] == reason
+        assert plan.summary()["scalar_reasons"] == {reason: 1}
+
+    def test_cohort_key_separates_cores(self):
+        ooo = _pt("rb", "ppa", length=800)
+        inorder = _pt("rb", "ppa", length=800, warmup=0, core="inorder")
+        assert cohort_key(ooo) != cohort_key(inorder)
+
+    def test_facade_inorder_baseline_batched_parity(self):
+        from repro import simulate
+
+        scalar = simulate("rb", scheme="baseline", core="inorder",
+                          length=800, engine="scalar").stats
+        batched = simulate("rb", scheme="baseline", core="inorder",
+                           length=800, engine="batched").stats
+        assert batched.to_dict() == scalar.to_dict()
+
+    def test_facade_capri_batched_parity(self):
+        from repro import simulate
+
+        scalar = simulate("gcc", scheme="capri", length=2_000,
+                          engine="scalar").stats
+        batched = simulate("gcc", scheme="capri", length=2_000,
+                           engine="batched").stats
+        assert batched.to_dict() == scalar.to_dict()
+        assert batched.extra["capri_path_writes"] == \
+            scalar.extra["capri_path_writes"]
+
+
+class TestCampaignScalarReasons:
+    """Campaign telemetry carries the planner's per-reason histogram of
+    why points stayed on the scalar kernel."""
+
+    def _campaign(self, engine, points, **kwargs):
+        campaign = Campaign(cache=None, jobs=1, sanitize=False,
+                            engine=engine, **kwargs)
+        campaign.extend(points)
+        campaign.run()
+        return campaign.telemetry
+
+    def test_scalar_engine_reason(self):
+        telemetry = self._campaign("scalar", [_pt("rb", "ppa",
+                                                  length=600)])
+        assert telemetry.to_dict()["scalar_reasons"] == \
+            {"engine=scalar": 1}
+
+    def test_auto_reasons_histogram(self):
+        points = _prf_sweep(3, length=600) + \
+            [_pt("rb", "psp-undolog", length=600),
+             _pt("gcc", "ppa", length=600)]
+        telemetry = self._campaign("auto", points)
+        reasons = telemetry.to_dict()["scalar_reasons"]
+        assert reasons == {
+            "scheme 'psp-undolog' has no batched kernel": 1,
+            "cohort of 1 (auto batches >= 2)": 1,
+        }
+        assert telemetry.batched_points == 3
+
+    def test_traced_campaign_reason(self, tmp_path):
+        campaign = Campaign(cache=None, jobs=1, sanitize=False,
+                            engine="auto", trace_dir=str(tmp_path))
+        campaign.extend(_prf_sweep(2, length=400))
+        campaign.run()
+        assert campaign.telemetry.scalar_reasons == \
+            {"tracing needs scalar instrumentation": 2}

@@ -145,6 +145,27 @@ class TestPrometheusFormat:
         assert family_for("cohort.width-max") \
             == ("repro_cohort_width_max", {})
 
+    def test_scalar_reason_maps_to_labelled_family(self):
+        assert family_for("service.scalar_reason.engine_scalar") \
+            == ("repro_service_scalar_reason",
+                {"reason": "engine_scalar"})
+
+    def test_scalar_reason_counters_share_one_family(self):
+        # Every distinct fallback reason becomes one labelled series of
+        # a single family, with the free-text reason slugged for the
+        # metric name and carried verbatim-enough in the label.
+        scheduler = FleetScheduler(cache=None, workers=2)
+        scheduler._count_scalar_reasons({
+            "engine=scalar": 3,
+            "scheme 'psp-undolog' has no batched kernel": 2,
+        })
+        parsed = parse_prometheus(render_prometheus(scheduler))
+        assert parsed.value("repro_service_scalar_reason",
+                            reason="engine_scalar") == 3
+        assert parsed.value(
+            "repro_service_scalar_reason",
+            reason="scheme_psp_undolog_has_no_batched_kernel") == 2
+
     def test_label_escaping_round_trips(self):
         fams = _Families()
         nasty = 'a"b\\c\nd'
@@ -362,6 +383,20 @@ class TestDaemonMetrics:
         assert parsed.value("repro_service_queue_wait_seconds_count") >= 1
         assert parsed.value("repro_service_campaigns_by_state",
                             state="done") == 1
+
+    def test_scrape_counts_scalar_fallback_reasons(self, daemon):
+        client, _ = daemon
+        points = _prf_points(2) + [make_point("rb", "psp-undolog",
+                                              length=LENGTH)]
+        job = client.submit("dana", points=[point_to_dict(p)
+                                            for p in points])
+        final = client.wait(job["id"], timeout=300)
+        assert final["state"] == "done"
+        parsed = parse_prometheus(client.metrics())
+        assert parsed.value(
+            "repro_service_scalar_reason",
+            reason="scheme_psp_undolog_has_no_batched_kernel") == 1
+        assert parsed.value("repro_service_lanes_batched") == 2
 
     def test_status_surfaces_cache_inventory_breakdowns(self, daemon):
         client, _ = daemon

@@ -388,3 +388,25 @@ class TestCliJson:
         text = capsys.readouterr().out
         assert "banked sim:" in text
         assert "throughput:" in text
+
+    def test_status_plan_previews_batching(self, tmp_path, capsys):
+        import json
+
+        from repro.orchestrator.__main__ import main
+
+        assert main(["status", "--cache-dir", str(tmp_path),
+                     "--plan", "capri", "--engine", "auto",
+                     "--json"]) == 0
+        plan = json.loads(capsys.readouterr().out)["plan"]
+        assert plan["campaign"] == "capri"
+        assert plan["engine"] == "auto"
+        assert plan["scalar_points"] == 0
+        assert plan["batched_points"] == plan["points"] > 0
+        assert plan["scalar_reasons"] == {}
+        assert all(width >= 2 for width in plan["cohort_widths"])
+
+        assert main(["status", "--cache-dir", str(tmp_path),
+                     "--plan", "fig16", "--engine", "scalar"]) == 0
+        text = capsys.readouterr().out
+        assert "plan preview:" in text
+        assert "scalar x" in text and "engine=scalar" in text
